@@ -1,0 +1,113 @@
+// Extension: adaptive policy re-optimization (the paper's future-work
+// direction, Sec. VIII) evaluated on the Fig. 10 nonstationary
+// workload.
+//
+// A sliding-window controller re-extracts the SR and re-solves the
+// policy LP every few thousand slices.  The static stationary-fit
+// optimum looks efficient on the mixture but silently violates its
+// penalty bound during the editing regime; the adaptive controller
+// keeps every regime within spec.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cases/cpu_sa1100.h"
+#include "dpm/optimizer.h"
+#include "sim/adaptive_controller.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "trace/sr_extractor.h"
+
+using namespace dpm;
+using cases::CpuSa1100;
+
+namespace {
+
+sim::AdaptiveController make_adaptive(double penalty_bound) {
+  sim::AdaptiveController::Options o;
+  o.warmup = 2000;
+  o.window = 15000;
+  o.reoptimize_every = 4000;
+  return sim::AdaptiveController(
+      [](const std::vector<unsigned>& w) {
+        return trace::extract_sr(w, {.memory = 1, .smoothing = 1.0});
+      },
+      [](ServiceRequester sr) {
+        ServiceProvider sp = CpuSa1100::make_provider();
+        SpTransitionOverride ov = CpuSa1100::make_override(sp);
+        return SystemModel::compose(std::move(sp), std::move(sr), 0,
+                                    std::move(ov));
+      },
+      [penalty_bound](const SystemModel& mm) -> std::optional<Policy> {
+        const PolicyOptimizer oo(mm, CpuSa1100::make_config(mm, 0.9999));
+        OptimizationResult r =
+            oo.minimize(metrics::power(mm),
+                        {{CpuSa1100::penalty(mm), penalty_bound, "pen"}});
+        if (!r.feasible) return std::nullopt;
+        return std::move(r.policy);
+      },
+      CpuSa1100::kRun, o);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Extension: adaptive re-optimization (Sec. VIII future work)",
+                "sliding-window SR re-fit + LP re-solve vs the static "
+                "stationary-fit optimum, on the Fig. 10 workload");
+
+  const double bound = 0.01;
+  const std::vector<unsigned> edit = trace::editing_stream(120000, 5);
+  const std::vector<unsigned> comp = trace::compilation_stream(120000, 6);
+  const std::vector<unsigned> mix = trace::concat_streams(edit, comp);
+  const SystemModel m = CpuSa1100::make_model_from_stream(mix);
+
+  const PolicyOptimizer opt(m, CpuSa1100::make_config(m, 0.9999));
+  const StateActionMetric pen = CpuSa1100::penalty(m);
+  const OptimizationResult st =
+      opt.minimize(metrics::power(m), {{pen, bound, "pen"}});
+  if (!st.feasible) {
+    std::printf("static optimization infeasible (unexpected)\n");
+    return 1;
+  }
+
+  sim::Simulator simulator(m);
+  const auto run_on = [&](sim::Controller& c,
+                          const std::vector<unsigned>& t) {
+    sim::SimulationConfig cfg;
+    cfg.slices = t.size();
+    cfg.initial_state = {CpuSa1100::kActive, 0, 0};
+    cfg.seed = 41;
+    return simulator.run_trace(c, t, cfg);
+  };
+
+  std::printf("\n  penalty bound per regime: %.3f\n", bound);
+  std::printf("  %-22s %12s %12s %10s\n", "controller / regime", "power[W]",
+              "penalty", "in spec?");
+  const struct {
+    const char* name;
+    const std::vector<unsigned>* t;
+  } regimes[] = {{"editing", &edit}, {"compilation", &comp},
+                 {"mixture", &mix}};
+  for (const auto& reg : regimes) {
+    sim::PolicyController sc(m, *st.policy);
+    const sim::SimulationResult r = run_on(sc, *reg.t);
+    std::printf("  static  %-14s %12.4f %12.4f %10s\n", reg.name,
+                r.avg_power, r.metric(pen),
+                r.metric(pen) <= bound * 1.05 ? "yes" : "NO");
+  }
+  for (const auto& reg : regimes) {
+    sim::AdaptiveController ac = make_adaptive(bound);
+    const sim::SimulationResult r = run_on(ac, *reg.t);
+    std::printf("  adaptive %-13s %12.4f %12.4f %10s   (refits: %zu)\n",
+                reg.name, r.avg_power, r.metric(pen),
+                r.metric(pen) <= bound * 1.05 ? "yes" : "NO",
+                ac.refit_count());
+  }
+
+  bench::note("the static fit is dominated by the compilation half and "
+              "overshoots the penalty bound during editing; the adaptive "
+              "controller re-fits within ~1 window and honours the bound "
+              "in every regime while spending its budget (sleeping in "
+              "compilation's short gaps) where the static policy cannot");
+  return 0;
+}

@@ -1,0 +1,169 @@
+// Table I + Fig. 8(b): the disk-drive case study.
+//
+// Prints Table I, then reproduces the Fig. 8(b) comparison:
+//   * the optimal power/performance tradeoff curve (solid line),
+//   * simulation of the optimal policies — Markov-driven and driven by
+//     the raw request trace the SR was extracted from (the "circles"),
+//   * heuristics: greedy shutdown into each inactive state (upward
+//     triangles), timeout policies (downward triangles), and randomized
+//     timeout policies (boxes).
+// Expected shape: heuristics lie on or above the optimal curve; the
+// simulated points sit close to it (faithful SR model).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cases/disk_drive.h"
+#include "cases/heuristics.h"
+#include "dpm/evaluation.h"
+#include "dpm/optimizer.h"
+#include "sim/simulator.h"
+
+using namespace dpm;
+using cases::DiskDrive;
+
+int main() {
+  bench::banner("Table I + Figure 8(b) (Sec. VI-A)",
+                "IBM Travelstar VP disk drive, 66-state model, tau = 1 ms");
+
+  bench::section("Table I (datasheet)");
+  std::printf("  %-10s %14s %10s\n", "state", "T(->active)", "power");
+  for (const auto& row : DiskDrive::table_i()) {
+    if (row.wake_time_ms == 0.0) {
+      std::printf("  %-10s %14s %9.1fW\n", row.name, "-", row.power_w);
+    } else if (row.wake_time_ms >= 1000.0) {
+      std::printf("  %-10s %13.1fs %9.1fW\n", row.name,
+                  row.wake_time_ms / 1000.0, row.power_w);
+    } else {
+      std::printf("  %-10s %12.1fms %9.1fW\n", row.name, row.wake_time_ms,
+                  row.power_w);
+    }
+  }
+
+  const SystemModel m = DiskDrive::make_model(/*seed=*/42);
+  // A 1e3-slice expected session keeps every run in this harness fast
+  // while preserving the figure's shape; the paper uses 1e6 slices.
+  const double gamma = 0.999;
+  const PolicyOptimizer opt(m, DiskDrive::make_config(m, gamma));
+  const double loss_bound = 0.05;
+
+  bench::section("workload (synthetic bursty file-access trace)");
+  const ServiceRequester& sr = m.requester();
+  bench::fact("SR P[idle->busy]", sr.chain().transition(0, 1));
+  bench::fact("SR P[busy->busy]", sr.chain().transition(1, 1));
+  bench::fact("offered load", sr.mean_arrival_rate());
+
+  bench::section(
+      "optimal tradeoff curve (min power s.t. E[queue] <= q, loss <= 0.05)");
+  const std::vector<double> bounds{0.15, 0.2, 0.3, 0.4, 0.6, 0.9, 1.3};
+  std::printf("  %-10s %12s %12s %12s\n", "q bound", "power[W]", "queue",
+              "sim power");
+  sim::Simulator simulator(m);
+  for (const double q : bounds) {
+    const OptimizationResult r = opt.minimize_power(q, loss_bound);
+    if (!r.feasible) {
+      std::printf("  %-10.3f %12s\n", q, "infeasible");
+      continue;
+    }
+    // Session-restart Monte Carlo of the optimal policy ("circles").
+    sim::PolicyController ctl(m, *r.policy);
+    sim::SimulationConfig cfg;
+    cfg.slices = 400000;
+    cfg.initial_state = {DiskDrive::kActive, 0, 0};
+    cfg.session_restart_prob = 1.0 - gamma;
+    cfg.seed = 7;
+    const sim::SimulationResult s = simulator.run(ctl, cfg);
+    std::printf("  %-10.3f %12.4f %12.4f %12.4f\n", q, r.objective_per_step,
+                r.constraint_per_step[0], s.avg_power);
+  }
+
+  bench::section("trace-driven simulation of one optimal policy (circle)");
+  {
+    const OptimizationResult r = opt.minimize_power(0.4, loss_bound);
+    if (r.feasible) {
+      const std::vector<unsigned> stream = DiskDrive::make_trace(400000, 42);
+      sim::PolicyController ctl(m, *r.policy);
+      sim::SimulationConfig cfg;
+      cfg.slices = stream.size();
+      cfg.initial_state = {DiskDrive::kActive, 0, 0};
+      cfg.session_restart_prob = 1.0 - gamma;
+      cfg.seed = 8;
+      const sim::SimulationResult s = simulator.run_trace(ctl, stream, cfg);
+      bench::fact("optimizer expected power [W]", r.objective_per_step);
+      bench::fact("trace-driven simulated power [W]", s.avg_power);
+      bench::fact("trace-driven simulated queue", s.avg_queue_length);
+    }
+  }
+
+  bench::section("greedy heuristics (upward triangles): exact evaluation");
+  std::printf("  %-24s %12s %12s %12s\n", "policy", "power[W]", "queue",
+              "loss");
+  const struct {
+    const char* name;
+    std::size_t sleep_cmd;
+  } greedy[] = {
+      {"greedy -> idle", DiskDrive::kGoIdle},
+      {"greedy -> LPidle", DiskDrive::kGoLpIdle},
+      {"greedy -> standby", DiskDrive::kGoStandby},
+      {"greedy -> sleep", DiskDrive::kGoSleep},
+  };
+  const linalg::Vector& p0 = opt.config().initial_distribution;
+  for (const auto& g : greedy) {
+    const Policy pol = cases::eager_policy(m, g.sleep_cmd,
+                                           DiskDrive::kGoActive);
+    const PolicyEvaluation ev(m, pol, gamma, p0);
+    std::printf("  %-24s %12.4f %12.4f %12.4f\n", g.name,
+                ev.per_step(metrics::power(m)),
+                ev.per_step(metrics::queue_length(m)),
+                ev.per_step(metrics::request_loss(m)));
+  }
+
+  bench::section("timeout heuristics (downward triangles): simulation");
+  std::printf("  %-26s %12s %12s %12s\n", "policy", "power[W]", "queue",
+              "loss");
+  const struct {
+    const char* target;
+    std::size_t cmd;
+    std::size_t timeouts[3];
+  } families[] = {
+      {"LPidle", DiskDrive::kGoLpIdle, {0, 50, 500}},
+      {"standby", DiskDrive::kGoStandby, {200, 2000, 10000}},
+      {"sleep", DiskDrive::kGoSleep, {2000, 10000, 40000}},
+  };
+  for (const auto& fam : families) {
+    for (const std::size_t timeout : fam.timeouts) {
+      sim::TimeoutController ctl(timeout, fam.cmd, DiskDrive::kGoActive);
+      sim::SimulationConfig cfg;
+      cfg.slices = 800000;
+      cfg.initial_state = {DiskDrive::kActive, 0, 0};
+      // Same stopping-time measure as the optimizer, so the optimal
+      // curve is a true lower bound for these points.
+      cfg.session_restart_prob = 1.0 - gamma;
+      cfg.seed = 11;
+      const sim::SimulationResult s = simulator.run(ctl, cfg);
+      std::printf("  timeout %-8zu->%-8s %12.4f %12.4f %12.4f\n", timeout,
+                  fam.target, s.avg_power, s.avg_queue_length,
+                  s.loss_state_rate);
+    }
+  }
+
+  bench::section("randomized timeout heuristics (boxes): simulation");
+  {
+    sim::RandomizedTimeoutController ctl(
+        {{50, DiskDrive::kGoLpIdle, 0.5},
+         {2000, DiskDrive::kGoStandby, 0.3},
+         {10000, DiskDrive::kGoSleep, 0.2}},
+        DiskDrive::kGoActive);
+    sim::SimulationConfig cfg;
+    cfg.slices = 400000;
+    cfg.initial_state = {DiskDrive::kActive, 0, 0};
+    cfg.session_restart_prob = 1.0 - gamma;
+    cfg.seed = 12;
+    const sim::SimulationResult s = simulator.run(ctl, cfg);
+    std::printf("  %-24s %12.4f %12.4f %12.4f\n", "randomized mix",
+                s.avg_power, s.avg_queue_length, s.loss_state_rate);
+  }
+
+  bench::note("optimal curve should lower-bound all heuristic points at "
+              "matching performance");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 13(b): sensitivity to SR model memory.
+//
+// A k-memory Markov SR (2^k states) is extracted from a synthetic
+// workload whose idle-time distribution is NOT memoryless (mixture of
+// short and long idles), for k = 1..4, and the optimizer runs on each.
+// Two SPs (baseline one-sleep and two-sleep) x three performance
+// constraints.  Expected shape: more memory lets the optimizer separate
+// long idle periods from short ones -> lower power; the gain is larger
+// when there are multiple sleep states to match to idle-period lengths.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cases/sensitivity.h"
+#include "dpm/optimizer.h"
+#include "trace/generators.h"
+#include "trace/sr_extractor.h"
+
+using namespace dpm;
+namespace sens = cases::sensitivity;
+
+int main() {
+  bench::banner("Figure 13(b) (Appendix B)",
+                "power vs SR memory k (2^k states), horizon 1e4 slices");
+
+  // Idle lengths are a mixture of two geometrics: short intra-burst gaps
+  // and long think times — exactly the structure extra memory can
+  // exploit.
+  trace::OnOffParams wp;
+  wp.mean_burst = 4.0;
+  wp.mean_idle_short = 3.0;
+  wp.mean_idle_long = 60.0;
+  wp.long_idle_fraction = 0.3;
+  const std::vector<unsigned> stream = trace::on_off_stream(400000, wp, 99);
+
+  const auto& sleeps = sens::standard_sleep_states();
+  const std::vector<sens::SleepStateSpec> one_sleep{sleeps[0]};
+  const std::vector<sens::SleepStateSpec> two_sleep{sleeps[0], sleeps[1]};
+
+  for (const auto& [sp_name, specs] :
+       {std::pair{"baseline SP {s1}", one_sleep},
+        std::pair{"two-sleep SP {s1,s2}", two_sleep}}) {
+    bench::section(sp_name);
+    std::printf("  %-14s", "perf \\ k");
+    for (int k = 1; k <= 4; ++k) std::printf(" %10d", k);
+    std::printf("\n");
+    for (const double q_bound : {0.1, 0.3, 0.6}) {
+      std::printf("  queue <= %-4.1f", q_bound);
+      for (int k = 1; k <= 4; ++k) {
+        const ServiceRequester sr = trace::extract_sr(
+            stream, {.memory = static_cast<std::size_t>(k), .smoothing = 0.5});
+        const SystemModel m =
+            SystemModel::compose(sens::make_sp(specs), sr, 2);
+        const PolicyOptimizer opt(m, sens::make_config(m, 1e4));
+        const OptimizationResult r = opt.minimize_power(q_bound);
+        if (r.feasible) {
+          std::printf(" %10.4f", r.objective_per_step);
+        } else {
+          std::printf(" %10s", "infeas");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::note("power falls (or stays flat) as k grows; the drop is larger "
+              "with two sleep states, which can be matched to idle-period "
+              "lengths");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 14(a): sensitivity to the time horizon (discount factor).
+//
+// The trap-state probability 1 - gamma is swept (longer horizons to the
+// LEFT in the paper's plot); 4-sleep SP, queue <= 0.5, two request-loss
+// constraints.  Expected shape: longer horizons -> lower optimal power
+// (more time to amortize transition costs / wrong decisions).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cases/sensitivity.h"
+#include "dpm/optimizer.h"
+
+using namespace dpm;
+namespace sens = cases::sensitivity;
+
+int main() {
+  bench::banner("Figure 14(a) (Appendix B)",
+                "power vs time horizon; 4-sleep SP, queue <= 0.5");
+
+  const std::vector<double> horizons{1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5};
+
+  std::printf("\n  %-14s", "loss \\ horizon");
+  for (const double h : horizons) std::printf(" %9.0f", h);
+  std::printf("\n");
+
+  for (const double loss : {0.01, 0.05}) {
+    std::printf("  loss <= %-5.2f ", loss);
+    for (const double h : horizons) {
+      const SystemModel m =
+          sens::make_model(sens::standard_sleep_states(), 0.01, 2);
+      const PolicyOptimizer opt(m, sens::make_config(m, h));
+      const OptimizationResult r = opt.minimize(
+          metrics::power(m), {{metrics::queue_length(m), 0.5, "perf"},
+                              {metrics::request_loss(m), loss, "loss"}});
+      if (r.feasible) {
+        std::printf(" %9.4f", r.objective_per_step);
+      } else {
+        std::printf(" %9s", "infeas");
+      }
+    }
+    std::printf("\n");
+  }
+
+  bench::note("REPRODUCTION DEVIATION: the paper reports power falling "
+              "toward longer horizons; under the stopping-time model as "
+              "formalized (zero cost after the trap state, Fig. 5) the "
+              "optimum instead falls slightly toward SHORT horizons, "
+              "because shutting down near the session end is free — the "
+              "optimizer exploits the end-game.  The effect is small "
+              "(<6%) and vanishes as the horizon grows; see "
+              "EXPERIMENTS.md for the analysis");
+  return 0;
+}

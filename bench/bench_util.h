@@ -1,0 +1,38 @@
+// Shared formatting helpers for the paper-reproduction harnesses.
+//
+// Every bench prints self-describing aligned tables: one table per
+// figure series, matching the rows/series the paper reports.  No files
+// are read or written; everything is deterministic from fixed seeds.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace dpm::bench {
+
+inline void banner(const std::string& experiment, const std::string& what) {
+  std::printf("\n");
+  std::printf("=====================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("  %s\n", what.c_str());
+  std::printf("=====================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  note: %s\n", text.c_str());
+}
+
+/// Prints "  label = value" for scalar summary facts.
+inline void fact(const std::string& label, double value) {
+  std::printf("  %-44s %12.5f\n", label.c_str(), value);
+}
+
+inline void fact(const std::string& label, const std::string& value) {
+  std::printf("  %-44s %12s\n", label.c_str(), value.c_str());
+}
+
+}  // namespace dpm::bench

@@ -1,0 +1,80 @@
+// Session-length engineering: when does the discount matter?
+//
+// The optimizer's gamma is not a numerical knob — it encodes the
+// expected battery session (paper Sec. IV: 8-12 h between recharges).
+// This example walks a laptop-ish disk scenario through three framings:
+//   * short sessions (frequent suspend/resume): the discounted optimum
+//     exploits the session end and looks cheaper than it is in steady
+//     state;
+//   * long sessions: the discounted optimum approaches the horizon-free
+//     average-cost optimum;
+//   * the average-cost optimum itself as the "always plugged in"
+//     reference point.
+#include <cstdio>
+
+#include "cases/disk_drive.h"
+#include "dpm/average_optimizer.h"
+#include "dpm/optimizer.h"
+#include "sim/simulator.h"
+
+using namespace dpm;
+using cases::DiskDrive;
+
+int main() {
+  const SystemModel m = DiskDrive::make_model();
+  const double q_bound = 0.4, loss_bound = 0.05;
+
+  std::printf("disk drive, min power s.t. E[queue] <= %.1f, loss <= %.2f\n\n",
+              q_bound, loss_bound);
+
+  std::printf("%-28s %12s %14s\n", "session model", "LP power[W]",
+              "steady-sim[W]");
+  sim::Simulator simulator(m);
+  for (const double horizon : {1e3, 1e4, 1e5}) {
+    const double gamma = 1.0 - 1.0 / horizon;
+    const PolicyOptimizer opt(m, DiskDrive::make_config(m, gamma));
+    const OptimizationResult r = opt.minimize_power(q_bound, loss_bound);
+    if (!r.feasible) continue;
+    // What the same policy delivers in steady state (no session end):
+    sim::PolicyController ctl(m, *r.policy);
+    sim::SimulationConfig cfg;
+    cfg.slices = 400000;
+    cfg.warmup = 5000;
+    cfg.initial_state = {DiskDrive::kActive, 0, 0};
+    const sim::SimulationResult s = simulator.run(ctl, cfg);
+    std::printf("sessions of ~%-8.0f slices %12.4f %14.4f\n", horizon,
+                r.objective_per_step, s.avg_power);
+  }
+
+  const AverageCostOptimizer avg(m);
+  const OptimizationResult a = avg.minimize_power(q_bound, loss_bound);
+  if (a.feasible) {
+    sim::PolicyController ctl(m, *a.policy);
+    sim::SimulationConfig cfg;
+    cfg.slices = 400000;
+    cfg.warmup = 5000;
+    cfg.initial_state = {DiskDrive::kActive, 0, 0};
+    const sim::SimulationResult s = simulator.run(ctl, cfg);
+    std::printf("%-28s %12.4f %14.4f%s\n", "average-cost (horizon-free)",
+                a.objective_per_step, s.avg_power,
+                avg.support_is_single_class(a)
+                    ? ""
+                    : "   [multichain mix]");
+    if (!avg.support_is_single_class(a)) {
+      std::printf(
+          "  ^ the constrained average-cost optimum MIXES several\n"
+          "    recurrent classes: its LP value holds as an expectation\n"
+          "    over which class a trajectory settles in, so one long\n"
+          "    run shows a single class's average instead.\n");
+    }
+  }
+
+  std::printf(
+      "\nTakeaway: if your device genuinely runs in sessions (battery\n"
+      "windows, suspend cycles), the discounted LP's lower numbers are\n"
+      "real — end-of-session shutdown is free power.  If it runs\n"
+      "indefinitely, check AverageCostOptimizer::support_is_single_class\n"
+      "before quoting the LP value for a single long run; mixed-class\n"
+      "optima need per-session (or per-boot) randomization to realize.\n");
+  return 0;
+}

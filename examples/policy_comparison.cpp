@@ -1,0 +1,83 @@
+// Policy shoot-out on the SA-1100 CPU model: optimal stochastic control
+// vs the heuristic families a practitioner would try (always-on, eager,
+// fixed timeouts, randomized shutdown) — all measured by the same
+// long-run simulation, the apples-to-apples version of Fig. 9(b).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "cases/cpu_sa1100.h"
+#include "cases/heuristics.h"
+#include "dpm/optimizer.h"
+#include "sim/simulator.h"
+
+using namespace dpm;
+using cases::CpuSa1100;
+
+int main() {
+  const SystemModel m = CpuSa1100::make_model();
+  const double gamma = 0.9999;
+  const PolicyOptimizer opt(m, CpuSa1100::make_config(m, gamma));
+  const StateActionMetric pen = CpuSa1100::penalty(m);
+
+  sim::Simulator simulator(m);
+  const auto measure = [&](sim::Controller& ctl) {
+    sim::SimulationConfig cfg;
+    cfg.slices = 400000;
+    cfg.warmup = 2000;
+    cfg.initial_state = {CpuSa1100::kActive, 0, 0};
+    cfg.seed = 77;
+    return simulator.run(ctl, cfg);
+  };
+
+  std::printf("%-34s %10s %12s\n", "policy", "power[W]", "penalty");
+  std::printf("%-34s %10s %12s\n", "------", "--------", "-------");
+
+  // Heuristics.
+  struct Named {
+    std::string name;
+    std::unique_ptr<sim::Controller> ctl;
+  };
+  std::vector<Named> heuristics;
+  heuristics.push_back(
+      {"always-on", std::make_unique<sim::ConstantController>(CpuSa1100::kRun)});
+  heuristics.push_back(
+      {"eager (greedy shutdown)",
+       std::make_unique<sim::GreedyController>(CpuSa1100::kShutdown,
+                                               CpuSa1100::kRun)});
+  for (const std::size_t t : {5ul, 20ul, 60ul}) {
+    heuristics.push_back(
+        {"timeout " + std::to_string(t) + " slices",
+         std::make_unique<sim::TimeoutController>(t, CpuSa1100::kShutdown,
+                                                  CpuSa1100::kRun)});
+  }
+
+  double eager_penalty = 0.0;
+  for (auto& h : heuristics) {
+    const sim::SimulationResult r = measure(*h.ctl);
+    if (h.name.rfind("eager", 0) == 0) eager_penalty = r.metric(pen);
+    std::printf("%-34s %10.4f %12.4f\n", h.name.c_str(), r.avg_power,
+                r.metric(pen));
+  }
+
+  // Randomized shutdown (the CPU case's single degree of freedom).
+  for (const double p : {0.1, 0.5, 1.0}) {
+    const Policy pol = cases::randomized_shutdown_policy(
+        m, CpuSa1100::kShutdown, CpuSa1100::kRun, p);
+    sim::PolicyController ctl(m, pol);
+    const sim::SimulationResult r = measure(ctl);
+    std::printf("randomized shutdown p=%-12.1f %10.4f %12.4f\n", p,
+                r.avg_power, r.metric(pen));
+  }
+
+  // The optimum at the eager policy's penalty level: strictly cheaper.
+  const OptimizationResult best = opt.minimize(
+      metrics::power(m), {{pen, eager_penalty, "penalty"}});
+  if (best.feasible) {
+    sim::PolicyController ctl(m, *best.policy);
+    const sim::SimulationResult r = measure(ctl);
+    std::printf("%-34s %10.4f %12.4f   <- LP optimum at eager's penalty\n",
+                "optimal stochastic control", r.avg_power, r.metric(pen));
+  }
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "cases/disk_drive.h"
+
+#include "trace/generators.h"
+#include "trace/sr_extractor.h"
+
+namespace dpm::cases {
+
+const std::array<DiskDrive::Row, 5>& DiskDrive::table_i() {
+  static const std::array<Row, 5> rows{{
+      {"active", 0.0, 2.5},
+      {"idle", 1.0, 1.0},
+      {"LPidle", 40.0, 0.8},
+      {"standby", 2200.0, 0.3},
+      {"sleep", 6000.0, 0.1},
+  }};
+  return rows;
+}
+
+ServiceProvider DiskDrive::make_provider() {
+  CommandSet commands(
+      {"go_active", "go_idle", "go_lpidle", "go_standby", "go_sleep"});
+  ServiceProvider::Builder b(kNumStates, std::move(commands));
+  b.state_name(kActive, "active")
+      .state_name(kIdle, "idle")
+      .state_name(kLpIdle, "LPidle")
+      .state_name(kStandby, "standby")
+      .state_name(kSleep, "sleep")
+      .state_name(kWakeLpIdle, "wake<-LPidle")
+      .state_name(kWakeStandby, "wake<-standby")
+      .state_name(kWakeSleep, "wake<-sleep")
+      .state_name(kDownLpIdle, "down->LPidle")
+      .state_name(kDownStandby, "down->standby")
+      .state_name(kDownSleep, "down->sleep");
+
+  // --- controllable transitions from the active state ------------------
+  // active <-> idle takes one slice in each direction (Table I: 1.0 ms).
+  b.transition(kGoIdle, kActive, kIdle, 1.0);
+  // Deeper states are entered through uninterruptible spin-down
+  // transients (entry times: LPidle 10 ms, standby 1 s, sleep 2 s).
+  b.transition(kGoLpIdle, kActive, kDownLpIdle, 1.0);
+  b.transition(kGoStandby, kActive, kDownStandby, 1.0);
+  b.transition(kGoSleep, kActive, kDownSleep, 1.0);
+  // go_active (or any other command, via default self-loops) keeps the
+  // disk active.
+
+  // --- controllable transitions from the inactive states ---------------
+  // Wake-ups: idle returns in one slice; the rest start geometric
+  // transients matching the Table I expected times at tau = 1 ms.
+  b.transition(kGoActive, kIdle, kActive, 1.0);
+  b.transition(kGoActive, kLpIdle, kWakeLpIdle, 1.0);
+  b.transition(kGoActive, kStandby, kWakeStandby, 1.0);
+  b.transition(kGoActive, kSleep, kWakeSleep, 1.0);
+  // Commands naming a *different* inactive state are ignored while
+  // inactive (the paper omits inactive-to-inactive transitions); the
+  // builder's default self-loops implement that.
+
+  // --- transient states: insensitive to commands ----------------------
+  // (paper: "transitions from transient states have constant conditional
+  // probabilities that cannot be controlled by commands").
+  const struct {
+    State transient;
+    State destination;
+    double exit_prob;
+  } chains[] = {
+      {kWakeLpIdle, kActive, 1.0 / 40.0},     // 40 ms
+      {kWakeStandby, kActive, 1.0 / 2200.0},  // 2.2 s
+      {kWakeSleep, kActive, 1.0 / 6000.0},    // 6.0 s
+      {kDownLpIdle, kLpIdle, 1.0 / 10.0},     // 10 ms
+      {kDownStandby, kStandby, 1.0 / 1000.0}, // 1.0 s
+      {kDownSleep, kSleep, 1.0 / 2000.0},     // 2.0 s
+  };
+  for (const auto& c : chains) {
+    for (std::size_t cmd = 0; cmd < kNumCommands; ++cmd) {
+      b.transition(cmd, c.transient, c.destination, c.exit_prob);
+      b.transition(cmd, c.transient, c.transient, 1.0 - c.exit_prob);
+    }
+  }
+
+  // --- service rates ---------------------------------------------------
+  // The disk serves only while active and commanded to stay active.
+  b.service_rate(kActive, kGoActive, kServiceRate);
+
+  // --- power -----------------------------------------------------------
+  const double state_power[kNumStates] = {
+      2.5, 1.0, 0.8, 0.3, 0.1,  // Table I operational states
+      2.5, 2.5, 2.5,            // wake transients (spin-up current)
+      2.5, 2.5, 2.5,            // spin-down transients
+  };
+  for (std::size_t s = 0; s < kNumStates; ++s) {
+    for (std::size_t cmd = 0; cmd < kNumCommands; ++cmd) {
+      b.power(s, cmd, state_power[s]);
+    }
+  }
+  return std::move(b).build();
+}
+
+std::vector<unsigned> DiskDrive::make_trace(std::size_t slices,
+                                            std::uint64_t seed) {
+  // File-system access pattern: bursts of requests (reads/writes of a
+  // few ms) separated by idle gaps with a long-tailed mixture — the
+  // structure disk traces such as Auspex's exhibit.  The long mode
+  // (user think time, tens of seconds) is what makes the spun-down
+  // states pay off despite their multi-second wake times.
+  trace::OnOffParams p;
+  p.mean_burst = 12.0;          // ~12 ms request bursts
+  p.mean_idle_short = 300.0;    // ~0.3 s intra-task gaps
+  p.mean_idle_long = 30000.0;   // ~30 s user think time
+  p.long_idle_fraction = 0.3;
+  return trace::on_off_stream(slices, p, seed);
+}
+
+ServiceRequester DiskDrive::make_requester(std::uint64_t seed) {
+  const std::vector<unsigned> stream = make_trace(200000, seed);
+  return trace::extract_sr(stream, {.memory = 1, .smoothing = 0.0});
+}
+
+SystemModel DiskDrive::make_model(std::uint64_t seed) {
+  return SystemModel::compose(make_provider(), make_requester(seed),
+                              /*queue_capacity=*/2);
+}
+
+OptimizerConfig DiskDrive::make_config(const SystemModel& model,
+                                       double gamma) {
+  OptimizerConfig cfg;
+  cfg.discount = gamma;
+  cfg.initial_distribution =
+      model.point_distribution({kActive, /*sr=*/0, /*q=*/0});
+  return cfg;
+}
+
+}  // namespace dpm::cases

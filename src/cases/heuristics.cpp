@@ -1,0 +1,55 @@
+#include "cases/heuristics.h"
+
+namespace dpm::cases {
+
+namespace {
+
+bool idle_state(const SystemModel& model, std::size_t s) {
+  const SystemState st = model.decompose(s);
+  return st.q == 0 && model.requester().requests(st.sr) == 0;
+}
+
+}  // namespace
+
+Policy eager_policy(const SystemModel& model, std::size_t sleep_command,
+                    std::size_t wake_command) {
+  std::vector<std::size_t> actions(model.num_states());
+  for (std::size_t s = 0; s < model.num_states(); ++s) {
+    actions[s] = idle_state(model, s) ? sleep_command : wake_command;
+  }
+  return Policy::deterministic(actions, model.num_commands());
+}
+
+Policy always_on_policy(const SystemModel& model, std::size_t wake_command) {
+  return Policy::constant(model.num_states(), model.num_commands(),
+                          wake_command);
+}
+
+Policy randomized_shutdown_policy(const SystemModel& model,
+                                  std::size_t sleep_command,
+                                  std::size_t wake_command,
+                                  double sleep_probability) {
+  if (sleep_probability < 0.0 || sleep_probability > 1.0) {
+    throw ModelError("randomized_shutdown_policy: probability out of range");
+  }
+  linalg::Matrix d(model.num_states(), model.num_commands());
+  for (std::size_t s = 0; s < model.num_states(); ++s) {
+    if (idle_state(model, s)) {
+      d(s, sleep_command) = sleep_probability;
+      d(s, wake_command) += 1.0 - sleep_probability;
+    } else {
+      d(s, wake_command) = 1.0;
+    }
+  }
+  return Policy::randomized(std::move(d));
+}
+
+Policy determinize(const Policy& policy) {
+  std::vector<std::size_t> actions(policy.num_states());
+  for (std::size_t s = 0; s < policy.num_states(); ++s) {
+    actions[s] = policy.command_for(s);
+  }
+  return Policy::deterministic(actions, policy.num_commands());
+}
+
+}  // namespace dpm::cases

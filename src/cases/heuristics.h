@@ -1,0 +1,38 @@
+// Heuristic policies expressed as stationary Markov policies, so they
+// can be evaluated exactly (PolicyEvaluation) as well as simulated.
+//
+// Timeout heuristics need history and live in sim::TimeoutController;
+// the greedy/eager and always-on comparison policies of Figs. 8b/9b are
+// state-functions and belong here.
+#pragma once
+
+#include "dpm/policy.h"
+#include "dpm/system_model.h"
+
+namespace dpm::cases {
+
+/// Eager/greedy policy (paper Sec. I, Example 3.4, Fig. 8b triangles):
+/// issue `sleep_command` whenever there is no pending work (empty queue,
+/// SR not issuing), `wake_command` otherwise.
+Policy eager_policy(const SystemModel& model, std::size_t sleep_command,
+                    std::size_t wake_command);
+
+/// The trivial policy that never powers down.
+Policy always_on_policy(const SystemModel& model, std::size_t wake_command);
+
+/// Randomized stationary blend: in idle states issue `sleep_command`
+/// with probability p, `wake_command` otherwise; wake when work is
+/// pending.  The Markov-policy counterpart of the CPU case's single
+/// degree of freedom (Sec. VI-C).
+Policy randomized_shutdown_policy(const SystemModel& model,
+                                  std::size_t sleep_command,
+                                  std::size_t wake_command,
+                                  double sleep_probability);
+
+/// Rounds a randomized policy to the nearest deterministic one (argmax
+/// command per state).  Used by the Theorem A.2 ablation: with active
+/// constraints the rounded policy either violates them or pays more
+/// power (bench_ablation_determinize).
+Policy determinize(const Policy& policy);
+
+}  // namespace dpm::cases

@@ -1,0 +1,81 @@
+#include "cases/sensitivity.h"
+
+namespace dpm::cases::sensitivity {
+
+const std::vector<SleepStateSpec>& standard_sleep_states() {
+  static const std::vector<SleepStateSpec> specs{
+      {"sleep1", 2.0, 1.0},
+      {"sleep2", 1.0, 0.1},
+      {"sleep3", 0.5, 0.01},
+      {"sleep4", 0.0, 0.001},
+  };
+  return specs;
+}
+
+ServiceProvider make_sp(const std::vector<SleepStateSpec>& sleep_states,
+                        const SpParams& params) {
+  if (sleep_states.empty()) {
+    throw ModelError("sensitivity::make_sp: needs at least one sleep state");
+  }
+  std::vector<std::string> command_names{"go_active"};
+  for (const auto& s : sleep_states) command_names.push_back("go_" + s.name);
+  CommandSet commands(std::move(command_names));
+
+  const std::size_t n = 1 + sleep_states.size();  // active + sleeps
+  ServiceProvider::Builder b(n, std::move(commands));
+  b.state_name(0, "active");
+  for (std::size_t i = 0; i < sleep_states.size(); ++i) {
+    b.state_name(1 + i, sleep_states[i].name);
+  }
+
+  // go_active: wake each sleep state geometrically; active stays.
+  b.transition(0, 0, 0, 1.0);
+  for (std::size_t i = 0; i < sleep_states.size(); ++i) {
+    const double p = sleep_states[i].wake_prob;
+    b.transition(0, 1 + i, 0, p);
+    if (p < 1.0) b.transition(0, 1 + i, 1 + i, 1.0 - p);
+  }
+  // go_<sleep_i>: one-slice entry from active; other states ignore the
+  // command (builder default self-loops).
+  for (std::size_t i = 0; i < sleep_states.size(); ++i) {
+    b.transition(1 + i, 0, 1 + i, 1.0);
+  }
+
+  b.service_rate(0, 0, params.service_rate);  // active under go_active
+
+  // Power: state power when the command leaves the state alone, the
+  // transition power while a state change is being forced.
+  for (std::size_t cmd = 0; cmd < 1 + sleep_states.size(); ++cmd) {
+    // active state: go_active keeps it active; any go_sleep is a switch.
+    b.power(0, cmd, cmd == 0 ? params.active_power : params.transition_power);
+    for (std::size_t i = 0; i < sleep_states.size(); ++i) {
+      const bool waking = cmd == 0;
+      b.power(1 + i, cmd,
+              waking ? params.transition_power : sleep_states[i].power_w);
+    }
+  }
+  return std::move(b).build();
+}
+
+ServiceRequester make_sr(double flip_prob) {
+  return ServiceRequester::two_state(flip_prob, flip_prob);
+}
+
+SystemModel make_model(const std::vector<SleepStateSpec>& sleep_states,
+                       double flip_prob, std::size_t queue_capacity,
+                       const SpParams& params) {
+  return SystemModel::compose(make_sp(sleep_states, params),
+                              make_sr(flip_prob), queue_capacity);
+}
+
+OptimizerConfig make_config(const SystemModel& model, double horizon_slices) {
+  if (horizon_slices <= 1.0) {
+    throw ModelError("sensitivity::make_config: horizon must exceed 1 slice");
+  }
+  OptimizerConfig cfg;
+  cfg.discount = 1.0 - 1.0 / horizon_slices;
+  cfg.initial_distribution = model.point_distribution({0, 0, 0});
+  return cfg;
+}
+
+}  // namespace dpm::cases::sensitivity

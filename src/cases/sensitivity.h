@@ -1,0 +1,57 @@
+// Parameterized system builders for the Appendix B sensitivity studies
+// (Figs. 12-14).
+//
+// Baseline (Appendix B): SP with an active state (3 W) and sleep1 (2 W,
+// one-slice transitions each way); 4 W dissipated while transitioning;
+// two-state SR with flip probability 0.01 each way; queue capacity 2.
+// Deeper sleep states (Fig. 12a): sleep2 (1 W, wake p = 0.1), sleep3
+// (0.5 W, p = 0.01), sleep4 (0 W, p = 0.001).
+#pragma once
+
+#include <vector>
+
+#include "dpm/optimizer.h"
+#include "dpm/system_model.h"
+
+namespace dpm::cases::sensitivity {
+
+/// One sleep state: its power draw and the per-slice probability of
+/// completing the wake transition back to active.
+struct SleepStateSpec {
+  std::string name;
+  double power_w = 0.0;
+  double wake_prob = 1.0;
+};
+
+/// The four sleep states of Fig. 12(a), index 0 = sleep1 (baseline).
+const std::vector<SleepStateSpec>& standard_sleep_states();
+
+struct SpParams {
+  double active_power = 3.0;
+  double transition_power = 4.0;  // dissipated while switching
+  double service_rate = 1.0;      // b(active, go_active)
+};
+
+/// Builds an SP with the active state plus the given sleep states.
+/// Commands: go_active plus one go_<sleep> per sleep state.  Entering a
+/// sleep state takes one slice (the baseline's "transitions from active
+/// to sleep1 require only one time slice"); waking is geometric with the
+/// spec's wake_prob.
+ServiceProvider make_sp(const std::vector<SleepStateSpec>& sleep_states,
+                        const SpParams& params = {});
+
+/// Baseline SR: two states, symmetric flip probability (default 0.01 —
+/// strongly bursty; the request probability stays 0.5 regardless of the
+/// flip probability, which is what Fig. 13a exploits).
+ServiceRequester make_sr(double flip_prob = 0.01);
+
+/// Composed baseline-family model.
+SystemModel make_model(const std::vector<SleepStateSpec>& sleep_states,
+                       double flip_prob = 0.01, std::size_t queue_capacity = 2,
+                       const SpParams& params = {});
+
+/// Optimizer config: horizon = expected session slices => gamma =
+/// 1 - 1/horizon; starts active/idle/empty.
+OptimizerConfig make_config(const SystemModel& model, double horizon_slices);
+
+}  // namespace dpm::cases::sensitivity

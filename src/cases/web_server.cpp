@@ -1,0 +1,121 @@
+#include "cases/web_server.h"
+
+#include "trace/generators.h"
+#include "trace/sr_extractor.h"
+
+namespace dpm::cases {
+
+namespace {
+
+// Per-processor constants: CPU2 is 1.5x the performance at 2x the power.
+constexpr double kActivePower[2] = {1.0, 2.0};
+constexpr double kTurnOnExtra = 0.5;   // over active power
+constexpr double kShutdownSave = 0.5;  // below active power
+constexpr double kTurnOnProb = 0.5;    // expected turn-on time 2 slices
+constexpr double kShutdownProb = 1.0;  // expected shut-down time 1 slice
+
+bool bit(std::size_t v, std::size_t i) { return ((v >> i) & 1u) != 0; }
+
+// One processor's transition probability from `on` to `on_next` given
+// the commanded target.
+double proc_transition(bool on, bool on_next, bool target) {
+  if (on == target) return on == on_next ? 1.0 : 0.0;  // already there
+  if (!on) {  // turning on
+    return on_next ? kTurnOnProb : 1.0 - kTurnOnProb;
+  }
+  // shutting down
+  return on_next ? 1.0 - kShutdownProb : kShutdownProb;
+}
+
+// One processor's power draw given its state and commanded target.
+double proc_power(bool on, bool target, std::size_t i) {
+  if (on && target) return kActivePower[i];
+  if (on && !target) return kActivePower[i] - kShutdownSave;
+  if (!on && target) return kActivePower[i] + kTurnOnExtra;
+  return 0.0;
+}
+
+}  // namespace
+
+double WebServer::throughput(std::size_t state) {
+  switch (state) {
+    case kBothOff:
+      return 0.0;
+    case kCpu1Only:
+      return 0.4;
+    case kCpu2Only:
+      return 0.6;
+    case kBothOn:
+      return 1.0;
+    default:
+      throw ModelError("WebServer: bad state");
+  }
+}
+
+ServiceProvider WebServer::make_provider() {
+  CommandSet commands({"both_off", "cpu1_only", "cpu2_only", "both_on"});
+  ServiceProvider::Builder b(kNumStates, std::move(commands));
+  b.state_name(kBothOff, "00")
+      .state_name(kCpu1Only, "10")
+      .state_name(kCpu2Only, "01")
+      .state_name(kBothOn, "11");
+
+  for (std::size_t cmd = 0; cmd < kNumCommands; ++cmd) {
+    for (std::size_t s = 0; s < kNumStates; ++s) {
+      for (std::size_t t = 0; t < kNumStates; ++t) {
+        double p = 1.0;
+        for (std::size_t i = 0; i < 2; ++i) {
+          p *= proc_transition(bit(s, i), bit(t, i), bit(cmd, i));
+        }
+        if (p > 0.0) b.transition(cmd, s, t, p);
+      }
+      double power = 0.0;
+      for (std::size_t i = 0; i < 2; ++i) {
+        power += proc_power(bit(s, i), bit(cmd, i), i);
+      }
+      b.power(s, cmd, power);
+      b.service_rate(s, cmd, throughput(s));
+    }
+  }
+  return std::move(b).build();
+}
+
+std::vector<unsigned> WebServer::make_trace(std::size_t slices,
+                                            std::uint64_t seed) {
+  // Busy-site traffic with a diurnal cycle (period = one day of 10-s
+  // slices); always some load at night, saturated bursts at peak.
+  return trace::diurnal_stream(slices, kHorizonSlices,
+                               /*peak_p01=*/0.7, /*quiet_p01=*/0.1,
+                               /*p10=*/0.2, seed);
+}
+
+ServiceRequester WebServer::make_requester(std::uint64_t seed) {
+  const std::vector<unsigned> stream = make_trace(10 * kHorizonSlices, seed);
+  return trace::extract_sr(stream, {.memory = 1, .smoothing = 0.0});
+}
+
+SystemModel WebServer::make_model(std::uint64_t seed) {
+  return SystemModel::compose(make_provider(), make_requester(seed),
+                              /*queue_capacity=*/0);
+}
+
+OptimizerConfig WebServer::make_config(const SystemModel& model) {
+  OptimizerConfig cfg;
+  // One-day horizon: gamma = 1 - 1/8640.
+  cfg.discount = 1.0 - 1.0 / static_cast<double>(kHorizonSlices);
+  cfg.initial_distribution =
+      model.point_distribution({kBothOn, /*sr=*/0, /*q=*/0});
+  return cfg;
+}
+
+OptimizationConstraint WebServer::min_throughput_constraint(
+    const SystemModel& model, double min_throughput) {
+  // E[throughput] >= T  <=>  E[-throughput] <= -T.
+  return OptimizationConstraint{
+      [&model](std::size_t s, std::size_t a) {
+        return -model.service_rate(s, a);
+      },
+      -min_throughput, "throughput"};
+}
+
+}  // namespace dpm::cases

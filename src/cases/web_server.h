@@ -1,0 +1,57 @@
+// Two-processor web-server case study (paper Sec. VI-B, Fig. 9a).
+//
+// Two heterogeneous processors: CPU2 is 1.5x faster and 2x hungrier than
+// CPU1.  The SP state is the pair (CPU1 on/off, CPU2 on/off); four
+// commands independently target each combination.  Throughput: 1.0 with
+// both on, 0.4 with only CPU1, 0.6 with only CPU2, 0 when both sleep.
+// Power: 1 W / 2 W active; turn-on transitions add 0.5 W over active
+// power; shut-downs cost 0.5 W less than active.  Expected turn-on time
+// 2 slices (p = 0.5), shut-down 1 slice.  Time resolution 10 s; horizon
+// one day = 8640 slices.  No request queue (capacity 0): the composed
+// model has 4 x 2 = 8 states as in the paper.
+#pragma once
+
+#include "dpm/optimizer.h"
+#include "dpm/system_model.h"
+
+namespace dpm::cases {
+
+struct WebServer {
+  /// SP states encode the on/off pair: bit 0 = CPU1, bit 1 = CPU2.
+  enum State : std::size_t {
+    kBothOff = 0,
+    kCpu1Only = 1,
+    kCpu2Only = 2,
+    kBothOn = 3,
+    kNumStates = 4
+  };
+  /// Command c targets SP state c (same bit encoding).
+  static constexpr std::size_t kNumCommands = 4;
+
+  static constexpr double kTauSeconds = 10.0;
+  /// One-day horizon in slices (86400 s / 10 s).
+  static constexpr std::size_t kHorizonSlices = 8640;
+
+  /// Throughput of each SP state (fraction of offered load served).
+  static double throughput(std::size_t state);
+
+  static ServiceProvider make_provider();
+
+  /// Two-state SR extracted from a synthetic diurnal web-traffic stream
+  /// (substitute for the Internet Traffic Archive logs).
+  static ServiceRequester make_requester(std::uint64_t seed = 7);
+  static std::vector<unsigned> make_trace(std::size_t slices,
+                                          std::uint64_t seed = 7);
+
+  /// 8-state composed model (no queue).
+  static SystemModel make_model(std::uint64_t seed = 7);
+
+  static OptimizerConfig make_config(const SystemModel& model);
+
+  /// Constraint helper: expected throughput >= min_throughput, expressed
+  /// as the <=-form metric the optimizer consumes.
+  static OptimizationConstraint min_throughput_constraint(
+      const SystemModel& model, double min_throughput);
+};
+
+}  // namespace dpm::cases

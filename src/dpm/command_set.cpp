@@ -1,0 +1,37 @@
+#include "dpm/command_set.h"
+
+#include <algorithm>
+
+namespace dpm {
+
+CommandSet::CommandSet(std::vector<std::string> names)
+    : names_(std::move(names)) {
+  if (names_.empty()) {
+    throw ModelError("CommandSet: at least one command is required");
+  }
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i].empty()) {
+      throw ModelError("CommandSet: command names must be non-empty");
+    }
+    for (std::size_t j = i + 1; j < names_.size(); ++j) {
+      if (names_[i] == names_[j]) {
+        throw ModelError("CommandSet: duplicate command name '" + names_[i] +
+                         "'");
+      }
+    }
+  }
+}
+
+std::size_t CommandSet::index(const std::string& name) const {
+  const auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    throw ModelError("CommandSet: unknown command '" + name + "'");
+  }
+  return static_cast<std::size_t>(it - names_.begin());
+}
+
+bool CommandSet::contains(const std::string& name) const noexcept {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+}  // namespace dpm

@@ -1,0 +1,38 @@
+// Power-manager command alphabet (paper Section III-A).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dpm {
+
+/// Thrown on malformed models (invalid probabilities, unknown names,
+/// dimension mismatches in model components).
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The finite set of commands the power manager can issue (e.g.
+/// {s_on, s_off} in the running example; {go_active, go_idle, go_lpidle,
+/// go_standby, go_sleep} for the disk drive).
+///
+/// Invariant: names are non-empty and unique.
+class CommandSet {
+ public:
+  explicit CommandSet(std::vector<std::string> names);
+
+  std::size_t size() const noexcept { return names_.size(); }
+  const std::string& name(std::size_t a) const { return names_.at(a); }
+
+  /// Index of a named command; throws ModelError when absent.
+  std::size_t index(const std::string& name) const;
+
+  bool contains(const std::string& name) const noexcept;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace dpm

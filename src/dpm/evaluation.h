@@ -1,0 +1,52 @@
+// Exact discounted policy evaluation.
+//
+// For a fixed stationary Markov policy pi, the discounted state
+// occupancy u = p0 (I - gamma P_pi)^{-1} gives the expected discounted
+// number of visits to each state before the geometric stopping time
+// (paper Sec. IV).  Any per-slice metric m(s,a) then evaluates to
+//   total = sum_s u_s sum_a pi(s,a) m(s,a),
+// and the per-slice average over the session is (1-gamma) * total
+// (the expected session length is 1/(1-gamma)).
+//
+// This is the closed-form counterpart of the tool's "simulation engine
+// consistency check" (Fig. 7) and the ground truth the tests compare
+// both the LP solutions and the Monte Carlo simulator against.
+#pragma once
+
+#include "dpm/metrics.h"
+#include "dpm/policy.h"
+#include "dpm/system_model.h"
+
+namespace dpm {
+
+class PolicyEvaluation {
+ public:
+  /// Computes the discounted occupancy for `policy` on `model` starting
+  /// from `p0`.  gamma in (0,1); p0 must be a distribution over model
+  /// states.
+  PolicyEvaluation(const SystemModel& model, const Policy& policy,
+                   double gamma, const linalg::Vector& p0);
+
+  /// Expected total discounted cost of a metric.
+  double total(const StateActionMetric& metric) const;
+
+  /// Per-slice (session-average) cost: (1 - gamma) * total.
+  double per_step(const StateActionMetric& metric) const;
+
+  /// Discounted state occupancy u (sums to 1/(1-gamma)).
+  const linalg::Vector& occupancy() const noexcept { return occupancy_; }
+
+  /// Discounted state-action frequencies x_{s,a} = u_s * pi(s,a) —
+  /// directly comparable to the LP unknowns of Appendix A.
+  linalg::Vector state_action_frequencies() const;
+
+  double gamma() const noexcept { return gamma_; }
+
+ private:
+  const SystemModel* model_;
+  Policy policy_;
+  double gamma_;
+  linalg::Vector occupancy_;
+};
+
+}  // namespace dpm

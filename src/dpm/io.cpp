@@ -1,0 +1,86 @@
+#include "dpm/io.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace dpm::io {
+
+void print_provider(std::ostream& os, const ServiceProvider& sp) {
+  os << "service provider: " << sp.num_states() << " states, "
+     << sp.commands().size() << " commands\n";
+  for (std::size_t a = 0; a < sp.commands().size(); ++a) {
+    os << "  P[" << sp.commands().name(a) << "]:\n";
+    for (std::size_t i = 0; i < sp.num_states(); ++i) {
+      os << "    " << std::setw(14) << std::left << sp.state_name(i)
+         << std::right;
+      for (std::size_t j = 0; j < sp.num_states(); ++j) {
+        os << " " << std::setw(7) << std::fixed << std::setprecision(3)
+           << sp.chain().transition(i, j, a);
+      }
+      os << "\n";
+    }
+  }
+  os << "  state (rate | power per command):\n";
+  for (std::size_t s = 0; s < sp.num_states(); ++s) {
+    os << "    " << std::setw(14) << std::left << sp.state_name(s)
+       << std::right;
+    for (std::size_t a = 0; a < sp.commands().size(); ++a) {
+      os << "  " << std::setprecision(2) << sp.service_rate(s, a) << "|"
+         << sp.power(s, a) << "W";
+    }
+    os << "\n";
+  }
+}
+
+void print_requester(std::ostream& os, const ServiceRequester& sr) {
+  os << "service requester: " << sr.num_states() << " states\n";
+  for (std::size_t i = 0; i < sr.num_states(); ++i) {
+    os << "  " << std::setw(10) << std::left << sr.state_name(i)
+       << std::right << " emits " << sr.requests(i) << " |";
+    for (std::size_t j = 0; j < sr.num_states(); ++j) {
+      os << " " << std::setw(7) << std::fixed << std::setprecision(3)
+         << sr.chain().transition(i, j);
+    }
+    os << "\n";
+  }
+}
+
+void print_policy(std::ostream& os, const SystemModel& model,
+                  const Policy& policy, double hide_below) {
+  const CommandSet& commands = model.provider().commands();
+  os << "policy (" << (policy.is_deterministic(1e-9) ? "deterministic"
+                                                     : "randomized")
+     << "):\n";
+  for (std::size_t s = 0; s < model.num_states(); ++s) {
+    os << "  " << std::setw(26) << std::left << model.state_label(s)
+       << std::right;
+    for (std::size_t a = 0; a < policy.num_commands(); ++a) {
+      const double p = policy.probability(s, a);
+      if (p < hide_below) continue;
+      os << "  " << commands.name(a) << "=" << std::fixed
+         << std::setprecision(4) << p;
+    }
+    os << "\n";
+  }
+}
+
+void print_result(std::ostream& os, const SystemModel& model,
+                  const OptimizationResult& result) {
+  if (!result.feasible) {
+    os << "optimization: infeasible (" << lp::to_string(result.lp_status)
+       << ")\n";
+    return;
+  }
+  os << "optimization: optimal per-step objective = " << std::fixed
+     << std::setprecision(5) << result.objective_per_step << " ("
+     << result.lp_iterations << " LP iterations)\n";
+  for (std::size_t k = 0; k < result.constraint_per_step.size(); ++k) {
+    os << "  constraint[" << k
+       << "] achieved = " << result.constraint_per_step[k] << "\n";
+  }
+  if (result.policy) {
+    print_policy(os, model, *result.policy, /*hide_below=*/1e-6);
+  }
+}
+
+}  // namespace dpm::io

@@ -1,0 +1,28 @@
+// Human-readable rendering of models, policies, and optimization
+// results — the reporting layer shared by the examples and benches.
+#pragma once
+
+#include <iosfwd>
+
+#include "dpm/optimizer.h"
+#include "dpm/policy.h"
+#include "dpm/system_model.h"
+
+namespace dpm::io {
+
+/// SP description: states, per-command transition matrices, service
+/// rates, and powers.
+void print_provider(std::ostream& os, const ServiceProvider& sp);
+
+/// SR description: transition matrix and per-state request counts.
+void print_requester(std::ostream& os, const ServiceRequester& sr);
+
+/// Policy table with system-state labels and command names.
+void print_policy(std::ostream& os, const SystemModel& model,
+                  const Policy& policy, double hide_below = 0.0);
+
+/// One-paragraph summary of an optimization outcome.
+void print_result(std::ostream& os, const SystemModel& model,
+                  const OptimizationResult& result);
+
+}  // namespace dpm::io

@@ -1,0 +1,70 @@
+// Cost metrics over (state, command) pairs (paper Sec. III-B).
+//
+// Every optimizer objective/constraint and every exact-evaluation query
+// is a StateActionMetric; the helpers below build the paper's standard
+// ones from a SystemModel.
+#pragma once
+
+#include <functional>
+
+#include "dpm/system_model.h"
+
+namespace dpm {
+
+/// m(s, a): the per-slice cost incurred when the system is in state s
+/// and command a is issued.
+using StateActionMetric =
+    std::function<double(std::size_t state, std::size_t command)>;
+
+namespace metrics {
+
+/// Expected power consumption c(s, a) in Watts (Def. 3.1).
+inline StateActionMetric power(const SystemModel& model) {
+  return [&model](std::size_t s, std::size_t a) { return model.power(s, a); };
+}
+
+/// Performance penalty d(s) = number of enqueued requests (Sec. III-B:
+/// "the simplest way to define d is to set it equal to the number of
+/// requests in the queue").
+inline StateActionMetric queue_length(const SystemModel& model) {
+  return [&model](std::size_t s, std::size_t) {
+    return model.queue_length(s);
+  };
+}
+
+/// Request-loss indicator: 1 in states where the SR issues requests and
+/// the queue is full (Appendix A's additional constraint).
+inline StateActionMetric request_loss(const SystemModel& model) {
+  return [&model](std::size_t s, std::size_t) {
+    return model.is_loss_state(s) ? 1.0 : 0.0;
+  };
+}
+
+/// CPU-style penalty (Sec. VI-C): 1 when the SR is active while the SP
+/// sleeps, 0 otherwise.
+inline StateActionMetric active_request_while_sleeping(
+    const SystemModel& model) {
+  return [&model](std::size_t s, std::size_t) {
+    const SystemState st = model.decompose(s);
+    return (model.requester().requests(st.sr) > 0 &&
+            model.provider().is_sleep_state(st.sp))
+               ? 1.0
+               : 0.0;
+  };
+}
+
+/// Throughput: the service rate offered (used by the web-server case,
+/// where performance is expected throughput rather than queue length).
+inline StateActionMetric throughput(const SystemModel& model) {
+  return [&model](std::size_t s, std::size_t a) {
+    return model.service_rate(s, a);
+  };
+}
+
+/// Constant metric (useful in tests).
+inline StateActionMetric constant(double value) {
+  return [value](std::size_t, std::size_t) { return value; };
+}
+
+}  // namespace metrics
+}  // namespace dpm

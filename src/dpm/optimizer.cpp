@@ -1,0 +1,193 @@
+#include "dpm/optimizer.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dpm {
+
+PolicyOptimizer::PolicyOptimizer(const SystemModel& model,
+                                 OptimizerConfig config)
+    : model_(&model), config_(std::move(config)) {
+  if (config_.discount <= 0.0 || config_.discount >= 1.0) {
+    throw ModelError("PolicyOptimizer: discount must be in (0,1)");
+  }
+  if (config_.initial_distribution.empty()) {
+    config_.initial_distribution = model.uniform_distribution();
+  }
+  if (config_.initial_distribution.size() != model.num_states()) {
+    throw ModelError("PolicyOptimizer: initial distribution size mismatch");
+  }
+  double mass = 0.0;
+  for (double v : config_.initial_distribution) {
+    if (v < -1e-12) {
+      throw ModelError("PolicyOptimizer: negative initial probability");
+    }
+    mass += v;
+  }
+  if (std::abs(mass - 1.0) > 1e-7) {
+    throw ModelError("PolicyOptimizer: initial distribution must sum to 1");
+  }
+}
+
+lp::LpProblem PolicyOptimizer::build_lp(
+    const StateActionMetric& objective,
+    const std::vector<OptimizationConstraint>& constraints) const {
+  const std::size_t n = model_->num_states();
+  const std::size_t na = model_->num_commands();
+  const double gamma = config_.discount;
+  const double horizon = 1.0 / (1.0 - gamma);
+
+  lp::LpProblem problem;
+  // One variable per (state, command) pair, column index s*na + a.
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < na; ++a) {
+      problem.add_variable(objective(s, a),
+                           "x(" + std::to_string(s) + "," +
+                               std::to_string(a) + ")");
+    }
+  }
+
+  // Balance equations (the "incoming flow = outgoing flow" constraints
+  // of LP2, Fig. 11): for every state j,
+  //   sum_a x_{j,a} - gamma * sum_{s,a} P_a(s,j) x_{s,a} = p0_j.
+  for (std::size_t j = 0; j < n; ++j) {
+    lp::Constraint c;
+    c.sense = lp::Sense::kEq;
+    c.rhs = config_.initial_distribution[j];
+    c.name = "balance(" + std::to_string(j) + ")";
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t a = 0; a < na; ++a) {
+        double coeff = -gamma * model_->chain().transition(s, j, a);
+        if (s == j) coeff += 1.0;
+        if (coeff != 0.0) c.terms.emplace_back(s * na + a, coeff);
+      }
+    }
+    problem.add_constraint(std::move(c));
+  }
+
+  // Metric constraints, scaled from per-step averages to discounted
+  // totals.
+  for (const auto& oc : constraints) {
+    lp::Constraint c;
+    c.sense = lp::Sense::kLe;
+    c.rhs = oc.per_step_bound * horizon;
+    c.name = oc.name;
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t a = 0; a < na; ++a) {
+        const double m = oc.metric(s, a);
+        if (m != 0.0) c.terms.emplace_back(s * na + a, m);
+      }
+    }
+    problem.add_constraint(std::move(c));
+  }
+  return problem;
+}
+
+Policy PolicyOptimizer::extract_policy(
+    const linalg::Vector& frequencies) const {
+  const std::size_t n = model_->num_states();
+  const std::size_t na = model_->num_commands();
+  if (frequencies.size() != n * na) {
+    throw ModelError("extract_policy: frequency vector size mismatch");
+  }
+  linalg::Matrix decisions(n, na);
+  for (std::size_t s = 0; s < n; ++s) {
+    double total = 0.0;
+    for (std::size_t a = 0; a < na; ++a) {
+      total += std::max(0.0, frequencies[s * na + a]);
+    }
+    if (total <= 1e-300) {
+      // Unreachable under the optimal frequencies: any decision works;
+      // pick uniform so the choice is explicit and valid.
+      for (std::size_t a = 0; a < na; ++a) {
+        decisions(s, a) = 1.0 / static_cast<double>(na);
+      }
+      continue;
+    }
+    for (std::size_t a = 0; a < na; ++a) {
+      decisions(s, a) = std::max(0.0, frequencies[s * na + a]) / total;
+    }
+  }
+  return Policy::randomized(std::move(decisions));
+}
+
+OptimizationResult PolicyOptimizer::minimize(
+    const StateActionMetric& objective,
+    const std::vector<OptimizationConstraint>& constraints) const {
+  const lp::LpProblem problem = build_lp(objective, constraints);
+  const lp::LpSolution lp_sol = lp::solve(problem, config_.backend);
+
+  OptimizationResult result;
+  result.lp_status = lp_sol.status;
+  result.lp_iterations = lp_sol.iterations;
+  if (lp_sol.status != lp::LpStatus::kOptimal) {
+    return result;  // infeasible (paper: f(P) = +inf) or solver failure
+  }
+  const double one_minus_gamma = 1.0 - config_.discount;
+  result.feasible = true;
+  result.frequencies = lp_sol.x;
+  result.objective_per_step = one_minus_gamma * lp_sol.objective;
+  result.policy = extract_policy(lp_sol.x);
+
+  const std::size_t n = model_->num_states();
+  const std::size_t na = model_->num_commands();
+  result.constraint_per_step.reserve(constraints.size());
+  for (const auto& oc : constraints) {
+    double total = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      for (std::size_t a = 0; a < na; ++a) {
+        const double x = lp_sol.x[s * na + a];
+        if (x != 0.0) total += oc.metric(s, a) * x;
+      }
+    }
+    result.constraint_per_step.push_back(one_minus_gamma * total);
+  }
+  return result;
+}
+
+OptimizationResult PolicyOptimizer::minimize_power(
+    double max_avg_queue, std::optional<double> max_loss_rate) const {
+  std::vector<OptimizationConstraint> constraints;
+  constraints.push_back(
+      {metrics::queue_length(*model_), max_avg_queue, "performance"});
+  if (max_loss_rate) {
+    constraints.push_back(
+        {metrics::request_loss(*model_), *max_loss_rate, "request-loss"});
+  }
+  return minimize(metrics::power(*model_), constraints);
+}
+
+OptimizationResult PolicyOptimizer::minimize_penalty(
+    double max_avg_power, std::optional<double> max_loss_rate) const {
+  std::vector<OptimizationConstraint> constraints;
+  constraints.push_back({metrics::power(*model_), max_avg_power, "power"});
+  if (max_loss_rate) {
+    constraints.push_back(
+        {metrics::request_loss(*model_), *max_loss_rate, "request-loss"});
+  }
+  return minimize(metrics::queue_length(*model_), constraints);
+}
+
+std::vector<PolicyOptimizer::ParetoPoint> PolicyOptimizer::sweep(
+    const StateActionMetric& objective, const StateActionMetric& swept,
+    std::string swept_name, const std::vector<double>& sweep_bounds,
+    const std::vector<OptimizationConstraint>& fixed_constraints) const {
+  std::vector<ParetoPoint> curve;
+  curve.reserve(sweep_bounds.size());
+  for (const double bound : sweep_bounds) {
+    std::vector<OptimizationConstraint> constraints = fixed_constraints;
+    constraints.push_back({swept, bound, swept_name});
+    OptimizationResult r = minimize(objective, constraints);
+    ParetoPoint pt;
+    pt.bound = bound;
+    pt.feasible = r.feasible;
+    if (r.feasible) {
+      pt.objective = r.objective_per_step;
+      pt.policy = std::move(r.policy);
+    }
+    curve.push_back(std::move(pt));
+  }
+  return curve;
+}
+
+}  // namespace dpm

@@ -1,0 +1,95 @@
+#include "dpm/policy.h"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace dpm {
+
+Policy::Policy(linalg::Matrix decisions) : decisions_(std::move(decisions)) {
+  for (std::size_t s = 0; s < decisions_.rows(); ++s) {
+    double row_sum = 0.0;
+    for (std::size_t a = 0; a < decisions_.cols(); ++a) {
+      const double v = decisions_(s, a);
+      if (v < -1e-9 || std::isnan(v)) {
+        throw ModelError("Policy: decision (" + std::to_string(s) + "," +
+                         std::to_string(a) + ") is not a probability");
+      }
+      row_sum += v;
+    }
+    if (std::abs(row_sum - 1.0) > 1e-7) {
+      throw ModelError("Policy: decision row " + std::to_string(s) +
+                       " sums to " + std::to_string(row_sum));
+    }
+  }
+}
+
+Policy Policy::randomized(linalg::Matrix decisions) {
+  return Policy(std::move(decisions));
+}
+
+Policy Policy::deterministic(const std::vector<std::size_t>& action_per_state,
+                             std::size_t num_commands) {
+  linalg::Matrix d(action_per_state.size(), num_commands);
+  for (std::size_t s = 0; s < action_per_state.size(); ++s) {
+    if (action_per_state[s] >= num_commands) {
+      throw ModelError("Policy: command index out of range in state " +
+                       std::to_string(s));
+    }
+    d(s, action_per_state[s]) = 1.0;
+  }
+  return Policy(std::move(d));
+}
+
+Policy Policy::constant(std::size_t num_states, std::size_t num_commands,
+                        std::size_t command) {
+  return deterministic(std::vector<std::size_t>(num_states, command),
+                       num_commands);
+}
+
+bool Policy::is_deterministic(double tol) const {
+  for (std::size_t s = 0; s < num_states(); ++s) {
+    double max_p = 0.0;
+    for (std::size_t a = 0; a < num_commands(); ++a) {
+      max_p = std::max(max_p, decisions_(s, a));
+    }
+    if (max_p < 1.0 - tol) return false;
+  }
+  return true;
+}
+
+std::size_t Policy::command_for(std::size_t state) const {
+  std::size_t best = 0;
+  double best_p = -1.0;
+  for (std::size_t a = 0; a < num_commands(); ++a) {
+    if (decisions_(state, a) > best_p) {
+      best_p = decisions_(state, a);
+      best = a;
+    }
+  }
+  return best;
+}
+
+std::string Policy::to_string(const CommandSet* commands) const {
+  std::ostringstream os;
+  os << "state";
+  for (std::size_t a = 0; a < num_commands(); ++a) {
+    if (commands != nullptr && commands->size() == num_commands()) {
+      os << std::setw(12) << commands->name(a);
+    } else {
+      os << std::setw(12) << ("a" + std::to_string(a));
+    }
+  }
+  os << "\n";
+  for (std::size_t s = 0; s < num_states(); ++s) {
+    os << std::setw(5) << s;
+    for (std::size_t a = 0; a < num_commands(); ++a) {
+      os << std::setw(12) << std::fixed << std::setprecision(4)
+         << decisions_(s, a);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dpm

@@ -1,0 +1,60 @@
+// Power-management policies (paper Defs. 3.4-3.7).
+//
+// The optimizer's output — and the only class the optimum is ever in
+// (Theorems A.1/A.2) — is the stationary Markov policy: deterministic
+// (a command per state) or randomized (a distribution over commands per
+// state).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpm/command_set.h"
+#include "linalg/matrix.h"
+
+namespace dpm {
+
+/// A stationary Markov policy: rows index system states, columns index
+/// commands, row s is the decision delta_s (a probability distribution,
+/// Def. 3.5).
+///
+/// Invariant: matrix rows are nonnegative and sum to 1 within 1e-7.
+class Policy {
+ public:
+  /// Randomized policy from an S x A decision matrix.
+  static Policy randomized(linalg::Matrix decisions);
+
+  /// Deterministic policy (paper: vector representation of class D):
+  /// `action_per_state[s]` is the command issued in state s.
+  static Policy deterministic(const std::vector<std::size_t>& action_per_state,
+                              std::size_t num_commands);
+
+  /// Constant policy: the same command in every state (Example 3.4).
+  static Policy constant(std::size_t num_states, std::size_t num_commands,
+                         std::size_t command);
+
+  std::size_t num_states() const noexcept { return decisions_.rows(); }
+  std::size_t num_commands() const noexcept { return decisions_.cols(); }
+
+  double probability(std::size_t state, std::size_t command) const {
+    return decisions_(state, command);
+  }
+  const linalg::Matrix& matrix() const noexcept { return decisions_; }
+
+  /// True when every row puts (almost) all mass on a single command.
+  bool is_deterministic(double tol = 1e-9) const;
+
+  /// For deterministic rows, the argmax command.
+  std::size_t command_for(std::size_t state) const;
+
+  /// Human-readable table; `commands` supplies column headers when the
+  /// sizes match.
+  std::string to_string(const CommandSet* commands = nullptr) const;
+
+ private:
+  explicit Policy(linalg::Matrix decisions);
+
+  linalg::Matrix decisions_;
+};
+
+}  // namespace dpm

@@ -1,0 +1,93 @@
+#include "dpm/policy_iteration.h"
+
+#include <cmath>
+
+#include "linalg/lu.h"
+
+namespace dpm {
+
+namespace {
+
+// Exact evaluation of a deterministic policy: solve
+// (I - gamma P_pi) v = m_pi.
+linalg::Vector evaluate_deterministic(const SystemModel& model,
+                                      const std::vector<std::size_t>& actions,
+                                      const linalg::Matrix& cost,
+                                      double gamma) {
+  const std::size_t n = model.num_states();
+  linalg::Matrix a(n, n);
+  linalg::Vector b(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::size_t act = actions[s];
+    const linalg::Matrix& p = model.chain().matrix(act);
+    for (std::size_t t = 0; t < n; ++t) {
+      a(s, t) = (s == t ? 1.0 : 0.0) - gamma * p(s, t);
+    }
+    b[s] = cost(s, act);
+  }
+  return linalg::LuDecomposition(std::move(a)).solve(b);
+}
+
+}  // namespace
+
+PolicyIterationResult policy_iteration(const SystemModel& model,
+                                       const StateActionMetric& metric,
+                                       double gamma,
+                                       const PolicyIterationOptions& options) {
+  if (gamma <= 0.0 || gamma >= 1.0) {
+    throw ModelError("policy_iteration: gamma must be in (0,1)");
+  }
+  const std::size_t n = model.num_states();
+  const std::size_t na = model.num_commands();
+
+  linalg::Matrix cost(n, na);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < na; ++a) cost(s, a) = metric(s, a);
+  }
+
+  std::vector<std::size_t> actions(n, 0);
+  linalg::Vector v;
+  std::size_t rounds = 0;
+  bool converged = false;
+  for (; rounds < options.max_improvements; ++rounds) {
+    v = evaluate_deterministic(model, actions, cost, gamma);
+
+    bool changed = false;
+    for (std::size_t s = 0; s < n; ++s) {
+      double best_q = 0.0;
+      std::size_t best_a = actions[s];
+      {
+        const linalg::Matrix& p = model.chain().matrix(best_a);
+        best_q = cost(s, best_a);
+        for (std::size_t t = 0; t < n; ++t) {
+          if (p(s, t) != 0.0) best_q += gamma * p(s, t) * v[t];
+        }
+      }
+      for (std::size_t a = 0; a < na; ++a) {
+        if (a == actions[s]) continue;
+        const linalg::Matrix& p = model.chain().matrix(a);
+        double q = cost(s, a);
+        for (std::size_t t = 0; t < n; ++t) {
+          if (p(s, t) != 0.0) q += gamma * p(s, t) * v[t];
+        }
+        if (q < best_q - options.improvement_tol) {
+          best_q = q;
+          best_a = a;
+        }
+      }
+      if (best_a != actions[s]) {
+        actions[s] = best_a;
+        changed = true;
+      }
+    }
+    if (!changed) {
+      converged = true;
+      ++rounds;
+      break;
+    }
+  }
+  return PolicyIterationResult{Policy::deterministic(actions, na),
+                               std::move(v), rounds, converged};
+}
+
+}  // namespace dpm

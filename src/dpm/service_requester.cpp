@@ -1,0 +1,40 @@
+#include "dpm/service_requester.h"
+
+#include <algorithm>
+
+namespace dpm {
+
+ServiceRequester::ServiceRequester(linalg::Matrix transitions,
+                                   std::vector<unsigned> requests_per_state,
+                                   std::vector<std::string> state_names)
+    : chain_(std::move(transitions)), requests_(std::move(requests_per_state)) {
+  if (requests_.size() != chain_.num_states()) {
+    throw ModelError("ServiceRequester: requests vector size mismatch");
+  }
+  if (state_names.empty()) {
+    for (std::size_t r = 0; r < requests_.size(); ++r) {
+      state_names.push_back("sr" + std::to_string(r));
+    }
+  }
+  if (state_names.size() != requests_.size()) {
+    throw ModelError("ServiceRequester: state names size mismatch");
+  }
+  names_ = std::move(state_names);
+  max_requests_ = *std::max_element(requests_.begin(), requests_.end());
+}
+
+double ServiceRequester::mean_arrival_rate() const {
+  const linalg::Vector pi = chain_.stationary_distribution();
+  double rate = 0.0;
+  for (std::size_t r = 0; r < requests_.size(); ++r) {
+    rate += pi[r] * requests_[r];
+  }
+  return rate;
+}
+
+ServiceRequester ServiceRequester::two_state(double p01, double p10) {
+  linalg::Matrix p{{1.0 - p01, p01}, {p10, 1.0 - p10}};
+  return ServiceRequester(std::move(p), {0u, 1u}, {"idle", "request"});
+}
+
+}  // namespace dpm

@@ -1,0 +1,46 @@
+// Service requester — the environment (paper Def. 3.2).
+//
+// An autonomous Markov chain; state r emits requests(r) service requests
+// per time slice.  The SR is not controllable: it models workload the
+// system cannot influence.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dpm/command_set.h"
+#include "markov/markov_chain.h"
+
+namespace dpm {
+
+class ServiceRequester {
+ public:
+  /// `transitions` must be row-stochastic; `requests_per_state[r]` is the
+  /// (nonnegative) number of requests generated per slice in state r.
+  ServiceRequester(linalg::Matrix transitions,
+                   std::vector<unsigned> requests_per_state,
+                   std::vector<std::string> state_names = {});
+
+  std::size_t num_states() const noexcept { return chain_.num_states(); }
+  const markov::MarkovChain& chain() const noexcept { return chain_; }
+  unsigned requests(std::size_t r) const { return requests_.at(r); }
+  unsigned max_requests_per_slice() const noexcept { return max_requests_; }
+  const std::string& state_name(std::size_t r) const { return names_.at(r); }
+
+  /// The long-run average number of requests per slice (stationary
+  /// distribution weighted), i.e. the offered load.
+  double mean_arrival_rate() const;
+
+  /// Two-state convenience constructor matching paper Example 3.2: state
+  /// 0 emits nothing, state 1 emits one request;
+  /// p01 = Prob[0 -> 1], p10 = Prob[1 -> 0].
+  static ServiceRequester two_state(double p01, double p10);
+
+ private:
+  markov::MarkovChain chain_;
+  std::vector<unsigned> requests_;
+  std::vector<std::string> names_;
+  unsigned max_requests_ = 0;
+};
+
+}  // namespace dpm

@@ -1,0 +1,63 @@
+#include "dpm/value_iteration.h"
+
+#include <cmath>
+#include <limits>
+
+namespace dpm {
+
+ValueIterationResult value_iteration(const SystemModel& model,
+                                     const StateActionMetric& metric,
+                                     double gamma,
+                                     const ValueIterationOptions& options) {
+  if (gamma <= 0.0 || gamma >= 1.0) {
+    throw ModelError("value_iteration: gamma must be in (0,1)");
+  }
+  const std::size_t n = model.num_states();
+  const std::size_t na = model.num_commands();
+
+  // Cache per-(s,a) immediate costs once; metric evaluation may be an
+  // arbitrary user callable.
+  linalg::Matrix cost(n, na);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t a = 0; a < na; ++a) cost(s, a) = metric(s, a);
+  }
+
+  linalg::Vector v(n, 0.0), v_next(n, 0.0);
+  std::vector<std::size_t> best_action(n, 0);
+  std::size_t iter = 0;
+  bool converged = false;
+  for (; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t arg = 0;
+      for (std::size_t a = 0; a < na; ++a) {
+        double q = cost(s, a);
+        const linalg::Matrix& p = model.chain().matrix(a);
+        for (std::size_t t = 0; t < n; ++t) {
+          const double w = p(s, t);
+          if (w != 0.0) q += gamma * w * v[t];
+        }
+        if (q < best) {
+          best = q;
+          arg = a;
+        }
+      }
+      v_next[s] = best;
+      best_action[s] = arg;
+      delta = std::max(delta, std::abs(v_next[s] - v[s]));
+    }
+    v.swap(v_next);
+    // Standard stopping rule: the sup-norm error of v is bounded by
+    // delta * gamma / (1 - gamma).
+    if (delta * gamma / (1.0 - gamma) < options.tolerance) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+  return ValueIterationResult{
+      Policy::deterministic(best_action, na), std::move(v), iter, converged};
+}
+
+}  // namespace dpm

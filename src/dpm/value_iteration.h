@@ -1,0 +1,34 @@
+// Value iteration on the optimality equations (paper Eq. 12).
+//
+// Independent of the LP machinery; solves the *unconstrained* discounted
+// problem v = min_d { m_d + gamma P_d v } by successive approximation.
+// Theorem A.1 guarantees the optimum is deterministic stationary Markov,
+// so this is both a useful fast path for unconstrained POU and a
+// cross-check of the LP2 solution in the test suite.
+#pragma once
+
+#include "dpm/metrics.h"
+#include "dpm/policy.h"
+#include "dpm/system_model.h"
+
+namespace dpm {
+
+struct ValueIterationOptions {
+  double tolerance = 1e-12;        // sup-norm change to stop at
+  std::size_t max_iterations = 2000000;
+};
+
+struct ValueIterationResult {
+  Policy policy;          // greedy deterministic optimum
+  linalg::Vector values;  // v*(s): optimal total discounted cost from s
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Minimizes the total expected discounted `metric` over all policies.
+ValueIterationResult value_iteration(const SystemModel& model,
+                                     const StateActionMetric& metric,
+                                     double gamma,
+                                     const ValueIterationOptions& options = {});
+
+}  // namespace dpm

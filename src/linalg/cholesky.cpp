@@ -1,0 +1,50 @@
+#include "linalg/cholesky.h"
+
+#include <cmath>
+
+namespace dpm::linalg {
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a, double shift,
+                                             double pivot_tol) {
+  if (a.rows() != a.cols()) {
+    throw LinalgError("cholesky: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j) + shift;
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag < pivot_tol) {
+      throw LinalgError("cholesky: matrix is not positive definite");
+    }
+    l_(j, j) = std::sqrt(diag);
+    const double inv = 1.0 / l_(j, j);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc * inv;
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(const Vector& b) const {
+  const std::size_t n = order();
+  if (b.size() != n) {
+    throw LinalgError("cholesky: rhs size mismatch");
+  }
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l_(i, j) * y[j];
+    y[i] = acc / l_(i, i);
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= l_(j, ii) * x[j];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+}  // namespace dpm::linalg

@@ -1,0 +1,36 @@
+// Cholesky factorization for symmetric positive-definite systems.
+//
+// The interior-point LP solver forms normal equations A D A^T dy = r with
+// D diagonal positive; Cholesky is the right factorization for them (and
+// mirrors what PCx, the solver used in the paper, does internally).
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dpm::linalg {
+
+/// A = L L^T factorization of a symmetric positive-definite matrix.
+///
+/// Only the lower triangle of the input is read.  A small diagonal
+/// regularization `shift` can be supplied to keep nearly-singular normal
+/// equations factorizable (standard practice in interior-point codes).
+/// Throws LinalgError if a pivot falls below `pivot_tol` even after the
+/// shift.
+class CholeskyDecomposition {
+ public:
+  explicit CholeskyDecomposition(const Matrix& a, double shift = 0.0,
+                                 double pivot_tol = 1e-13);
+
+  std::size_t order() const noexcept { return l_.rows(); }
+
+  /// Solve A x = b via forward + back substitution.
+  Vector solve(const Vector& b) const;
+
+  /// The lower-triangular factor.
+  const Matrix& factor() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace dpm::linalg

@@ -1,0 +1,120 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace dpm::linalg {
+
+LuDecomposition::LuDecomposition(Matrix a, double pivot_tol)
+    : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols()) {
+    throw LinalgError("lu: matrix must be square");
+  }
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  std::iota(perm_.begin(), perm_.end(), std::size_t{0});
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: bring the largest |entry| in column k to the
+    // diagonal.
+    std::size_t piv = k;
+    double piv_val = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > piv_val) {
+        piv = i;
+        piv_val = v;
+      }
+    }
+    if (piv_val < pivot_tol) {
+      throw LinalgError("lu: matrix is singular to working precision");
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(lu_(k, j), lu_(piv, j));
+      }
+      std::swap(perm_[k], perm_[piv]);
+      perm_sign_ = -perm_sign_;
+    }
+    const double inv_piv = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double l = lu_(i, k) * inv_piv;
+      lu_(i, k) = l;
+      if (l == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) {
+        lu_(i, j) -= l * lu_(k, j);
+      }
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  const std::size_t n = order();
+  if (b.size() != n) {
+    throw LinalgError("lu: rhs size mismatch");
+  }
+  // Forward substitution on Pb with unit-lower L.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(i, j) * y[j];
+    y[i] = acc;
+  }
+  // Back substitution with U.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(ii, j) * x[j];
+    x[ii] = acc / lu_(ii, ii);
+  }
+  return x;
+}
+
+Vector LuDecomposition::solve_transposed(const Vector& b) const {
+  const std::size_t n = order();
+  if (b.size() != n) {
+    throw LinalgError("lu: rhs size mismatch");
+  }
+  // A^T = (P^T L U)^T = U^T L^T P.  Solve U^T y = b, then L^T z = y,
+  // then x = P^T z.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * y[j];
+    y[i] = acc / lu_(i, i);
+  }
+  Vector z(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) acc -= lu_(j, ii) * z[j];
+    z[ii] = acc;
+  }
+  Vector x(n);
+  for (std::size_t i = 0; i < n; ++i) x[perm_[i]] = z[i];
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  const std::size_t n = order();
+  Matrix inv(n, n);
+  Vector e(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    e[j] = 1.0;
+    const Vector col = solve(e);
+    e[j] = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inv(i, j) = col[i];
+  }
+  return inv;
+}
+
+double LuDecomposition::determinant() const noexcept {
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < order(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Vector solve(const Matrix& a, const Vector& b) {
+  return LuDecomposition(a).solve(b);
+}
+
+}  // namespace dpm::linalg

@@ -1,0 +1,45 @@
+// LU factorization with partial pivoting.
+//
+// Used by the DPM core for exact discounted policy evaluation
+// (solving (I - gamma * P_delta)^T x = p0) and by tests to cross-check
+// LP solutions.
+#pragma once
+
+#include "linalg/matrix.h"
+
+namespace dpm::linalg {
+
+/// PA = LU factorization of a square matrix, computed once, reusable for
+/// many right-hand sides.
+///
+/// Throws LinalgError when the matrix is non-square or numerically
+/// singular (pivot magnitude below `pivot_tol`).
+class LuDecomposition {
+ public:
+  explicit LuDecomposition(Matrix a, double pivot_tol = 1e-12);
+
+  std::size_t order() const noexcept { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A^T x = b (useful for left-eigenvector style systems without
+  /// forming the transpose).
+  Vector solve_transposed(const Vector& b) const;
+
+  /// Inverse of A (n solves); prefer solve() when possible.
+  Matrix inverse() const;
+
+  /// Determinant (product of pivots with permutation sign).
+  double determinant() const noexcept;
+
+ private:
+  Matrix lu_;                      // packed L (unit lower) and U
+  std::vector<std::size_t> perm_;  // row permutation
+  int perm_sign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b.
+Vector solve(const Matrix& a, const Vector& b);
+
+}  // namespace dpm::linalg

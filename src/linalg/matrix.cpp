@@ -1,0 +1,201 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace dpm::linalg {
+
+namespace {
+
+[[noreturn]] void throw_shape(const char* op, std::size_t ar, std::size_t ac,
+                              std::size_t br, std::size_t bc) {
+  std::ostringstream os;
+  os << "linalg: shape mismatch in " << op << ": (" << ar << "x" << ac
+     << ") vs (" << br << "x" << bc << ")";
+  throw LinalgError(os.str());
+}
+
+}  // namespace
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw LinalgError("linalg: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  if (i >= rows_ || j >= cols_) {
+    throw LinalgError("linalg: index out of range");
+  }
+  return data_[i * cols_ + j];
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) {
+    throw LinalgError("linalg: index out of range");
+  }
+  return data_[i * cols_ + j];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) {
+      t(j, i) = (*this)(i, j);
+    }
+  }
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw_shape("operator+=", rows_, cols_, rhs.rows_, rhs.cols_);
+  }
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+    throw_shape("operator-=", rows_, cols_, rhs.rows_, rhs.cols_);
+  }
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= rhs.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) noexcept {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  if (cols_ != rhs.rows_) {
+    throw_shape("operator*", rows_, cols_, rhs.rows_, rhs.cols_);
+  }
+  Matrix out(rows_, rhs.cols_);
+  // ikj loop order: streams through both operands row-major.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += aik * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::operator*(const Vector& v) const {
+  if (cols_ != v.size()) {
+    throw_shape("matvec", rows_, cols_, v.size(), 1);
+  }
+  Vector out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* row = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < cols_; ++j) acc += row[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  if (a.rows_ != b.rows_ || a.cols_ != b.cols_) {
+    throw_shape("max_abs_diff", a.rows_, a.cols_, b.rows_, b.cols_);
+  }
+  double m = 0.0;
+  for (std::size_t k = 0; k < a.data_.size(); ++k) {
+    m = std::max(m, std::abs(a.data_[k] - b.data_[k]));
+  }
+  return m;
+}
+
+double Matrix::frobenius_norm() const noexcept {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+Vector left_multiply(const Vector& v, const Matrix& m) {
+  if (v.size() != m.rows()) {
+    throw LinalgError("linalg: left_multiply size mismatch");
+  }
+  Vector out(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (std::size_t j = 0; j < m.cols(); ++j) out[j] += vi * m(i, j);
+  }
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw LinalgError("linalg: dot size mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double norm2(const Vector& v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double norm_inf(const Vector& v) noexcept {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Vector axpy(const Vector& a, double s, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw LinalgError("linalg: axpy size mismatch");
+  }
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + s * b[i];
+  return out;
+}
+
+double sum(const Vector& v) noexcept {
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc;
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    os << (i == 0 ? "[[" : " [");
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      os << std::setw(10) << std::setprecision(4) << m(i, j)
+         << (j + 1 < m.cols() ? ", " : "");
+    }
+    os << (i + 1 < m.rows() ? "]\n" : "]]");
+  }
+  return os;
+}
+
+}  // namespace dpm::linalg

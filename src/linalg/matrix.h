@@ -1,0 +1,131 @@
+// dpmopt — dense linear algebra substrate.
+//
+// A small, self-contained dense matrix/vector toolkit sized for the linear
+// programs and Markov-chain computations that arise in DPM policy
+// optimization (hundreds to a few thousand unknowns).  Row-major storage,
+// value semantics, bounds checked via at(); unchecked operator() for hot
+// loops after validated construction.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dpm::linalg {
+
+/// Thrown on dimension mismatches and numerically singular factorizations.
+class LinalgError : public std::runtime_error {
+ public:
+  explicit LinalgError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Dense column vector of doubles.  Thin alias plus free-function helpers
+/// (see below) — a vector of numbers has no invariant worth a class
+/// (Core Guidelines C.2).
+using Vector = std::vector<double>;
+
+/// Dense row-major matrix of doubles.
+///
+/// Invariant: data_.size() == rows_ * cols_.  Dimensions are fixed at
+/// construction (no resize), which keeps every element access valid for
+/// the lifetime of the object.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// rows x cols matrix with every entry set to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from nested initializer lists; all rows must have equal
+  /// length.  Throws LinalgError on ragged input.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Identity matrix of order n.
+  static Matrix identity(std::size_t n);
+
+  /// Matrix whose diagonal is `d` (square, order d.size()).
+  static Matrix diagonal(const Vector& d);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked element access (hot paths).
+  double& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked element access.  Throws LinalgError when out of range.
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Raw storage access (row-major), for tight loops and tests.
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  Matrix transposed() const;
+
+  /// Elementwise operations; dimensions must match.
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s) noexcept;
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) { return lhs += rhs; }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) { return lhs -= rhs; }
+  friend Matrix operator*(Matrix lhs, double s) { return lhs *= s; }
+  friend Matrix operator*(double s, Matrix rhs) { return rhs *= s; }
+
+  /// Matrix product (this->cols() must equal rhs.rows()).
+  Matrix operator*(const Matrix& rhs) const;
+
+  /// Matrix * column-vector product.
+  Vector operator*(const Vector& v) const;
+
+  /// Max |a_ij - b_ij|; matrices must have identical shape.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  /// Frobenius norm.
+  double frobenius_norm() const noexcept;
+
+  bool operator==(const Matrix& rhs) const noexcept = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// row-vector^T * matrix  (returns a vector of length m.cols()).
+Vector left_multiply(const Vector& v, const Matrix& m);
+
+/// Dot product; sizes must match.
+double dot(const Vector& a, const Vector& b);
+
+/// Euclidean norm.
+double norm2(const Vector& v) noexcept;
+
+/// Max |v_i|.
+double norm_inf(const Vector& v) noexcept;
+
+/// a + s*b, sizes must match.
+Vector axpy(const Vector& a, double s, const Vector& b);
+
+/// Elementwise sum of entries.
+double sum(const Vector& v) noexcept;
+
+/// Pretty-printers used by tests and example programs.
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace dpm::linalg

@@ -1,0 +1,264 @@
+#include "lp/interior_point.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <optional>
+
+#include "linalg/cholesky.h"
+
+namespace dpm::lp {
+
+namespace {
+
+using linalg::CholeskyDecomposition;
+using linalg::Matrix;
+using linalg::Vector;
+
+// Standard form min c^T x, A x = b, x >= 0 with slacks appended for
+// inequality rows.
+struct StandardForm {
+  Matrix a;
+  Vector b;
+  Vector c;
+  std::size_t n_orig = 0;
+};
+
+StandardForm to_standard_form(const LpProblem& p) {
+  const std::size_t m = p.num_constraints();
+  std::size_t n_slack = 0;
+  for (const auto& c : p.constraints()) {
+    if (c.sense != Sense::kEq) ++n_slack;
+  }
+  StandardForm sf;
+  sf.n_orig = p.num_variables();
+  const std::size_t n = sf.n_orig + n_slack;
+  sf.a = Matrix(m, n);
+  sf.b.assign(m, 0.0);
+  sf.c.assign(n, 0.0);
+  for (std::size_t j = 0; j < sf.n_orig; ++j) sf.c[j] = p.costs()[j];
+
+  std::size_t next_slack = sf.n_orig;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Constraint& c = p.constraints()[i];
+    for (const auto& [col, coeff] : c.terms) sf.a(i, col) = coeff;
+    sf.b[i] = c.rhs;
+    if (c.sense == Sense::kLe) {
+      sf.a(i, next_slack++) = 1.0;
+    } else if (c.sense == Sense::kGe) {
+      sf.a(i, next_slack++) = -1.0;
+    }
+  }
+  return sf;
+}
+
+// Solves (A Theta A^T + reg I) y = rhs with Theta = diag(theta).
+class NormalEquations {
+ public:
+  NormalEquations(const Matrix& a, const Vector& theta) {
+    const std::size_t m = a.rows();
+    const std::size_t n = a.cols();
+    Matrix ada(m, m);
+    for (std::size_t i = 0; i < m; ++i) {
+      for (std::size_t k = i; k < m; ++k) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          acc += a(i, j) * theta[j] * a(k, j);
+        }
+        ada(i, k) = acc;
+        ada(k, i) = acc;
+      }
+    }
+    // Regularize only as much as factorization demands: policy LPs can
+    // carry a redundant balance row (the frequencies sum is implied),
+    // which makes A Theta A^T semidefinite, but a fixed fraction of the
+    // diagonal would perturb the primal solution visibly once Theta
+    // grows near convergence.  Escalate the shift from zero until the
+    // Cholesky succeeds.
+    double max_diag = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      max_diag = std::max(max_diag, ada(i, i));
+    }
+    for (double rel_shift = 0.0; rel_shift < 1e-3; rel_shift =
+             (rel_shift == 0.0 ? 1e-15 : rel_shift * 100.0)) {
+      try {
+        chol_.emplace(ada, rel_shift * max_diag);
+        return;
+      } catch (const linalg::LinalgError&) {
+        // escalate
+      }
+    }
+    chol_.emplace(ada, 1e-3 * max_diag);  // last resort; throws if hopeless
+  }
+
+  Vector solve(const Vector& rhs) const { return chol_->solve(rhs); }
+
+ private:
+  std::optional<CholeskyDecomposition> chol_;
+};
+
+double max_step(const Vector& v, const Vector& dv) {
+  // Largest alpha in (0,1] with v + alpha*dv >= 0.
+  double alpha = 1.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (dv[i] < 0.0) alpha = std::min(alpha, -v[i] / dv[i]);
+  }
+  return alpha;
+}
+
+}  // namespace
+
+LpSolution solve_interior_point(const LpProblem& problem,
+                                const InteriorPointOptions& options) {
+  if (problem.num_variables() == 0) {
+    throw LpError("interior-point: problem has no variables");
+  }
+  const StandardForm sf = to_standard_form(problem);
+  const Matrix& a = sf.a;
+  const Matrix at = a.transposed();
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+
+  // --- Mehrotra starting point ---------------------------------------
+  Vector x(n, 1.0), s(n, 1.0), y(m, 0.0);
+  {
+    NormalEquations ne(a, Vector(n, 1.0));
+    // x0 = A^T (A A^T)^-1 b;  y0 = (A A^T)^-1 A c;  s0 = c - A^T y0.
+    const Vector w = ne.solve(sf.b);
+    x = at * w;
+    const Vector ac = a * sf.c;
+    y = ne.solve(ac);
+    const Vector aty = at * y;
+    for (std::size_t j = 0; j < n; ++j) s[j] = sf.c[j] - aty[j];
+
+    double dx = 0.0, ds = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      dx = std::max(dx, -1.5 * x[j]);
+      ds = std::max(ds, -1.5 * s[j]);
+    }
+    dx += 0.1;
+    ds += 0.1;
+    double xs = 0.0, xsum = 0.0, ssum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      xs += (x[j] + dx) * (s[j] + ds);
+      xsum += x[j] + dx;
+      ssum += s[j] + ds;
+    }
+    const double dx2 = dx + 0.5 * xs / std::max(ssum, 1e-12);
+    const double ds2 = ds + 0.5 * xs / std::max(xsum, 1e-12);
+    for (std::size_t j = 0; j < n; ++j) {
+      x[j] += dx2;
+      s[j] += ds2;
+    }
+  }
+
+  const double b_norm = 1.0 + linalg::norm_inf(sf.b);
+  const double c_norm = 1.0 + linalg::norm_inf(sf.c);
+
+  // The diagonal regularization in the normal equations bounds how far
+  // the primal residual can be driven; when complementarity is already
+  // far below target and rp stops improving, the iterate is optimal to
+  // working precision and we accept it.
+  double best_rp = std::numeric_limits<double>::infinity();
+  std::size_t rp_stall = 0;
+
+  LpSolution sol;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // Residuals.
+    const Vector ax = a * x;
+    Vector rp(m);
+    for (std::size_t i = 0; i < m; ++i) rp[i] = sf.b[i] - ax[i];
+    const Vector aty = at * y;
+    Vector rd(n);
+    for (std::size_t j = 0; j < n; ++j) rd[j] = sf.c[j] - aty[j] - s[j];
+    double mu = 0.0;
+    for (std::size_t j = 0; j < n; ++j) mu += x[j] * s[j];
+    mu /= static_cast<double>(n);
+
+    const double rel_gap = mu / (1.0 + std::abs(linalg::dot(sf.c, x)));
+    const double rp_rel = linalg::norm_inf(rp) / b_norm;
+    if (rp_rel < 0.95 * best_rp) {
+      best_rp = rp_rel;
+      rp_stall = 0;
+    } else {
+      ++rp_stall;
+    }
+    const bool rp_ok =
+        rp_rel < options.tolerance ||
+        (rp_stall >= 3 && rel_gap < 1e-3 * options.tolerance &&
+         rp_rel < 1e2 * options.tolerance);
+    if (rp_ok && linalg::norm_inf(rd) / c_norm < options.tolerance &&
+        rel_gap < options.tolerance) {
+      sol.status = LpStatus::kOptimal;
+      sol.iterations = iter;
+      sol.x.assign(sf.n_orig, 0.0);
+      for (std::size_t j = 0; j < sf.n_orig; ++j) sol.x[j] = std::max(0.0, x[j]);
+      sol.objective = problem.objective(sol.x);
+      return sol;
+    }
+
+    Vector theta(n);
+    for (std::size_t j = 0; j < n; ++j) theta[j] = x[j] / s[j];
+    NormalEquations ne(a, theta);
+
+    // Shared reduction: given the complementarity rhs rc (length n),
+    // compute (dx, dy, ds).
+    const auto kkt_solve = [&](const Vector& rc, Vector& dx, Vector& dy,
+                               Vector& ds) {
+      // dy from A Theta A^T dy = rp + A Theta (rd - rc ./ x).
+      Vector t(n);
+      for (std::size_t j = 0; j < n; ++j) {
+        t[j] = theta[j] * (rd[j] - rc[j] / x[j]);
+      }
+      Vector rhs = a * t;
+      for (std::size_t i = 0; i < m; ++i) rhs[i] += rp[i];
+      dy = ne.solve(rhs);
+      const Vector atdy = at * dy;
+      ds.assign(n, 0.0);
+      dx.assign(n, 0.0);
+      for (std::size_t j = 0; j < n; ++j) {
+        ds[j] = rd[j] - atdy[j];
+        dx[j] = (rc[j] - x[j] * ds[j]) / s[j];
+      }
+    };
+
+    // Predictor (affine scaling) step: rc = -x.*s.
+    Vector rc(n);
+    for (std::size_t j = 0; j < n; ++j) rc[j] = -x[j] * s[j];
+    Vector dx_aff, dy_aff, ds_aff;
+    kkt_solve(rc, dx_aff, dy_aff, ds_aff);
+
+    const double ap_aff = max_step(x, dx_aff);
+    const double ad_aff = max_step(s, ds_aff);
+    double mu_aff = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      mu_aff += (x[j] + ap_aff * dx_aff[j]) * (s[j] + ad_aff * ds_aff[j]);
+    }
+    mu_aff /= static_cast<double>(n);
+    const double sigma = std::pow(mu_aff / std::max(mu, 1e-300), 3.0);
+
+    // Corrector: rc = sigma*mu - x.*s - dx_aff.*ds_aff.
+    for (std::size_t j = 0; j < n; ++j) {
+      rc[j] = sigma * mu - x[j] * s[j] - dx_aff[j] * ds_aff[j];
+    }
+    Vector dx, dy, ds;
+    kkt_solve(rc, dx, dy, ds);
+
+    const double ap = std::min(1.0, options.step_scale * max_step(x, dx));
+    const double ad = std::min(1.0, options.step_scale * max_step(s, ds));
+    for (std::size_t j = 0; j < n; ++j) {
+      x[j] += ap * dx[j];
+      s[j] += ad * ds[j];
+    }
+    for (std::size_t i = 0; i < m; ++i) y[i] += ad * dy[i];
+    sol.iterations = iter + 1;
+  }
+
+  sol.status = LpStatus::kIterationLimit;
+  sol.x.assign(sf.n_orig, 0.0);
+  for (std::size_t j = 0; j < sf.n_orig; ++j) sol.x[j] = std::max(0.0, x[j]);
+  sol.objective = problem.objective(sol.x);
+  return sol;
+}
+
+}  // namespace dpm::lp

@@ -1,0 +1,29 @@
+// Mehrotra predictor-corrector primal-dual interior-point method.
+//
+// The paper's tool is built around PCx, an interior-point LP solver
+// [Czyzyk/Mehrotra/Wright].  This is a from-scratch dense implementation
+// of the same algorithm class, used to cross-validate the simplex solver
+// and to reproduce the paper's "interior point algorithms solve very
+// large LP instances efficiently" claim on our problem sizes.
+#pragma once
+
+#include "lp/problem.h"
+
+namespace dpm::lp {
+
+struct InteriorPointOptions {
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-8;      // relative duality gap + residual target
+  double step_scale = 0.99995;  // fraction of the max step to the boundary
+};
+
+/// Solves `problem` with Mehrotra's predictor-corrector method.
+///
+/// Returns kIterationLimit when convergence is not reached; the caller
+/// (or tests) should treat that as "use the simplex answer".  Primal
+/// infeasibility manifests as non-convergence; this solver is intended
+/// for feasible, bounded instances (which all well-posed policy LPs are).
+LpSolution solve_interior_point(const LpProblem& problem,
+                                const InteriorPointOptions& options = {});
+
+}  // namespace dpm::lp

@@ -1,0 +1,92 @@
+#include "lp/problem.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace dpm::lp {
+
+std::size_t LpProblem::add_variable(double cost, std::string name) {
+  costs_.push_back(cost);
+  if (name.empty()) {
+    name = "x" + std::to_string(costs_.size() - 1);
+  }
+  names_.push_back(std::move(name));
+  return costs_.size() - 1;
+}
+
+void LpProblem::add_constraint(Constraint c) {
+  // Merge duplicate columns so solvers can assume unique indices per row.
+  std::map<std::size_t, double> merged;
+  for (const auto& [col, coeff] : c.terms) {
+    if (col >= num_variables()) {
+      throw LpError("lp: constraint references unknown variable " +
+                    std::to_string(col));
+    }
+    merged[col] += coeff;
+  }
+  c.terms.assign(merged.begin(), merged.end());
+  constraints_.push_back(std::move(c));
+}
+
+void LpProblem::add_dense_constraint(const linalg::Vector& row, Sense sense,
+                                     double rhs, std::string name) {
+  if (row.size() != num_variables()) {
+    throw LpError("lp: dense row size mismatch");
+  }
+  Constraint c;
+  c.sense = sense;
+  c.rhs = rhs;
+  c.name = std::move(name);
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    if (row[j] != 0.0) c.terms.emplace_back(j, row[j]);
+  }
+  add_constraint(std::move(c));
+}
+
+double LpProblem::objective(const linalg::Vector& x) const {
+  if (x.size() != num_variables()) {
+    throw LpError("lp: point size mismatch");
+  }
+  return linalg::dot(costs_, x);
+}
+
+double LpProblem::max_violation(const linalg::Vector& x) const {
+  if (x.size() != num_variables()) {
+    throw LpError("lp: point size mismatch");
+  }
+  double worst = 0.0;
+  for (double xi : x) worst = std::max(worst, -xi);  // x >= 0
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [col, coeff] : c.terms) lhs += coeff * x[col];
+    switch (c.sense) {
+      case Sense::kEq:
+        worst = std::max(worst, std::abs(lhs - c.rhs));
+        break;
+      case Sense::kLe:
+        worst = std::max(worst, lhs - c.rhs);
+        break;
+      case Sense::kGe:
+        worst = std::max(worst, c.rhs - lhs);
+        break;
+    }
+  }
+  return worst;
+}
+
+const char* to_string(LpStatus s) noexcept {
+  switch (s) {
+    case LpStatus::kOptimal:
+      return "optimal";
+    case LpStatus::kInfeasible:
+      return "infeasible";
+    case LpStatus::kUnbounded:
+      return "unbounded";
+    case LpStatus::kIterationLimit:
+      return "iteration-limit";
+  }
+  return "unknown";
+}
+
+}  // namespace dpm::lp

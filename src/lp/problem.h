@@ -1,0 +1,86 @@
+// Linear-program model.
+//
+// The policy-optimization LPs of the paper (Appendix A: LP2/LP3/LP4) are
+// built through this interface:   min c^T x  s.t.  rows {=, <=, >=} rhs,
+// x >= 0.  Rows are stored sparsely; solvers densify as needed.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpm::lp {
+
+/// Thrown on malformed models (bad indices, empty problems, ...).
+class LpError : public std::runtime_error {
+ public:
+  explicit LpError(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class Sense { kEq, kLe, kGe };
+
+/// One linear constraint: sum(coeff_i * x_{col_i})  sense  rhs.
+struct Constraint {
+  std::vector<std::pair<std::size_t, double>> terms;
+  Sense sense = Sense::kEq;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// Minimization LP over nonnegative variables.
+///
+/// Invariant: every constraint term references an existing variable.
+class LpProblem {
+ public:
+  /// Adds a variable with the given objective coefficient; returns its
+  /// column index.
+  std::size_t add_variable(double cost, std::string name = {});
+
+  /// Adds a constraint; all term column indices must already exist.
+  /// Duplicate columns within one constraint are summed.
+  void add_constraint(Constraint c);
+
+  /// Convenience for dense rows (size must equal num_variables()).
+  void add_dense_constraint(const linalg::Vector& row, Sense sense, double rhs,
+                            std::string name = {});
+
+  std::size_t num_variables() const noexcept { return costs_.size(); }
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+
+  const linalg::Vector& costs() const noexcept { return costs_; }
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  const std::string& variable_name(std::size_t j) const {
+    return names_.at(j);
+  }
+
+  /// Objective value of a given point (no feasibility check).
+  double objective(const linalg::Vector& x) const;
+
+  /// Max constraint violation of a point (equality residual or one-sided
+  /// surplus), useful for tests and post-solve verification.
+  double max_violation(const linalg::Vector& x) const;
+
+ private:
+  linalg::Vector costs_;
+  std::vector<std::string> names_;
+  std::vector<Constraint> constraints_;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+const char* to_string(LpStatus s) noexcept;
+
+struct LpSolution {
+  LpStatus status = LpStatus::kIterationLimit;
+  linalg::Vector x;        // primal point (original variables)
+  double objective = 0.0;  // c^T x
+  std::size_t iterations = 0;
+};
+
+}  // namespace dpm::lp

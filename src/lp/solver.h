@@ -1,0 +1,27 @@
+// Solver facade: one entry point, selectable backend.
+#pragma once
+
+#include "lp/interior_point.h"
+#include "lp/problem.h"
+#include "lp/simplex.h"
+
+namespace dpm::lp {
+
+enum class Backend {
+  kSimplex,       // exact vertex solutions (default)
+  kInteriorPoint  // Mehrotra predictor-corrector (PCx-style)
+};
+
+/// Solves `problem` with the requested backend.
+inline LpSolution solve(const LpProblem& problem,
+                        Backend backend = Backend::kSimplex) {
+  switch (backend) {
+    case Backend::kInteriorPoint:
+      return solve_interior_point(problem);
+    case Backend::kSimplex:
+      break;
+  }
+  return solve_simplex(problem);
+}
+
+}  // namespace dpm::lp

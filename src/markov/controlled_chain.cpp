@@ -1,0 +1,54 @@
+#include "markov/controlled_chain.h"
+
+#include <cmath>
+
+namespace dpm::markov {
+
+ControlledMarkovChain::ControlledMarkovChain(
+    std::vector<linalg::Matrix> per_command, double tol)
+    : matrices_(std::move(per_command)) {
+  if (matrices_.empty()) {
+    throw MarkovError("ControlledMarkovChain: needs at least one command");
+  }
+  const std::size_t n = matrices_.front().rows();
+  for (std::size_t a = 0; a < matrices_.size(); ++a) {
+    if (matrices_[a].rows() != n || matrices_[a].cols() != n) {
+      throw MarkovError(
+          "ControlledMarkovChain: command matrices must share one order");
+    }
+    validate_stochastic(matrices_[a],
+                        "ControlledMarkovChain[command " + std::to_string(a) +
+                            "]",
+                        tol);
+  }
+}
+
+MarkovChain ControlledMarkovChain::under_policy(
+    const linalg::Matrix& policy) const {
+  const std::size_t n = num_states();
+  const std::size_t na = num_commands();
+  if (policy.rows() != n || policy.cols() != na) {
+    throw MarkovError("under_policy: policy matrix shape mismatch");
+  }
+  linalg::Matrix mixed(n, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    double row_sum = 0.0;
+    for (std::size_t a = 0; a < na; ++a) {
+      const double w = policy(s, a);
+      if (w < -1e-9) {
+        throw MarkovError("under_policy: negative decision probability");
+      }
+      row_sum += w;
+      if (w == 0.0) continue;
+      const linalg::Matrix& pa = matrices_[a];
+      for (std::size_t t = 0; t < n; ++t) mixed(s, t) += w * pa(s, t);
+    }
+    if (std::abs(row_sum - 1.0) > 1e-7) {
+      throw MarkovError("under_policy: decision row " + std::to_string(s) +
+                        " does not sum to 1");
+    }
+  }
+  return MarkovChain(std::move(mixed), 1e-6);
+}
+
+}  // namespace dpm::markov

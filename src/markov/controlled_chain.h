@@ -1,0 +1,40 @@
+// Controlled (command-dependent) Markov chains, paper Section III-A.
+#pragma once
+
+#include <vector>
+
+#include "markov/markov_chain.h"
+
+namespace dpm::markov {
+
+/// A stationary controllable Markov chain: one row-stochastic matrix per
+/// command (the representation the paper adopts for the SP and for the
+/// composed system).
+///
+/// Invariant: all matrices are square, same order, row-stochastic.
+class ControlledMarkovChain {
+ public:
+  explicit ControlledMarkovChain(std::vector<linalg::Matrix> per_command,
+                                 double tol = 1e-9);
+
+  std::size_t num_states() const noexcept { return matrices_.front().rows(); }
+  std::size_t num_commands() const noexcept { return matrices_.size(); }
+
+  const linalg::Matrix& matrix(std::size_t command) const {
+    return matrices_.at(command);
+  }
+  double transition(std::size_t from, std::size_t to,
+                    std::size_t command) const {
+    return matrices_.at(command)(from, to);
+  }
+
+  /// Mixes the per-command matrices under a randomized stationary Markov
+  /// decision matrix `policy` (num_states x num_commands, rows summing
+  /// to 1): P_pi(s, .) = sum_a policy(s, a) P_a(s, .)   (paper Eq. 5).
+  MarkovChain under_policy(const linalg::Matrix& policy) const;
+
+ private:
+  std::vector<linalg::Matrix> matrices_;
+};
+
+}  // namespace dpm::markov

@@ -1,0 +1,129 @@
+#include "markov/markov_chain.h"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "linalg/lu.h"
+
+namespace dpm::markov {
+
+void validate_stochastic(const linalg::Matrix& p, const std::string& what,
+                         double tol) {
+  if (p.rows() != p.cols()) {
+    throw MarkovError(what + ": transition matrix must be square");
+  }
+  for (std::size_t i = 0; i < p.rows(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < p.cols(); ++j) {
+      const double v = p(i, j);
+      if (v < -tol || v > 1.0 + tol || std::isnan(v)) {
+        throw MarkovError(what + ": entry (" + std::to_string(i) + "," +
+                          std::to_string(j) + ") = " + std::to_string(v) +
+                          " is not a probability");
+      }
+      row_sum += v;
+    }
+    if (std::abs(row_sum - 1.0) > tol) {
+      throw MarkovError(what + ": row " + std::to_string(i) + " sums to " +
+                        std::to_string(row_sum) + ", expected 1");
+    }
+  }
+}
+
+MarkovChain::MarkovChain(linalg::Matrix transition, double tol)
+    : p_(std::move(transition)) {
+  validate_stochastic(p_, "MarkovChain", tol);
+}
+
+linalg::Vector MarkovChain::evolve(const linalg::Vector& dist) const {
+  if (dist.size() != num_states()) {
+    throw MarkovError("evolve: distribution size mismatch");
+  }
+  return linalg::left_multiply(dist, p_);
+}
+
+linalg::Vector MarkovChain::evolve(linalg::Vector dist,
+                                   std::size_t steps) const {
+  for (std::size_t k = 0; k < steps; ++k) dist = evolve(dist);
+  return dist;
+}
+
+linalg::Vector MarkovChain::stationary_distribution() const {
+  const std::size_t n = num_states();
+  // Solve (P^T - I) pi = 0 with the last equation replaced by
+  // sum(pi) = 1.
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = p_(j, i) - (i == j ? 1.0 : 0.0);
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) a(n - 1, j) = 1.0;
+  linalg::Vector b(n, 0.0);
+  b[n - 1] = 1.0;
+  linalg::Vector pi = linalg::solve(a, b);
+  for (double& v : pi) {
+    if (v < 0.0 && v > -1e-10) v = 0.0;  // scrub roundoff
+  }
+  return pi;
+}
+
+linalg::Vector MarkovChain::discounted_occupancy(const linalg::Vector& p0,
+                                                 double gamma) const {
+  const std::size_t n = num_states();
+  if (p0.size() != n) {
+    throw MarkovError("discounted_occupancy: p0 size mismatch");
+  }
+  if (gamma <= 0.0 || gamma >= 1.0) {
+    throw MarkovError("discounted_occupancy: gamma must be in (0,1)");
+  }
+  // u = p0 (I - gamma P)^{-1}  <=>  (I - gamma P)^T u^T = p0^T.
+  linalg::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = (i == j ? 1.0 : 0.0) - gamma * p_(i, j);
+    }
+  }
+  return linalg::LuDecomposition(std::move(a)).solve_transposed(p0);
+}
+
+bool MarkovChain::is_irreducible() const {
+  const std::size_t n = num_states();
+  // Forward reachability from 0 and from 0 in the reversed graph;
+  // irreducible iff both cover all states (Kosaraju-style single check
+  // suffices for one candidate SCC covering everything).
+  const auto reachable = [&](bool reversed) {
+    std::vector<bool> seen(n, false);
+    std::queue<std::size_t> frontier;
+    frontier.push(0);
+    seen[0] = true;
+    std::size_t count = 1;
+    while (!frontier.empty()) {
+      const std::size_t s = frontier.front();
+      frontier.pop();
+      for (std::size_t t = 0; t < n; ++t) {
+        const double w = reversed ? p_(t, s) : p_(s, t);
+        if (w > 0.0 && !seen[t]) {
+          seen[t] = true;
+          ++count;
+          frontier.push(t);
+        }
+      }
+    }
+    return count == n;
+  };
+  return reachable(false) && reachable(true);
+}
+
+double MarkovChain::expected_transition_time(double prob_per_step) {
+  if (prob_per_step < 0.0 || prob_per_step > 1.0) {
+    throw MarkovError("expected_transition_time: probability out of range");
+  }
+  if (prob_per_step == 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return 1.0 / prob_per_step;
+}
+
+}  // namespace dpm::markov

@@ -1,0 +1,69 @@
+// Discrete-time stationary Markov chains (paper Section III).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpm::markov {
+
+/// Thrown when a matrix fails row-stochastic validation or dimensions
+/// disagree.
+class MarkovError : public std::runtime_error {
+ public:
+  explicit MarkovError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Validates that `p` is square, entries in [0,1] and rows sum to 1
+/// within `tol`; throws MarkovError otherwise.  `what` names the matrix
+/// in error messages.
+void validate_stochastic(const linalg::Matrix& p, const std::string& what,
+                         double tol = 1e-9);
+
+/// A stationary Markov chain over states {0, ..., n-1} with one-step
+/// transition matrix P (row-stochastic).
+///
+/// Invariant (established at construction): P is row-stochastic.
+class MarkovChain {
+ public:
+  explicit MarkovChain(linalg::Matrix transition, double tol = 1e-9);
+
+  std::size_t num_states() const noexcept { return p_.rows(); }
+  const linalg::Matrix& transition_matrix() const noexcept { return p_; }
+  double transition(std::size_t from, std::size_t to) const {
+    return p_(from, to);
+  }
+
+  /// One-step distribution evolution: returns dist * P.
+  linalg::Vector evolve(const linalg::Vector& dist) const;
+
+  /// n-step evolution.
+  linalg::Vector evolve(linalg::Vector dist, std::size_t steps) const;
+
+  /// Stationary distribution pi with pi P = pi, sum(pi) = 1, solved as a
+  /// linear system (one balance equation replaced by normalization).
+  /// Requires a unique stationary distribution (e.g. irreducible chain);
+  /// throws MarkovError when the linear system is singular.
+  linalg::Vector stationary_distribution() const;
+
+  /// Discounted occupancy u = p0 (I - gamma P)^{-1}: u_s is the expected
+  /// discounted number of visits to s before the geometric stopping time
+  /// with survival gamma (the paper's trap-state construction, Fig. 5).
+  linalg::Vector discounted_occupancy(const linalg::Vector& p0,
+                                      double gamma) const;
+
+  /// True when every state is reachable from every other (single
+  /// communicating class), via BFS on the support graph.
+  bool is_irreducible() const;
+
+  /// Expected geometric transition time 1/p (paper Eq. 2); infinity when
+  /// p == 0.
+  static double expected_transition_time(double prob_per_step);
+
+ private:
+  linalg::Matrix p_;
+};
+
+}  // namespace dpm::markov

@@ -1,0 +1,76 @@
+#include "sim/adaptive_controller.h"
+
+#include <vector>
+
+namespace dpm::sim {
+
+AdaptiveController::AdaptiveController(SrFitter fitter, ModelFactory factory,
+                                       OptimizeFn optimize,
+                                       std::size_t fallback_command,
+                                       Options options)
+    : fitter_(std::move(fitter)),
+      factory_(std::move(factory)),
+      optimize_(std::move(optimize)),
+      fallback_(fallback_command),
+      options_(options) {
+  if (!fitter_ || !factory_ || !optimize_) {
+    throw ModelError(
+        "AdaptiveController: fitter, factory and optimizer required");
+  }
+  if (options_.window < 16 || options_.warmup < 2) {
+    throw ModelError("AdaptiveController: window/warmup too small");
+  }
+}
+
+AdaptiveController::AdaptiveController(SrFitter fitter, ModelFactory factory,
+                                       OptimizeFn optimize,
+                                       std::size_t fallback_command)
+    : AdaptiveController(std::move(fitter), std::move(factory),
+                         std::move(optimize), fallback_command, Options{}) {}
+
+void AdaptiveController::reset() {
+  window_.clear();
+  since_refit_ = 0;
+  refits_ = 0;
+  model_.reset();
+  policy_.reset();
+}
+
+void AdaptiveController::refit() {
+  const std::vector<unsigned> stream(window_.begin(), window_.end());
+  dpm::ServiceRequester sr = fitter_(stream);
+  SystemModel rebuilt = factory_(std::move(sr));
+  std::optional<dpm::Policy> refreshed = optimize_(rebuilt);
+  if (refreshed) {
+    if (refreshed->num_states() != rebuilt.num_states()) {
+      throw ModelError("AdaptiveController: optimizer returned a policy "
+                       "for a different state space");
+    }
+    model_.emplace(std::move(rebuilt));
+    policy_ = std::move(refreshed);
+    ++refits_;
+  }
+}
+
+std::size_t AdaptiveController::decide(const SystemState& state,
+                                       unsigned arrivals_last_slice,
+                                       Rng& rng) {
+  window_.push_back(arrivals_last_slice > 0 ? 1u : 0u);
+  if (window_.size() > options_.window) window_.pop_front();
+
+  ++since_refit_;
+  const bool warm = window_.size() >= options_.warmup;
+  if (warm && (policy_ == std::nullopt ||
+               since_refit_ >= options_.reoptimize_every)) {
+    refit();
+    since_refit_ = 0;
+  }
+  if (!policy_) return fallback_;
+
+  const std::size_t s = model_->index_of(state);
+  return rng.sample_row(
+      [&](std::size_t a) { return policy_->probability(s, a); },
+      policy_->num_commands());
+}
+
+}  // namespace dpm::sim

@@ -1,0 +1,81 @@
+// Adaptive power management — the paper's closing future-work item
+// ("adaptive algorithms that can compute optimal policies in systems
+// where workloads are highly nonstationary").
+//
+// The controller keeps a sliding window of observed arrivals,
+// periodically re-extracts a two-state Markov SR from it, rebuilds the
+// system model, re-solves the policy LP, and executes the refreshed
+// policy.  On the nonstationary workload of Fig. 10 this recovers most
+// of the gap between the stationary-fit "optimal" policy and the best
+// achievable (see bench_adaptive).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "dpm/optimizer.h"
+#include "sim/controller.h"
+
+namespace dpm::sim {
+
+class AdaptiveController final : public Controller {
+ public:
+  /// Rebuilds a system model around a freshly fitted SR.  The returned
+  /// model MUST have the same state-space layout as the model being
+  /// simulated (same SP, same queue capacity, two-state SR).
+  using ModelFactory = std::function<SystemModel(dpm::ServiceRequester)>;
+
+  /// Runs whatever optimization the caller wants on the rebuilt model;
+  /// returning nullopt (e.g. infeasible) keeps the previous policy.
+  using OptimizeFn =
+      std::function<std::optional<dpm::Policy>(const SystemModel&)>;
+
+  /// Fits an SR model to the observation window (typically
+  /// trace::extract_sr with memory 1; injected to keep sim independent
+  /// of the trace library).
+  using SrFitter =
+      std::function<dpm::ServiceRequester(const std::vector<unsigned>&)>;
+
+  struct Options {
+    std::size_t window = 20000;        ///< slices of history for the fit
+    std::size_t reoptimize_every = 5000;
+    /// Minimum observations before the first fit; until then the
+    /// controller issues `fallback_command`.
+    std::size_t warmup = 2000;
+  };
+
+  AdaptiveController(SrFitter fitter, ModelFactory factory,
+                     OptimizeFn optimize, std::size_t fallback_command,
+                     Options options);
+  // Separate overload: a `= {}` default argument cannot use Options'
+  // member initializers before the enclosing class is complete.
+  AdaptiveController(SrFitter fitter, ModelFactory factory,
+                     OptimizeFn optimize, std::size_t fallback_command);
+
+  void reset() override;
+
+  std::size_t decide(const SystemState& state, unsigned arrivals_last_slice,
+                     Rng& rng) override;
+
+  /// Number of successful re-optimizations so far (observability for
+  /// tests and benches).
+  std::size_t refit_count() const noexcept { return refits_; }
+
+ private:
+  void refit();
+
+  SrFitter fitter_;
+  ModelFactory factory_;
+  OptimizeFn optimize_;
+  std::size_t fallback_;
+  Options options_;
+
+  std::deque<unsigned> window_;
+  std::size_t since_refit_ = 0;
+  std::size_t refits_ = 0;
+  std::optional<SystemModel> model_;
+  std::optional<dpm::Policy> policy_;
+};
+
+}  // namespace dpm::sim

@@ -1,0 +1,82 @@
+#include "sim/controller.h"
+
+namespace dpm::sim {
+
+PolicyController::PolicyController(const SystemModel& model,
+                                   dpm::Policy policy)
+    : model_(&model), policy_(std::move(policy)) {
+  if (policy_.num_states() != model.num_states() ||
+      policy_.num_commands() != model.num_commands()) {
+    throw ModelError("PolicyController: policy shape mismatch");
+  }
+}
+
+std::size_t PolicyController::decide(const SystemState& state,
+                                     unsigned /*arrivals_last_slice*/,
+                                     Rng& rng) {
+  const std::size_t s = model_->index_of(state);
+  return rng.sample_row(
+      [&](std::size_t a) { return policy_.probability(s, a); },
+      policy_.num_commands());
+}
+
+std::size_t GreedyController::decide(const SystemState& state,
+                                     unsigned arrivals_last_slice,
+                                     Rng& /*rng*/) {
+  const bool idle = state.q == 0 && arrivals_last_slice == 0;
+  return idle ? sleep_ : wake_;
+}
+
+std::size_t TimeoutController::decide(const SystemState& state,
+                                      unsigned arrivals_last_slice,
+                                      Rng& /*rng*/) {
+  const bool idle = state.q == 0 && arrivals_last_slice == 0;
+  if (!idle) {
+    idle_run_ = 0;
+    return wake_;
+  }
+  ++idle_run_;
+  return idle_run_ > timeout_ ? sleep_ : wake_;
+}
+
+RandomizedTimeoutController::RandomizedTimeoutController(
+    std::vector<Choice> choices, std::size_t wake_command)
+    : choices_(std::move(choices)), wake_(wake_command) {
+  if (choices_.empty()) {
+    throw ModelError("RandomizedTimeoutController: needs at least one choice");
+  }
+  weights_.reserve(choices_.size());
+  for (const Choice& c : choices_) {
+    if (c.weight < 0.0) {
+      throw ModelError("RandomizedTimeoutController: negative weight");
+    }
+    weights_.push_back(c.weight);
+  }
+}
+
+void RandomizedTimeoutController::reset() {
+  idle_run_ = 0;
+  drawn_ = false;
+}
+
+void RandomizedTimeoutController::redraw(Rng& rng) {
+  current_ = rng.categorical(weights_);
+  drawn_ = true;
+}
+
+std::size_t RandomizedTimeoutController::decide(const SystemState& state,
+                                                unsigned arrivals_last_slice,
+                                                Rng& rng) {
+  const bool idle = state.q == 0 && arrivals_last_slice == 0;
+  if (!idle) {
+    idle_run_ = 0;
+    drawn_ = false;
+    return wake_;
+  }
+  if (!drawn_) redraw(rng);  // a fresh idle period: sample its behaviour
+  ++idle_run_;
+  const Choice& c = choices_[current_];
+  return idle_run_ > c.timeout_slices ? c.sleep_command : wake_;
+}
+
+}  // namespace dpm::sim

@@ -1,0 +1,130 @@
+// Power-manager controllers for simulation.
+//
+// The optimizer produces stationary Markov policies (a function of the
+// current system state), but the heuristics the paper compares against
+// in Figs. 8b/9b/10 — timeouts, randomized timeouts — depend on history
+// (idle time).  The Controller interface covers both.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "dpm/policy.h"
+#include "dpm/system_model.h"
+#include "sim/rng.h"
+
+namespace dpm::sim {
+
+/// Decides the command to issue at the start of each slice, observing
+/// the current structured system state (and any internal history).
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  /// Called at the start of a simulation run.
+  virtual void reset() {}
+
+  /// The command for this slice.  `arrivals_last_slice` is the number of
+  /// requests that arrived in the previous slice (the observable the
+  /// timeout heuristics key on).
+  virtual std::size_t decide(const SystemState& state,
+                             unsigned arrivals_last_slice, Rng& rng) = 0;
+};
+
+/// Executes a (possibly randomized) stationary Markov policy: samples a
+/// command from the decision row of the current state (Def. 3.5).
+class PolicyController final : public Controller {
+ public:
+  PolicyController(const SystemModel& model, dpm::Policy policy);
+
+  std::size_t decide(const SystemState& state, unsigned arrivals_last_slice,
+                     Rng& rng) override;
+
+ private:
+  const SystemModel* model_;
+  dpm::Policy policy_;
+};
+
+/// Greedy/eager heuristic (paper Sec. I and Fig. 8b upward triangles):
+/// issues `sleep_command` as soon as there is no pending work (empty
+/// queue, no arrivals) and `wake_command` otherwise.
+class GreedyController final : public Controller {
+ public:
+  GreedyController(std::size_t sleep_command, std::size_t wake_command)
+      : sleep_(sleep_command), wake_(wake_command) {}
+
+  std::size_t decide(const SystemState& state, unsigned arrivals_last_slice,
+                     Rng& rng) override;
+
+ private:
+  std::size_t sleep_;
+  std::size_t wake_;
+};
+
+/// Timeout heuristic (paper Fig. 8b downward triangles; the policy class
+/// widely used for disk power management [12]): shuts down after the
+/// system has been idle for `timeout` consecutive slices; wakes on any
+/// pending work.
+class TimeoutController final : public Controller {
+ public:
+  TimeoutController(std::size_t timeout_slices, std::size_t sleep_command,
+                    std::size_t wake_command)
+      : timeout_(timeout_slices), sleep_(sleep_command), wake_(wake_command) {}
+
+  void reset() override { idle_run_ = 0; }
+
+  std::size_t decide(const SystemState& state, unsigned arrivals_last_slice,
+                     Rng& rng) override;
+
+ private:
+  std::size_t timeout_;
+  std::size_t sleep_;
+  std::size_t wake_;
+  std::size_t idle_run_ = 0;
+};
+
+/// Randomized timeout heuristic (paper Fig. 8b boxes): at the start of
+/// each idle period, draws the timeout and the target sleep command from
+/// given distributions.
+class RandomizedTimeoutController final : public Controller {
+ public:
+  struct Choice {
+    std::size_t timeout_slices;
+    std::size_t sleep_command;
+    double weight;  // unnormalized selection probability
+  };
+
+  RandomizedTimeoutController(std::vector<Choice> choices,
+                              std::size_t wake_command);
+
+  void reset() override;
+
+  std::size_t decide(const SystemState& state, unsigned arrivals_last_slice,
+                     Rng& rng) override;
+
+ private:
+  void redraw(Rng& rng);
+
+  std::vector<Choice> choices_;
+  std::vector<double> weights_;
+  std::size_t wake_;
+  std::size_t idle_run_ = 0;
+  std::size_t current_ = 0;
+  bool drawn_ = false;
+};
+
+/// Constant policy (Example 3.4): always the same command.
+class ConstantController final : public Controller {
+ public:
+  explicit ConstantController(std::size_t command) : command_(command) {}
+
+  std::size_t decide(const SystemState&, unsigned, Rng&) override {
+    return command_;
+  }
+
+ private:
+  std::size_t command_;
+};
+
+}  // namespace dpm::sim

@@ -1,0 +1,157 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace dpm::sim {
+
+double SimulationResult::metric(const StateActionMetric& m) const {
+  double acc = 0.0;
+  const std::size_t total = visit_frequencies.size();
+  for (std::size_t k = 0; k < total; ++k) {
+    if (visit_frequencies[k] == 0.0) continue;
+    // Layout [s * A + a]; A is recoverable only by the caller, so we
+    // carry it implicitly: metric() is called through the helpers below
+    // which know the model.  Here we only need the flat index split.
+    acc += visit_frequencies[k] * m(k / num_commands_, k % num_commands_);
+  }
+  return acc;
+}
+
+SimulationResult Simulator::run(Controller& controller,
+                                const SimulationConfig& config) const {
+  return run_impl(controller, config, nullptr, nullptr);
+}
+
+SimulationResult Simulator::run_trace(
+    Controller& controller, const std::vector<unsigned>& arrivals_per_slice,
+    const SimulationConfig& config, SrStateTracker tracker) const {
+  return run_impl(controller, config, &arrivals_per_slice, tracker);
+}
+
+SimulationResult Simulator::run_impl(Controller& controller,
+                                     const SimulationConfig& config,
+                                     const std::vector<unsigned>* trace,
+                                     const SrStateTracker& tracker) const {
+  const SystemModel& model = *model_;
+  const ServiceProvider& sp = model.provider();
+  const ServiceRequester& sr = model.requester();
+  const std::size_t n_sr = sr.num_states();
+  const std::size_t n_sp = sp.num_states();
+  const std::size_t na = model.num_commands();
+  const std::size_t capacity = model.queue_capacity();
+
+  std::size_t slices = config.slices;
+  if (trace != nullptr) {
+    slices = std::min(slices, trace->size());
+  }
+  if (config.warmup >= slices) {
+    throw ModelError("Simulator: warmup must be shorter than the run");
+  }
+  if (config.session_restart_prob < 0.0 ||
+      config.session_restart_prob >= 1.0) {
+    throw ModelError("Simulator: session restart probability must be in [0,1)");
+  }
+
+  Rng rng(config.seed);
+  controller.reset();
+
+  SystemState state = config.initial_state;
+  model.index_of(state);  // validates ranges
+  unsigned arrivals_last = 0;
+
+  SimulationResult result;
+  result.visit_frequencies.assign(model.num_states() * na, 0.0);
+
+  double power_acc = 0.0;
+  double queue_acc = 0.0;
+  std::size_t loss_state_slices = 0;
+  std::size_t measured = 0;
+
+  for (std::size_t t = 0; t < slices; ++t) {
+    const std::size_t flat = model.index_of(state);
+    const std::size_t a = controller.decide(state, arrivals_last, rng);
+    if (a >= na) {
+      throw ModelError("Simulator: controller issued invalid command");
+    }
+
+    const bool measure = t >= config.warmup;
+    if (measure) {
+      ++measured;
+      result.visit_frequencies[flat * na + a] += 1.0;
+      power_acc += sp.power(state.sp, a);
+      queue_acc += static_cast<double>(state.q);
+      if (model.is_loss_state(flat)) ++loss_state_slices;
+    }
+
+    // --- SR transition & arrivals ---
+    std::size_t sr_next;
+    unsigned arrivals;
+    if (trace == nullptr) {
+      sr_next = rng.sample_row(
+          [&](std::size_t j) { return sr.chain().transition(state.sr, j); },
+          n_sr);
+      arrivals = sr.requests(sr_next);
+    } else {
+      arrivals = (*trace)[t];
+      sr_next = tracker
+                    ? tracker(state.sr, arrivals)
+                    : std::min<std::size_t>(arrivals, n_sr - 1);
+      if (sr_next >= n_sr) {
+        throw ModelError("Simulator: SR tracker produced invalid state");
+      }
+    }
+
+    // --- SP transition & service ---
+    // Sampled from the model's effective law (honours reactive
+    // overrides), conditioned on the incoming SR state.
+    const std::size_t sp_next = rng.sample_row(
+        [&](std::size_t j) {
+          return model.sp_transition(state.sp, j, a, sr_next);
+        },
+        n_sp);
+    const double rate = sp.service_rate(state.sp, a);
+    const std::size_t backlog = state.q + arrivals;
+    unsigned serviced = 0;
+    if (backlog > 0 && rng.bernoulli(rate)) serviced = 1;
+
+    // --- queue update & loss accounting ---
+    const std::size_t after_service = backlog - serviced;
+    const std::size_t q_next = std::min(after_service, capacity);
+    const std::size_t dropped = after_service - q_next;
+
+    if (measure) {
+      result.arrivals += arrivals;
+      result.serviced += serviced;
+      result.lost += dropped;
+    }
+
+    state = SystemState{sp_next, sr_next, q_next};
+    arrivals_last = arrivals;
+
+    if (config.session_restart_prob > 0.0 &&
+        rng.bernoulli(config.session_restart_prob)) {
+      state = config.initial_state;
+      arrivals_last = 0;
+      controller.reset();
+    }
+  }
+
+  result.slices = measured;
+  const double denom = static_cast<double>(std::max<std::size_t>(measured, 1));
+  for (double& v : result.visit_frequencies) v /= denom;
+  result.num_commands_ = na;
+  result.avg_power = power_acc / denom;
+  result.avg_queue_length = queue_acc / denom;
+  result.loss_state_rate = static_cast<double>(loss_state_slices) / denom;
+  result.request_loss_rate =
+      result.arrivals > 0
+          ? static_cast<double>(result.lost) /
+                static_cast<double>(result.arrivals)
+          : 0.0;
+  const double throughput = static_cast<double>(result.serviced) / denom;
+  result.avg_waiting_time =
+      throughput > 0.0 ? result.avg_queue_length / throughput : 0.0;
+  return result;
+}
+
+}  // namespace dpm::sim

@@ -1,0 +1,103 @@
+// Slotted-time stochastic simulator (the "simulation engine" of the
+// paper's tool, Fig. 7).
+//
+// Two modes, matching the paper:
+//  * Markov mode — the SR model drives arrivals; used to verify that
+//    optimizer-expected power/performance match the model's behaviour.
+//  * Trace mode — a recorded/synthetic request stream drives arrivals
+//    directly; used to check the quality of the SR Markov model itself
+//    (the circles in Figs. 8b/9a and the whole of Fig. 10).
+//
+// The per-slice semantics mirror SystemModel::compose exactly:
+// controller sees (sp, sr, q), issues a; the SR moves; the new SR state's
+// requests arrive; the SP moves under a and serves with rate b(sp, a);
+// the queue clamps to capacity, dropping overflow as losses.
+#pragma once
+
+#include <functional>
+
+#include "dpm/metrics.h"
+#include "sim/controller.h"
+#include "sim/rng.h"
+
+namespace dpm::sim {
+
+struct SimulationConfig {
+  std::size_t slices = 100000;
+  std::size_t warmup = 0;  // slices excluded from measurements
+  std::uint64_t seed = 1;
+  SystemState initial_state{};  // default: (0, 0, empty queue)
+  /// When positive, emulates the paper's geometric stopping time
+  /// (Fig. 5): after every slice the session ends with this probability
+  /// and the system restarts from `initial_state`.  Set to 1 - gamma to
+  /// Monte Carlo the *discounted* per-step averages the optimizer
+  /// reports — required when a discounted-optimal policy is absorbing
+  /// ("shut down forever near the session end"), where the infinite-
+  /// horizon time average is a different quantity.
+  double session_restart_prob = 0.0;
+};
+
+struct SimulationResult {
+  std::size_t slices = 0;
+
+  // Empirical state-action visit frequencies, layout [s * A + a],
+  // normalized to sum to 1; lets callers evaluate any StateActionMetric
+  // against the run.
+  linalg::Vector visit_frequencies;
+
+  double avg_power = 0.0;
+  double avg_queue_length = 0.0;
+  /// Fraction of slices spent in loss states (the metric the LP
+  /// constrains).
+  double loss_state_rate = 0.0;
+
+  // Request accounting.
+  std::size_t arrivals = 0;
+  std::size_t serviced = 0;
+  std::size_t lost = 0;
+  /// Actually dropped requests / arrived requests.
+  double request_loss_rate = 0.0;
+  /// Little's-law mean waiting time (slices): avg queue / throughput.
+  double avg_waiting_time = 0.0;
+
+  /// Evaluates an arbitrary metric against the empirical visit
+  /// distribution.
+  double metric(const StateActionMetric& m) const;
+
+  /// Number of commands (set by the simulator; needed to split the flat
+  /// visit-frequency index back into (state, action)).
+  std::size_t num_commands_ = 1;
+};
+
+/// Maps the arrivals observed in a slice to the SR-model state a policy
+/// should be indexed with when the simulation is trace-driven.
+/// `prev_state` supports models with memory (k-bit history states).
+using SrStateTracker =
+    std::function<std::size_t(std::size_t prev_state, unsigned arrivals)>;
+
+class Simulator {
+ public:
+  explicit Simulator(const SystemModel& model) : model_(&model) {}
+
+  /// Markov mode: the SR chain generates arrivals.
+  SimulationResult run(Controller& controller,
+                       const SimulationConfig& config) const;
+
+  /// Trace mode: `arrivals_per_slice` generates arrivals; `tracker`
+  /// reconstructs the SR state the controller observes (defaults to
+  /// state = min(arrivals, num_sr_states-1), correct for 1-memory models
+  /// whose states are "requests issued this slice").
+  SimulationResult run_trace(Controller& controller,
+                             const std::vector<unsigned>& arrivals_per_slice,
+                             const SimulationConfig& config,
+                             SrStateTracker tracker = nullptr) const;
+
+ private:
+  SimulationResult run_impl(
+      Controller& controller, const SimulationConfig& config,
+      const std::vector<unsigned>* trace, const SrStateTracker& tracker) const;
+
+  const SystemModel* model_;
+};
+
+}  // namespace dpm::sim

@@ -1,0 +1,36 @@
+// Online statistics (Welford) used by the simulator's measurements.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+namespace dpm::sim {
+
+/// Numerically stable running mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Standard error of the mean.
+  double sem() const noexcept {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace dpm::sim

@@ -1,0 +1,118 @@
+#include "trace/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace dpm::trace {
+
+namespace {
+
+using dpm::sim::Rng;
+
+// Geometric run length with the given mean (>= 1 slice).
+std::size_t geometric_run(Rng& rng, double mean) {
+  const double p = 1.0 / std::max(1.0, mean);
+  std::size_t len = 1;
+  while (!rng.bernoulli(p)) ++len;
+  return len;
+}
+
+}  // namespace
+
+std::vector<unsigned> gilbert_stream(std::size_t slices, double p01,
+                                     double p10, std::uint64_t seed) {
+  if (p01 < 0.0 || p01 > 1.0 || p10 < 0.0 || p10 > 1.0) {
+    throw TraceError("gilbert_stream: probabilities out of range");
+  }
+  Rng rng(seed);
+  std::vector<unsigned> out(slices, 0);
+  unsigned state = 0;
+  for (std::size_t i = 0; i < slices; ++i) {
+    state = state == 0 ? (rng.bernoulli(p01) ? 1u : 0u)
+                       : (rng.bernoulli(p10) ? 0u : 1u);
+    out[i] = state;
+  }
+  return out;
+}
+
+std::vector<unsigned> on_off_stream(std::size_t slices,
+                                    const OnOffParams& params,
+                                    std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<unsigned> out;
+  out.reserve(slices);
+  bool busy = false;
+  while (out.size() < slices) {
+    std::size_t run;
+    if (busy) {
+      run = geometric_run(rng, params.mean_burst);
+    } else {
+      const double mean = rng.bernoulli(params.long_idle_fraction)
+                              ? params.mean_idle_long
+                              : params.mean_idle_short;
+      run = geometric_run(rng, mean);
+    }
+    for (std::size_t i = 0; i < run && out.size() < slices; ++i) {
+      out.push_back(busy ? 1u : 0u);
+    }
+    busy = !busy;
+  }
+  return out;
+}
+
+std::vector<unsigned> editing_stream(std::size_t slices, std::uint64_t seed) {
+  // Interactive usage: short keystroke/scroll bursts (mean 3 slices)
+  // separated by think-time idles (mean 30 slices).
+  OnOffParams p;
+  p.mean_burst = 3.0;
+  p.mean_idle_short = 30.0;
+  p.mean_idle_long = 120.0;
+  p.long_idle_fraction = 0.15;
+  return on_off_stream(slices, p, seed);
+}
+
+std::vector<unsigned> compilation_stream(std::size_t slices,
+                                         std::uint64_t seed) {
+  // Batch usage: long compute bursts (mean 200 slices) with brief gaps
+  // (mean 4 slices) — "a long activity burst".
+  OnOffParams p;
+  p.mean_burst = 200.0;
+  p.mean_idle_short = 4.0;
+  p.mean_idle_long = 8.0;
+  p.long_idle_fraction = 0.1;
+  return on_off_stream(slices, p, seed);
+}
+
+std::vector<unsigned> concat_streams(const std::vector<unsigned>& a,
+                                     const std::vector<unsigned>& b) {
+  std::vector<unsigned> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+std::vector<unsigned> diurnal_stream(std::size_t slices, std::size_t period,
+                                     double peak_p01, double quiet_p01,
+                                     double p10, std::uint64_t seed) {
+  if (period == 0) throw TraceError("diurnal_stream: period must be positive");
+  Rng rng(seed);
+  std::vector<unsigned> out(slices, 0);
+  unsigned state = 0;
+  for (std::size_t i = 0; i < slices; ++i) {
+    // Smooth day/night modulation of the burst-start probability.
+    const double phase =
+        std::sin(2.0 * 3.14159265358979323846 *
+                 static_cast<double>(i % period) / static_cast<double>(period));
+    const double w = 0.5 * (1.0 + phase);  // 0 (night) .. 1 (peak)
+    const double p01 = quiet_p01 + w * (peak_p01 - quiet_p01);
+    state = state == 0 ? (rng.bernoulli(p01) ? 1u : 0u)
+                       : (rng.bernoulli(p10) ? 0u : 1u);
+    out[i] = state;
+  }
+  return out;
+}
+
+}  // namespace dpm::trace

@@ -1,0 +1,62 @@
+// Synthetic workload generators.
+//
+// The paper characterizes its SR models from measured traces (Auspex
+// file-system traces for the disk, Internet Traffic Archive logs for the
+// web server, the monitoring package of [28] for the CPU).  Those traces
+// are not redistributable; these generators produce streams with the
+// same statistical structure the paper exploits — two-state Markov
+// burstiness, heavier-tailed on/off activity, and the nonstationary
+// editing+compilation mixture of Example 7.1 — so the identical
+// extract-optimize-simulate pipeline runs end to end (see DESIGN.md,
+// "Substitutions").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/request_trace.h"
+
+namespace dpm::trace {
+
+/// Two-state Markov (Gilbert) binary arrival stream: in the idle state a
+/// request slice starts with probability p01, in the busy state it
+/// persists with probability 1 - p10.  This is exactly the process behind
+/// the paper's two-state SR models (Example 3.2).
+std::vector<unsigned> gilbert_stream(std::size_t slices, double p01,
+                                     double p10, std::uint64_t seed);
+
+/// On/off stream with geometric burst lengths and a heavier (mixture of
+/// two geometrics) idle-length distribution — a closer stand-in for
+/// measured disk/web traces, whose idle times are not memoryless.
+struct OnOffParams {
+  double mean_burst = 5.0;        // mean busy-run length (slices)
+  double mean_idle_short = 10.0;  // mean of the short idle mode
+  double mean_idle_long = 200.0;  // mean of the long idle mode
+  double long_idle_fraction = 0.2;  // probability an idle run is long
+};
+std::vector<unsigned> on_off_stream(std::size_t slices,
+                                    const OnOffParams& params,
+                                    std::uint64_t seed);
+
+/// "Editing" workload of Example 7.1: alternating moderate idle and
+/// active periods (interactive usage).
+std::vector<unsigned> editing_stream(std::size_t slices, std::uint64_t seed);
+
+/// "Compilation" workload of Example 7.1: one long activity burst with
+/// brief gaps (batch CPU usage).
+std::vector<unsigned> compilation_stream(std::size_t slices,
+                                         std::uint64_t seed);
+
+/// Concatenation — the highly nonstationary, non-Markovian merged trace
+/// the paper applies to the CPU case study in Fig. 10.
+std::vector<unsigned> concat_streams(const std::vector<unsigned>& a,
+                                     const std::vector<unsigned>& b);
+
+/// Diurnal web-server-like stream: Gilbert modulated by a slow duty
+/// cycle (busy hours vs quiet hours), standing in for the ITA logs of
+/// Fig. 9(a).
+std::vector<unsigned> diurnal_stream(std::size_t slices, std::size_t period,
+                                     double peak_p01, double quiet_p01,
+                                     double p10, std::uint64_t seed);
+
+}  // namespace dpm::trace

@@ -1,0 +1,54 @@
+#include "trace/request_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dpm::trace {
+
+RequestTrace::RequestTrace(std::vector<double> timestamps)
+    : timestamps_(std::move(timestamps)) {
+  for (std::size_t i = 0; i < timestamps_.size(); ++i) {
+    if (timestamps_[i] < 0.0) {
+      throw TraceError("RequestTrace: negative timestamp");
+    }
+    if (i > 0 && timestamps_[i] < timestamps_[i - 1]) {
+      throw TraceError("RequestTrace: timestamps must be nondecreasing");
+    }
+  }
+}
+
+std::vector<unsigned> RequestTrace::discretize(double tau) const {
+  if (tau <= 0.0) {
+    throw TraceError("RequestTrace: time resolution must be positive");
+  }
+  if (timestamps_.empty()) return {};
+  const std::size_t n =
+      static_cast<std::size_t>(std::ceil(timestamps_.back() / tau)) + 1;
+  std::vector<unsigned> slices(n, 0);
+  for (const double t : timestamps_) {
+    const auto i = static_cast<std::size_t>(std::ceil(t / tau));
+    ++slices[i];
+  }
+  return slices;
+}
+
+std::vector<unsigned> RequestTrace::discretize_binary(double tau) const {
+  std::vector<unsigned> slices = discretize(tau);
+  for (unsigned& v : slices) v = v > 0 ? 1u : 0u;
+  return slices;
+}
+
+RequestTrace from_slices(const std::vector<unsigned>& arrivals, double tau) {
+  if (tau <= 0.0) {
+    throw TraceError("from_slices: time resolution must be positive");
+  }
+  std::vector<double> ts;
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    for (unsigned k = 0; k < arrivals[i]; ++k) {
+      ts.push_back(static_cast<double>(i) * tau);
+    }
+  }
+  return RequestTrace(std::move(ts));
+}
+
+}  // namespace dpm::trace

@@ -1,0 +1,52 @@
+// Time-stamped request traces and their discretization (paper Sec. V,
+// Example 5.1).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dpm::trace {
+
+class TraceError : public std::runtime_error {
+ public:
+  explicit TraceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A time-stamped request record stream, as produced by measuring a real
+/// system ("request trace" input of the tool, Fig. 7).  Timestamps are in
+/// arbitrary time units, nondecreasing.
+class RequestTrace {
+ public:
+  RequestTrace() = default;
+  explicit RequestTrace(std::vector<double> timestamps);
+
+  const std::vector<double>& timestamps() const noexcept {
+    return timestamps_;
+  }
+  std::size_t num_requests() const noexcept { return timestamps_.size(); }
+  double duration() const noexcept {
+    return timestamps_.empty() ? 0.0 : timestamps_.back();
+  }
+
+  /// Discretizes with time resolution `tau` (Example 5.1): slice i
+  /// counts the requests with timestamp in ((i-1)*tau, i*tau], i.e. a
+  /// request at time t lands in slice ceil(t/tau).  The example's trace
+  /// [2,5,6,7,12] at tau=1 becomes [0,0,1,0,0,1,1,1,0,0,0,0,1].
+  std::vector<unsigned> discretize(double tau) const;
+
+  /// Binary variant: 1 when at least one request arrives in the slice
+  /// (the paper's "binary stream").
+  std::vector<unsigned> discretize_binary(double tau) const;
+
+ private:
+  std::vector<double> timestamps_;
+};
+
+/// Rebuilds a timestamped trace from per-slice arrival counts (slice
+/// length `tau`); arrivals within a slice are placed at its end, matching
+/// the discretization convention above.
+RequestTrace from_slices(const std::vector<unsigned>& arrivals, double tau);
+
+}  // namespace dpm::trace

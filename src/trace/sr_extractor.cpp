@@ -1,0 +1,110 @@
+#include "trace/sr_extractor.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dpm::trace {
+
+dpm::ServiceRequester extract_sr(const std::vector<unsigned>& binary_stream,
+                                 const ExtractorOptions& options) {
+  const std::size_t k = options.memory;
+  if (k == 0 || k > 20) {
+    throw TraceError("extract_sr: memory must be in [1, 20]");
+  }
+  if (binary_stream.size() < k + 1) {
+    throw TraceError("extract_sr: stream shorter than memory + 1");
+  }
+  const std::size_t n = std::size_t{1} << k;
+  const std::size_t mask = n - 1;
+
+  // Count transitions between history states.
+  linalg::Matrix counts(n, n);
+  std::size_t state = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    state = ((state << 1) | (binary_stream[i] > 0 ? 1 : 0)) & mask;
+  }
+  for (std::size_t i = k; i < binary_stream.size(); ++i) {
+    const std::size_t next =
+        ((state << 1) | (binary_stream[i] > 0 ? 1 : 0)) & mask;
+    counts(state, next) += 1.0;
+    state = next;
+  }
+
+  linalg::Matrix p(n, n);
+  for (std::size_t s = 0; s < n; ++s) {
+    double total = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      counts(s, t) += options.smoothing;
+      total += counts(s, t);
+    }
+    if (total <= 0.0) {
+      // State never observed: uniform over its two successors (only
+      // (s<<1)&mask and ((s<<1)|1)&mask are reachable in one step).
+      p(s, (s << 1) & mask) = 0.5;
+      p(s, ((s << 1) | 1) & mask) += 0.5;
+      continue;
+    }
+    for (std::size_t t = 0; t < n; ++t) p(s, t) = counts(s, t) / total;
+  }
+
+  std::vector<unsigned> requests(n);
+  std::vector<std::string> names(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    requests[s] = static_cast<unsigned>(s & 1);
+    std::string bits;
+    for (std::size_t b = k; b-- > 0;) {
+      bits.push_back(((s >> b) & 1) ? '1' : '0');
+    }
+    names[s] = "h" + bits;
+  }
+  return dpm::ServiceRequester(std::move(p), std::move(requests),
+                               std::move(names));
+}
+
+dpm::sim::SrStateTracker history_tracker(std::size_t memory) {
+  if (memory == 0 || memory > 20) {
+    throw TraceError("history_tracker: memory must be in [1, 20]");
+  }
+  const std::size_t mask = (std::size_t{1} << memory) - 1;
+  return [mask](std::size_t prev, unsigned arrivals) {
+    return ((prev << 1) | (arrivals > 0 ? 1u : 0u)) & mask;
+  };
+}
+
+StreamStats analyze_stream(const std::vector<unsigned>& binary_stream) {
+  StreamStats st;
+  if (binary_stream.empty()) return st;
+  std::size_t ones = 0;
+  std::size_t busy_runs = 0, idle_runs = 0;
+  std::size_t busy_total = 0, idle_total = 0;
+  std::size_t run = 0;
+  bool run_is_busy = binary_stream.front() > 0;
+  for (const unsigned v : binary_stream) {
+    const bool busy = v > 0;
+    if (busy) ++ones;
+    if (busy == run_is_busy) {
+      ++run;
+      continue;
+    }
+    (run_is_busy ? busy_runs : idle_runs) += 1;
+    (run_is_busy ? busy_total : idle_total) += run;
+    run_is_busy = busy;
+    run = 1;
+  }
+  (run_is_busy ? busy_runs : idle_runs) += 1;
+  (run_is_busy ? busy_total : idle_total) += run;
+
+  st.request_rate =
+      static_cast<double>(ones) / static_cast<double>(binary_stream.size());
+  st.mean_burst_length =
+      busy_runs > 0
+          ? static_cast<double>(busy_total) / static_cast<double>(busy_runs)
+          : 0.0;
+  st.mean_idle_length =
+      idle_runs > 0
+          ? static_cast<double>(idle_total) / static_cast<double>(idle_runs)
+          : 0.0;
+  return st;
+}
+
+}  // namespace dpm::trace

@@ -1,0 +1,50 @@
+// SR extractor: Markov service-requester models from request traces
+// (paper Sec. V and Example 5.1; the "SR extractor" block of Fig. 7).
+//
+// A k-memory model has 2^k states, one per k-bit arrival history; the
+// conditional transition probabilities are occurrence counts normalized
+// per start state.  Fig. 13(b)'s memory-sensitivity experiment sweeps k.
+#pragma once
+
+#include <vector>
+
+#include "dpm/service_requester.h"
+#include "sim/simulator.h"
+#include "trace/request_trace.h"
+
+namespace dpm::trace {
+
+struct ExtractorOptions {
+  /// Memory k >= 1: states are the 2^k most recent arrival bits.
+  std::size_t memory = 1;
+  /// Laplace smoothing added to every transition count so states that
+  /// were never left still get a valid (uniform-leaning) distribution.
+  double smoothing = 0.0;
+};
+
+/// Builds a ServiceRequester from a binary arrival stream.
+///
+/// State encoding: the history bits b_{t-k+1} ... b_t read as an integer
+/// with b_t as the least-significant bit; state s emits (s & 1) requests
+/// per slice, so the 1-memory model reproduces Example 3.2's two-state
+/// "0/1" SR.  Throws TraceError when the stream is shorter than k+1
+/// slices or a state has no outgoing observations and smoothing is zero
+/// (such rows fall back to uniform).
+dpm::ServiceRequester extract_sr(const std::vector<unsigned>& binary_stream,
+                                 const ExtractorOptions& options = {});
+
+/// The SR-state tracker matching extract_sr's encoding, for trace-driven
+/// simulation of policies optimized against a k-memory model:
+/// next = ((prev << 1) | min(arrivals,1)) & (2^k - 1).
+dpm::sim::SrStateTracker history_tracker(std::size_t memory);
+
+/// Empirical per-slice arrival statistics of a binary stream, used by
+/// tests and by EXPERIMENTS.md tables.
+struct StreamStats {
+  double request_rate = 0.0;       // fraction of slices with an arrival
+  double mean_burst_length = 0.0;  // mean run of consecutive 1-slices
+  double mean_idle_length = 0.0;   // mean run of consecutive 0-slices
+};
+StreamStats analyze_stream(const std::vector<unsigned>& binary_stream);
+
+}  // namespace dpm::trace

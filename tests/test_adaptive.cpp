@@ -1,0 +1,166 @@
+// Tests for the adaptive controller (paper future-work extension) and
+// the determinization helper.
+#include <gtest/gtest.h>
+
+#include "cases/cpu_sa1100.h"
+#include "cases/example_system.h"
+#include "cases/heuristics.h"
+#include "dpm/evaluation.h"
+#include "dpm/optimizer.h"
+#include "sim/adaptive_controller.h"
+#include "sim/simulator.h"
+#include "trace/generators.h"
+#include "trace/sr_extractor.h"
+
+namespace dpm {
+namespace {
+
+using cases::CpuSa1100;
+using cases::ExampleSystem;
+
+sim::AdaptiveController::SrFitter default_fitter() {
+  return [](const std::vector<unsigned>& window) {
+    return trace::extract_sr(window, {.memory = 1, .smoothing = 1.0});
+  };
+}
+
+sim::AdaptiveController make_cpu_adaptive(double penalty_bound,
+                                          sim::AdaptiveController::Options o) {
+  sim::AdaptiveController::ModelFactory factory =
+      [](ServiceRequester sr) {
+        ServiceProvider sp = CpuSa1100::make_provider();
+        SpTransitionOverride ov = CpuSa1100::make_override(sp);
+        return SystemModel::compose(std::move(sp), std::move(sr), 0,
+                                    std::move(ov));
+      };
+  sim::AdaptiveController::OptimizeFn optimize =
+      [penalty_bound](const SystemModel& m) -> std::optional<Policy> {
+    OptimizerConfig cfg = CpuSa1100::make_config(m, 0.9999);
+    const PolicyOptimizer opt(m, cfg);
+    OptimizationResult r = opt.minimize(
+        metrics::power(m),
+        {{CpuSa1100::penalty(m), penalty_bound, "penalty"}});
+    if (!r.feasible) return std::nullopt;
+    return std::move(r.policy);
+  };
+  return sim::AdaptiveController(default_fitter(), std::move(factory),
+                                 std::move(optimize), CpuSa1100::kRun, o);
+}
+
+TEST(Adaptive, Validation) {
+  EXPECT_THROW(
+      sim::AdaptiveController(nullptr, nullptr, nullptr, 0),
+      ModelError);
+  sim::AdaptiveController::Options bad;
+  bad.window = 2;
+  EXPECT_THROW(make_cpu_adaptive(0.02, bad), ModelError);
+}
+
+TEST(Adaptive, FallsBackBeforeWarmup) {
+  sim::AdaptiveController::Options o;
+  o.warmup = 1000;
+  sim::AdaptiveController ctl = make_cpu_adaptive(0.02, o);
+  ctl.reset();
+  sim::Rng rng(1);
+  // Until warmup observations accumulate, the fallback (run) is issued.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(ctl.decide({CpuSa1100::kActive, 0, 0}, 0, rng),
+              CpuSa1100::kRun);
+  }
+  EXPECT_EQ(ctl.refit_count(), 0u);
+}
+
+TEST(Adaptive, RefitsOnSchedule) {
+  const SystemModel m = CpuSa1100::make_model();
+  sim::AdaptiveController::Options o;
+  o.warmup = 500;
+  o.window = 4000;
+  o.reoptimize_every = 1000;
+  sim::AdaptiveController ctl = make_cpu_adaptive(0.05, o);
+  sim::Simulator simulator(m);
+  sim::SimulationConfig cfg;
+  cfg.slices = 10000;
+  cfg.initial_state = {CpuSa1100::kActive, 0, 0};
+  simulator.run(ctl, cfg);
+  EXPECT_GE(ctl.refit_count(), 5u);
+}
+
+TEST(Adaptive, KeepsConstraintInEveryRegime) {
+  // The value of adaptation on the Fig. 10 editing+compilation mixture
+  // is *per-regime constraint compliance*: the stationary-fit optimum
+  // violates its penalty bound during the editing regime (the fit is
+  // dominated by the compilation half), whereas the adaptive controller
+  // re-fits and stays within spec in both regimes.
+  const double bound = 0.01;
+  const std::vector<unsigned> edit = trace::editing_stream(120000, 5);
+  const std::vector<unsigned> comp = trace::compilation_stream(120000, 6);
+  const std::vector<unsigned> mix = trace::concat_streams(edit, comp);
+  const SystemModel m = CpuSa1100::make_model_from_stream(mix);
+
+  const PolicyOptimizer opt(m, CpuSa1100::make_config(m, 0.9999));
+  const StateActionMetric pen = CpuSa1100::penalty(m);
+  const OptimizationResult st =
+      opt.minimize(metrics::power(m), {{pen, bound, "penalty"}});
+  ASSERT_TRUE(st.feasible);
+
+  sim::Simulator simulator(m);
+  const auto run_on = [&](sim::Controller& c,
+                          const std::vector<unsigned>& t) {
+    sim::SimulationConfig cfg;
+    cfg.slices = t.size();
+    cfg.initial_state = {CpuSa1100::kActive, 0, 0};
+    return simulator.run_trace(c, t, cfg);
+  };
+
+  sim::PolicyController static_ctl(m, *st.policy);
+  const sim::SimulationResult static_edit = run_on(static_ctl, edit);
+  // Model mismatch: the bound is violated on the editing regime.
+  EXPECT_GT(static_edit.metric(pen), bound * 1.1);
+
+  sim::AdaptiveController::Options o;
+  o.warmup = 2000;
+  o.window = 15000;
+  o.reoptimize_every = 4000;
+  sim::AdaptiveController a_edit = make_cpu_adaptive(bound, o);
+  const sim::SimulationResult adaptive_edit = run_on(a_edit, edit);
+  sim::AdaptiveController a_comp = make_cpu_adaptive(bound, o);
+  const sim::SimulationResult adaptive_comp = run_on(a_comp, comp);
+
+  EXPECT_GT(a_edit.refit_count(), 10u);
+  // The adaptive controller keeps the penalty within spec (small slack
+  // for the warmup and Monte Carlo noise) in BOTH regimes.
+  EXPECT_LE(adaptive_edit.metric(pen), bound * 1.05);
+  EXPECT_LE(adaptive_comp.metric(pen), bound * 1.05);
+}
+
+TEST(Determinize, RoundsToArgmax) {
+  linalg::Matrix d{{0.4, 0.6}, {0.9, 0.1}};
+  const Policy rounded = cases::determinize(Policy::randomized(d));
+  EXPECT_TRUE(rounded.is_deterministic());
+  EXPECT_EQ(rounded.command_for(0), 1u);
+  EXPECT_EQ(rounded.command_for(1), 0u);
+}
+
+TEST(Determinize, CostOfDeterminizationUnderActiveConstraint) {
+  // Theorem A.2 ablation: with an active constraint the optimum is
+  // randomized; its argmax rounding must either violate the constraint
+  // or cost at least as much power.
+  const SystemModel m = ExampleSystem::make_model();
+  const double gamma = 0.999;
+  const PolicyOptimizer opt(m, ExampleSystem::make_config(m, gamma));
+  const OptimizationResult r = opt.minimize_power(0.4);
+  ASSERT_TRUE(r.feasible);
+  ASSERT_FALSE(r.policy->is_deterministic(1e-6));
+
+  const Policy rounded = cases::determinize(*r.policy);
+  const PolicyEvaluation ev(m, rounded, gamma,
+                            opt.config().initial_distribution);
+  const double rounded_queue = ev.per_step(metrics::queue_length(m));
+  const double rounded_power = ev.per_step(metrics::power(m));
+  const bool violates = rounded_queue > 0.4 + 1e-9;
+  const bool costs_more = rounded_power >= r.objective_per_step - 1e-9;
+  EXPECT_TRUE(violates || costs_more);
+}
+
+}  // namespace
+}  // namespace dpm

@@ -1,0 +1,86 @@
+// Tests for the human-readable rendering layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cases/example_system.h"
+#include "cases/heuristics.h"
+#include "dpm/io.h"
+#include "dpm/optimizer.h"
+
+namespace dpm {
+namespace {
+
+using cases::ExampleSystem;
+
+TEST(Io, ProviderContainsStatesAndCommands) {
+  const ServiceProvider sp = ExampleSystem::make_provider();
+  std::ostringstream os;
+  io::print_provider(os, sp);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("2 states"), std::string::npos);
+  EXPECT_NE(s.find("P[s_on]"), std::string::npos);
+  EXPECT_NE(s.find("P[s_off]"), std::string::npos);
+  EXPECT_NE(s.find("off"), std::string::npos);
+  EXPECT_NE(s.find("0.100"), std::string::npos);  // wake probability
+}
+
+TEST(Io, RequesterContainsEmissions) {
+  const ServiceRequester sr = ExampleSystem::make_requester();
+  std::ostringstream os;
+  io::print_requester(os, sr);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("emits 1"), std::string::npos);
+  EXPECT_NE(s.find("emits 0"), std::string::npos);
+  EXPECT_NE(s.find("0.850"), std::string::npos);  // burst persistence
+}
+
+TEST(Io, PolicyLabelsStatesAndClassifies) {
+  const SystemModel m = ExampleSystem::make_model();
+  std::ostringstream os;
+  io::print_policy(os, m,
+                   cases::always_on_policy(m, ExampleSystem::kCmdOn));
+  const std::string s = os.str();
+  EXPECT_NE(s.find("deterministic"), std::string::npos);
+  EXPECT_NE(s.find("(on,idle,q=0)"), std::string::npos);
+  EXPECT_NE(s.find("s_on=1.0000"), std::string::npos);
+
+  std::ostringstream os2;
+  io::print_policy(os2, m,
+                   cases::randomized_shutdown_policy(
+                       m, ExampleSystem::kCmdOff, ExampleSystem::kCmdOn,
+                       0.3));
+  EXPECT_NE(os2.str().find("randomized"), std::string::npos);
+}
+
+TEST(Io, PolicyHideBelowFiltersSmallEntries) {
+  const SystemModel m = ExampleSystem::make_model();
+  std::ostringstream os;
+  io::print_policy(os, m,
+                   cases::always_on_policy(m, ExampleSystem::kCmdOn),
+                   /*hide_below=*/0.5);
+  // The zero-probability s_off entries must be suppressed.
+  EXPECT_EQ(os.str().find("s_off"), std::string::npos);
+}
+
+TEST(Io, ResultFeasibleAndInfeasible) {
+  const SystemModel m = ExampleSystem::make_model();
+  const PolicyOptimizer opt(m, ExampleSystem::make_config(m, 0.999));
+  {
+    const OptimizationResult r = opt.minimize_power(0.5);
+    std::ostringstream os;
+    io::print_result(os, m, r);
+    EXPECT_NE(os.str().find("optimal per-step objective"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("constraint[0]"), std::string::npos);
+  }
+  {
+    const OptimizationResult r = opt.minimize_power(0.00001);
+    std::ostringstream os;
+    io::print_result(os, m, r);
+    EXPECT_NE(os.str().find("infeasible"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dpm

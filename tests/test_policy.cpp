@@ -1,0 +1,66 @@
+// Tests for the Policy class (Defs. 3.5-3.7).
+#include <gtest/gtest.h>
+
+#include "dpm/policy.h"
+
+namespace dpm {
+namespace {
+
+TEST(Policy, DeterministicConstruction) {
+  const Policy p = Policy::deterministic({1, 0, 1}, 2);
+  EXPECT_EQ(p.num_states(), 3u);
+  EXPECT_EQ(p.num_commands(), 2u);
+  EXPECT_DOUBLE_EQ(p.probability(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(p.probability(0, 0), 0.0);
+  EXPECT_TRUE(p.is_deterministic());
+  EXPECT_EQ(p.command_for(0), 1u);
+  EXPECT_EQ(p.command_for(1), 0u);
+}
+
+TEST(Policy, DeterministicRejectsBadCommand) {
+  EXPECT_THROW(Policy::deterministic({2}, 2), ModelError);
+}
+
+TEST(Policy, ConstantPolicy) {
+  const Policy p = Policy::constant(4, 3, 2);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(p.command_for(s), 2u);
+}
+
+TEST(Policy, RandomizedConstruction) {
+  linalg::Matrix d{{0.4, 0.6}, {1.0, 0.0}};
+  const Policy p = Policy::randomized(d);
+  EXPECT_FALSE(p.is_deterministic());
+  EXPECT_DOUBLE_EQ(p.probability(0, 1), 0.6);
+  EXPECT_EQ(p.command_for(0), 1u);  // argmax
+}
+
+TEST(Policy, RandomizedValidatesRows) {
+  EXPECT_THROW(Policy::randomized(linalg::Matrix{{0.5, 0.4}}), ModelError);
+  EXPECT_THROW(Policy::randomized(linalg::Matrix{{1.2, -0.2}}), ModelError);
+}
+
+TEST(Policy, NearDeterministicTolerance) {
+  linalg::Matrix d{{1.0 - 1e-12, 1e-12}};
+  const Policy p = Policy::randomized(d);
+  EXPECT_TRUE(p.is_deterministic(1e-9));
+  EXPECT_FALSE(p.is_deterministic(1e-15));
+}
+
+TEST(Policy, ToStringContainsCommandNames) {
+  const CommandSet cs({"s_on", "s_off"});
+  const Policy p = Policy::deterministic({0, 1}, 2);
+  const std::string s = p.to_string(&cs);
+  EXPECT_NE(s.find("s_on"), std::string::npos);
+  EXPECT_NE(s.find("s_off"), std::string::npos);
+  // Without a command set, generic headers appear.
+  EXPECT_NE(p.to_string().find("a0"), std::string::npos);
+}
+
+TEST(Policy, MatrixAccessor) {
+  const Policy p = Policy::deterministic({1}, 2);
+  EXPECT_EQ(p.matrix().rows(), 1u);
+  EXPECT_DOUBLE_EQ(p.matrix()(0, 1), 1.0);
+}
+
+}  // namespace
+}  // namespace dpm

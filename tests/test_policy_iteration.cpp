@@ -1,0 +1,125 @@
+// Tests for Howard policy iteration (the third independent solver for
+// unconstrained POU, alongside LP2 and value iteration).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cases/disk_drive.h"
+#include "cases/example_system.h"
+#include "dpm/evaluation.h"
+#include "dpm/optimizer.h"
+#include "dpm/policy_iteration.h"
+#include "dpm/value_iteration.h"
+
+namespace dpm {
+namespace {
+
+using cases::ExampleSystem;
+
+TEST(PolicyIteration, ValidatesGamma) {
+  const SystemModel m = ExampleSystem::make_model();
+  EXPECT_THROW(policy_iteration(m, metrics::power(m), 1.0), ModelError);
+  EXPECT_THROW(policy_iteration(m, metrics::power(m), 0.0), ModelError);
+}
+
+TEST(PolicyIteration, ConvergesInFewRounds) {
+  const SystemModel m = ExampleSystem::make_model();
+  const PolicyIterationResult r =
+      policy_iteration(m, metrics::power(m), 0.99);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LE(r.improvements, 10u);  // Howard PI is famously fast
+  EXPECT_TRUE(r.policy.is_deterministic());
+}
+
+TEST(PolicyIteration, MatchesValueIteration) {
+  const SystemModel m = ExampleSystem::make_model();
+  const double gamma = 0.99;
+  const PolicyIterationResult pi =
+      policy_iteration(m, metrics::queue_length(m), gamma);
+  const ValueIterationResult vi =
+      value_iteration(m, metrics::queue_length(m), gamma);
+  ASSERT_TRUE(pi.converged);
+  ASSERT_TRUE(vi.converged);
+  for (std::size_t s = 0; s < m.num_states(); ++s) {
+    EXPECT_NEAR(pi.values[s], vi.values[s], 1e-6) << "state " << s;
+  }
+}
+
+TEST(PolicyIteration, MatchesLp2) {
+  const SystemModel m = ExampleSystem::make_model();
+  const double gamma = 0.999;
+  const PolicyIterationResult pi =
+      policy_iteration(m, metrics::power(m), gamma);
+  ASSERT_TRUE(pi.converged);
+
+  const PolicyOptimizer opt(m, ExampleSystem::make_config(m, gamma));
+  const OptimizationResult lp = opt.minimize(metrics::power(m));
+  ASSERT_TRUE(lp.feasible);
+  const std::size_t s0 = m.index_of({ExampleSystem::kSpOn, 0, 0});
+  EXPECT_NEAR(lp.objective_per_step, (1.0 - gamma) * pi.values[s0], 1e-6);
+}
+
+TEST(PolicyIteration, ValuesAreExactForReturnedPolicy) {
+  const SystemModel m = ExampleSystem::make_model();
+  const double gamma = 0.97;
+  const PolicyIterationResult r =
+      policy_iteration(m, metrics::power(m), gamma);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t s0 = 0; s0 < m.num_states(); ++s0) {
+    linalg::Vector p0(m.num_states(), 0.0);
+    p0[s0] = 1.0;
+    const PolicyEvaluation ev(m, r.policy, gamma, p0);
+    EXPECT_NEAR(ev.total(metrics::power(m)), r.values[s0], 1e-8);
+  }
+}
+
+TEST(PolicyIteration, WorksOnDiskModel) {
+  const SystemModel m = cases::DiskDrive::make_model();
+  const PolicyIterationResult r =
+      policy_iteration(m, metrics::power(m), 0.999);
+  EXPECT_TRUE(r.converged);
+  // Unconstrained minimum power on the disk: deepest usable sleep wins;
+  // the value must be below the always-active 2.5 W.
+  const std::size_t s0 = m.index_of({cases::DiskDrive::kActive, 0, 0});
+  EXPECT_LT((1.0 - 0.999) * r.values[s0], 2.5);
+}
+
+// Property: on random composed models, PI and VI agree.
+class PiViAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(PiViAgreement, RandomModels) {
+  std::mt19937_64 gen(GetParam());
+  std::uniform_real_distribution<double> u(0.05, 0.95);
+
+  // Random 2-state SP / 2-command model with random rates and powers.
+  CommandSet commands({"a", "b"});
+  ServiceProvider::Builder b(2, commands);
+  for (std::size_t cmd = 0; cmd < 2; ++cmd) {
+    for (std::size_t s = 0; s < 2; ++s) {
+      const double p = u(gen);
+      b.transition(cmd, s, 0, p);
+      b.transition(cmd, s, 1, 1.0 - p);
+      b.service_rate(s, cmd, u(gen));
+      b.power(s, cmd, 3.0 * u(gen));
+    }
+  }
+  const SystemModel m = SystemModel::compose(
+      std::move(b).build(), ServiceRequester::two_state(u(gen), u(gen)), 1);
+
+  const double gamma = 0.95;
+  const PolicyIterationResult pi =
+      policy_iteration(m, metrics::power(m), gamma);
+  const ValueIterationResult vi =
+      value_iteration(m, metrics::power(m), gamma);
+  ASSERT_TRUE(pi.converged);
+  ASSERT_TRUE(vi.converged);
+  for (std::size_t s = 0; s < m.num_states(); ++s) {
+    EXPECT_NEAR(pi.values[s], vi.values[s], 1e-6)
+        << "seed " << GetParam() << " state " << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PiViAgreement, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace dpm

@@ -1,0 +1,247 @@
+// Tests for the simulation engine and the heuristic controllers.
+#include <gtest/gtest.h>
+
+#include "cases/example_system.h"
+#include "cases/heuristics.h"
+#include "dpm/evaluation.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "trace/generators.h"
+
+namespace dpm::sim {
+namespace {
+
+using cases::ExampleSystem;
+
+SimulationConfig long_run(std::uint64_t seed = 3) {
+  SimulationConfig cfg;
+  cfg.slices = 400000;
+  cfg.warmup = 1000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(RunningStats, WelfordMatchesDirect) {
+  RunningStats st;
+  for (const double x : {1.0, 2.0, 3.0, 4.0}) st.add(x);
+  EXPECT_EQ(st.count(), 4u);
+  EXPECT_DOUBLE_EQ(st.mean(), 2.5);
+  EXPECT_NEAR(st.variance(), 5.0 / 3.0, 1e-12);
+  EXPECT_NEAR(st.sem(), st.stddev() / 2.0, 1e-12);
+}
+
+TEST(Rng, Reproducible) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::size_t ones = 0;
+  for (int i = 0; i < 20000; ++i) {
+    ones += rng.categorical({1.0, 3.0}) == 1 ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / 20000.0, 0.75, 0.02);
+}
+
+TEST(Rng, Validation) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Simulator, MatchesExactEvaluationForMarkovPolicy) {
+  // Monte Carlo long-run averages must agree with the closed-form
+  // discounted averages as gamma -> 1 (ergodic chain).
+  const SystemModel m = ExampleSystem::make_model();
+  const Policy policy = cases::randomized_shutdown_policy(
+      m, ExampleSystem::kCmdOff, ExampleSystem::kCmdOn, 0.4);
+  const PolicyEvaluation exact(m, policy, 0.999999,
+                               m.point_distribution({0, 0, 0}));
+
+  Simulator sim(m);
+  PolicyController ctl(m, policy);
+  const SimulationResult r = sim.run(ctl, long_run());
+
+  EXPECT_NEAR(r.avg_power, exact.per_step(metrics::power(m)), 0.02);
+  EXPECT_NEAR(r.avg_queue_length,
+              exact.per_step(metrics::queue_length(m)), 0.02);
+  EXPECT_NEAR(r.loss_state_rate,
+              exact.per_step(metrics::request_loss(m)), 0.02);
+}
+
+TEST(Simulator, VisitFrequenciesNormalized) {
+  const SystemModel m = ExampleSystem::make_model();
+  const Policy policy = cases::always_on_policy(m, ExampleSystem::kCmdOn);
+  Simulator sim(m);
+  PolicyController ctl(m, policy);
+  SimulationConfig cfg;
+  cfg.slices = 10000;
+  const SimulationResult r = sim.run(ctl, cfg);
+  EXPECT_NEAR(linalg::sum(r.visit_frequencies), 1.0, 1e-9);
+  EXPECT_EQ(r.slices, 10000u);
+  // metric() through the empirical distribution reproduces avg_power.
+  EXPECT_NEAR(r.metric(metrics::power(m)), r.avg_power, 1e-9);
+}
+
+TEST(Simulator, WarmupValidation) {
+  const SystemModel m = ExampleSystem::make_model();
+  Simulator sim(m);
+  PolicyController ctl(m, cases::always_on_policy(m, ExampleSystem::kCmdOn));
+  SimulationConfig cfg;
+  cfg.slices = 10;
+  cfg.warmup = 10;
+  EXPECT_THROW(sim.run(ctl, cfg), ModelError);
+}
+
+TEST(Simulator, SeedReproducibility) {
+  const SystemModel m = ExampleSystem::make_model();
+  Simulator sim(m);
+  PolicyController c1(m, cases::eager_policy(m, ExampleSystem::kCmdOff,
+                                             ExampleSystem::kCmdOn));
+  SimulationConfig cfg;
+  cfg.slices = 5000;
+  cfg.seed = 99;
+  const SimulationResult a = sim.run(c1, cfg);
+  const SimulationResult b = sim.run(c1, cfg);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.serviced, b.serviced);
+  EXPECT_DOUBLE_EQ(a.avg_power, b.avg_power);
+}
+
+TEST(Simulator, RequestAccountingBalances) {
+  const SystemModel m = ExampleSystem::make_model();
+  Simulator sim(m);
+  PolicyController ctl(m, cases::eager_policy(m, ExampleSystem::kCmdOff,
+                                              ExampleSystem::kCmdOn));
+  SimulationConfig cfg;
+  cfg.slices = 50000;
+  const SimulationResult r = sim.run(ctl, cfg);
+  // arrivals = serviced + lost + (still enqueued <= capacity).
+  EXPECT_GE(r.arrivals, r.serviced + r.lost);
+  EXPECT_LE(r.arrivals - r.serviced - r.lost, m.queue_capacity());
+  EXPECT_GE(r.request_loss_rate, 0.0);
+  EXPECT_LE(r.request_loss_rate, 1.0);
+}
+
+TEST(Simulator, TraceDrivenMatchesMarkovForGilbertStream) {
+  // A Gilbert stream with the SR's own parameters is statistically the
+  // same workload, so trace-driven results must agree with Markov-driven
+  // ones.
+  const SystemModel m = ExampleSystem::make_model();
+  const Policy policy = cases::eager_policy(m, ExampleSystem::kCmdOff,
+                                            ExampleSystem::kCmdOn);
+  Simulator sim(m);
+
+  PolicyController c1(m, policy);
+  const SimulationResult markov = sim.run(c1, long_run(21));
+
+  const std::vector<unsigned> stream =
+      trace::gilbert_stream(400000, 0.05, 0.15, 77);
+  PolicyController c2(m, policy);
+  const SimulationResult traced = sim.run_trace(c2, stream, long_run(22));
+
+  EXPECT_NEAR(markov.avg_power, traced.avg_power, 0.05);
+  EXPECT_NEAR(markov.avg_queue_length, traced.avg_queue_length, 0.05);
+}
+
+TEST(Simulator, TraceShorterThanConfigTruncates) {
+  const SystemModel m = ExampleSystem::make_model();
+  Simulator sim(m);
+  PolicyController ctl(m, cases::always_on_policy(m, ExampleSystem::kCmdOn));
+  SimulationConfig cfg;
+  cfg.slices = 1000000;
+  const std::vector<unsigned> stream(500, 1u);
+  const SimulationResult r = sim.run_trace(ctl, stream, cfg);
+  EXPECT_EQ(r.slices, 500u);
+}
+
+// ---------------------------------------------------------------------
+// Controllers
+// ---------------------------------------------------------------------
+
+TEST(Controllers, GreedySleepsWhenIdle) {
+  GreedyController g(/*sleep=*/1, /*wake=*/0);
+  Rng rng(1);
+  EXPECT_EQ(g.decide({0, 0, 0}, 0, rng), 1u);
+  EXPECT_EQ(g.decide({0, 0, 1}, 0, rng), 0u);  // queued work
+  EXPECT_EQ(g.decide({0, 1, 0}, 1, rng), 0u);  // arrivals
+}
+
+TEST(Controllers, TimeoutWaitsBeforeSleeping) {
+  TimeoutController t(/*timeout=*/3, /*sleep=*/1, /*wake=*/0);
+  t.reset();
+  Rng rng(1);
+  const SystemState idle{0, 0, 0};
+  EXPECT_EQ(t.decide(idle, 0, rng), 0u);  // idle run 1
+  EXPECT_EQ(t.decide(idle, 0, rng), 0u);  // 2
+  EXPECT_EQ(t.decide(idle, 0, rng), 0u);  // 3
+  EXPECT_EQ(t.decide(idle, 0, rng), 1u);  // exceeded: sleep
+  EXPECT_EQ(t.decide(idle, 1, rng), 0u);  // arrival resets
+  EXPECT_EQ(t.decide(idle, 0, rng), 0u);  // counting again
+}
+
+TEST(Controllers, ZeroTimeoutIsEager) {
+  TimeoutController t(0, 1, 0);
+  t.reset();
+  Rng rng(1);
+  EXPECT_EQ(t.decide({0, 0, 0}, 0, rng), 1u);
+}
+
+TEST(Controllers, RandomizedTimeoutDrawsPerIdlePeriod) {
+  RandomizedTimeoutController r(
+      {{0, /*sleep=*/1, 1.0}}, /*wake=*/0);  // always timeout 0 -> eager
+  r.reset();
+  Rng rng(1);
+  EXPECT_EQ(r.decide({0, 0, 0}, 0, rng), 1u);
+  EXPECT_EQ(r.decide({0, 0, 0}, 1, rng), 0u);  // busy
+}
+
+TEST(Controllers, RandomizedTimeoutValidation) {
+  EXPECT_THROW(RandomizedTimeoutController({}, 0), ModelError);
+  EXPECT_THROW(RandomizedTimeoutController({{1, 1, -1.0}}, 0), ModelError);
+}
+
+TEST(Controllers, PolicyControllerShapeChecked) {
+  const SystemModel m = ExampleSystem::make_model();
+  EXPECT_THROW(PolicyController(m, Policy::constant(3, 2, 0)), ModelError);
+}
+
+TEST(Controllers, ConstantController) {
+  ConstantController c(1);
+  Rng rng(1);
+  EXPECT_EQ(c.decide({0, 0, 0}, 0, rng), 1u);
+}
+
+TEST(Controllers, InvalidCommandCaught) {
+  const SystemModel m = ExampleSystem::make_model();
+  Simulator sim(m);
+  ConstantController bad(7);
+  SimulationConfig cfg;
+  cfg.slices = 10;
+  EXPECT_THROW(sim.run(bad, cfg), ModelError);
+}
+
+// Timeout sweep property: longer timeouts cannot increase queueing
+// penalty (they keep the SP awake longer) and never decrease power, on
+// the example system.
+class TimeoutMonotonicityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TimeoutMonotonicityTest, PowerRisesQueueFallsWithTimeout) {
+  const SystemModel m = ExampleSystem::make_model();
+  Simulator sim(m);
+  const int t1 = GetParam();
+  const int t2 = t1 + 20;
+  TimeoutController short_t(t1, ExampleSystem::kCmdOff, ExampleSystem::kCmdOn);
+  TimeoutController long_t(t2, ExampleSystem::kCmdOff, ExampleSystem::kCmdOn);
+  const SimulationResult rs = sim.run(short_t, long_run(100 + t1));
+  const SimulationResult rl = sim.run(long_t, long_run(100 + t1));
+  EXPECT_LE(rs.avg_power, rl.avg_power + 0.05);
+  EXPECT_GE(rs.avg_queue_length, rl.avg_queue_length - 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Timeouts, TimeoutMonotonicityTest,
+                         ::testing::Values(0, 5, 15, 40));
+
+}  // namespace
+}  // namespace dpm::sim

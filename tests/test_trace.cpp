@@ -1,0 +1,215 @@
+// Tests for trace handling, the Sec. V SR extractor (Example 5.1), and
+// the synthetic workload generators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/generators.h"
+#include "trace/request_trace.h"
+#include "trace/sr_extractor.h"
+
+namespace dpm::trace {
+namespace {
+
+TEST(RequestTrace, ValidatesTimestamps) {
+  EXPECT_THROW(RequestTrace({-1.0}), TraceError);
+  EXPECT_THROW(RequestTrace({2.0, 1.0}), TraceError);
+  EXPECT_NO_THROW(RequestTrace({1.0, 1.0, 2.0}));
+}
+
+TEST(RequestTrace, Example51Discretization) {
+  // Paper Example 5.1: trace [2,5,6,7,12] at tau = 1 ms becomes
+  // [0,0,1,0,0,1,1,1,0,0,0,0,1].
+  const RequestTrace t({2, 5, 6, 7, 12});
+  const std::vector<unsigned> expected{0, 0, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1};
+  EXPECT_EQ(t.discretize(1.0), expected);
+  EXPECT_EQ(t.discretize_binary(1.0), expected);
+}
+
+TEST(RequestTrace, DiscretizeValidatesTau) {
+  const RequestTrace t({1.0});
+  EXPECT_THROW(t.discretize(0.0), TraceError);
+  EXPECT_THROW(t.discretize(-1.0), TraceError);
+}
+
+TEST(RequestTrace, EmptyTrace) {
+  const RequestTrace t;
+  EXPECT_EQ(t.num_requests(), 0u);
+  EXPECT_EQ(t.duration(), 0.0);
+  EXPECT_TRUE(t.discretize(1.0).empty());
+}
+
+TEST(RequestTrace, CoarserResolutionMergesArrivals) {
+  const RequestTrace t({2, 5, 6, 7, 12});
+  const std::vector<unsigned> s = t.discretize(5.0);
+  // ceil(2/5)=1, ceil(5/5)=1, ceil(6/5)=2, ceil(7/5)=2, ceil(12/5)=3.
+  const std::vector<unsigned> expected{0, 2, 2, 1};
+  EXPECT_EQ(s, expected);
+}
+
+TEST(RequestTrace, FromSlicesRoundTrip) {
+  const std::vector<unsigned> arrivals{0, 2, 0, 1};
+  const RequestTrace t = from_slices(arrivals, 1.0);
+  EXPECT_EQ(t.num_requests(), 3u);
+  EXPECT_EQ(t.discretize(1.0), arrivals);
+}
+
+// ---------------------------------------------------------------------
+// SR extractor
+// ---------------------------------------------------------------------
+
+TEST(Extractor, Example51Probabilities) {
+  // "there are three 01-sequences and eight occurrences of zero; hence
+  // Prob[0 -> 1] = 3/8."  (The last zero has no successor in our count,
+  // but the example's stream ends in 1, so all eight zeros have
+  // successors.)
+  const RequestTrace t({2, 5, 6, 7, 12});
+  const std::vector<unsigned> stream = t.discretize_binary(1.0);
+  const dpm::ServiceRequester sr = extract_sr(stream, {.memory = 1});
+  EXPECT_EQ(sr.num_states(), 2u);
+  EXPECT_NEAR(sr.chain().transition(0, 1), 3.0 / 8.0, 1e-12);
+  EXPECT_NEAR(sr.chain().transition(0, 0), 5.0 / 8.0, 1e-12);
+  // Four ones, the final one has no successor: transitions out of 1 are
+  // 1->0 twice (after slices 2 and 7), 1->1 twice (6->7, 7->8? bits 5,6,7
+  // are ones: 5->6 and 6->7 are 1->1, 7->8 is 1->0; 2->3 is 1->0).
+  EXPECT_NEAR(sr.chain().transition(1, 1), 2.0 / 4.0, 1e-12);
+}
+
+TEST(Extractor, RequestsFollowLastBit) {
+  const std::vector<unsigned> stream{0, 1, 1, 0, 1, 0, 0, 1};
+  const dpm::ServiceRequester sr = extract_sr(stream, {.memory = 2});
+  EXPECT_EQ(sr.num_states(), 4u);
+  EXPECT_EQ(sr.requests(0b00), 0u);
+  EXPECT_EQ(sr.requests(0b01), 1u);
+  EXPECT_EQ(sr.requests(0b10), 0u);
+  EXPECT_EQ(sr.requests(0b11), 1u);
+  EXPECT_EQ(sr.state_name(0b10), "h10");
+}
+
+TEST(Extractor, Validation) {
+  EXPECT_THROW(extract_sr({0, 1}, {.memory = 0}), TraceError);
+  EXPECT_THROW(extract_sr({0, 1}, {.memory = 21}), TraceError);
+  EXPECT_THROW(extract_sr({0}, {.memory = 1}), TraceError);
+}
+
+TEST(Extractor, UnseenStatesGetValidRows) {
+  // All-zero stream: state 1 (and any state with a 1-bit) never occurs.
+  const std::vector<unsigned> stream(50, 0u);
+  const dpm::ServiceRequester sr = extract_sr(stream, {.memory = 1});
+  EXPECT_NEAR(sr.chain().transition(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(sr.chain().transition(1, 0) + sr.chain().transition(1, 1), 1.0,
+              1e-12);
+}
+
+TEST(Extractor, SmoothingKeepsRowsStochastic) {
+  const std::vector<unsigned> stream{0, 0, 1, 1, 0, 1};
+  const dpm::ServiceRequester sr =
+      extract_sr(stream, {.memory = 2, .smoothing = 1.0});
+  for (std::size_t s = 0; s < 4; ++s) {
+    double row = 0.0;
+    for (std::size_t t = 0; t < 4; ++t) row += sr.chain().transition(s, t);
+    EXPECT_NEAR(row, 1.0, 1e-12);
+  }
+}
+
+TEST(Extractor, RecoverGilbertParameters) {
+  // The extractor must recover the generating chain's parameters from a
+  // long stream.
+  const std::vector<unsigned> stream = gilbert_stream(500000, 0.15, 0.05, 9);
+  const dpm::ServiceRequester sr = extract_sr(stream, {.memory = 1});
+  EXPECT_NEAR(sr.chain().transition(0, 1), 0.15, 0.01);
+  EXPECT_NEAR(sr.chain().transition(1, 0), 0.05, 0.01);
+}
+
+TEST(Extractor, HistoryTrackerFollowsBits) {
+  const auto trk = history_tracker(2);
+  std::size_t s = 0;
+  s = trk(s, 1);
+  EXPECT_EQ(s, 0b01u);
+  s = trk(s, 1);
+  EXPECT_EQ(s, 0b11u);
+  s = trk(s, 0);
+  EXPECT_EQ(s, 0b10u);
+  s = trk(s, 5);  // any positive arrival count is a 1-bit
+  EXPECT_EQ(s, 0b01u);
+  EXPECT_THROW(history_tracker(0), TraceError);
+}
+
+TEST(Extractor, StreamStats) {
+  const std::vector<unsigned> stream{1, 1, 0, 0, 0, 1, 0};
+  const StreamStats st = analyze_stream(stream);
+  EXPECT_NEAR(st.request_rate, 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(st.mean_burst_length, 1.5, 1e-12);   // runs: 2, 1
+  EXPECT_NEAR(st.mean_idle_length, 2.0, 1e-12);    // runs: 3, 1
+}
+
+TEST(Extractor, StreamStatsEmpty) {
+  const StreamStats st = analyze_stream({});
+  EXPECT_EQ(st.request_rate, 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+TEST(Generators, GilbertReproducible) {
+  const auto a = gilbert_stream(1000, 0.2, 0.3, 4);
+  const auto b = gilbert_stream(1000, 0.2, 0.3, 4);
+  EXPECT_EQ(a, b);
+  const auto c = gilbert_stream(1000, 0.2, 0.3, 5);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generators, GilbertValidation) {
+  EXPECT_THROW(gilbert_stream(10, -0.1, 0.5, 1), TraceError);
+  EXPECT_THROW(gilbert_stream(10, 0.1, 1.5, 1), TraceError);
+}
+
+TEST(Generators, GilbertLoadMatchesStationary) {
+  // Load = p01 / (p01 + p10).
+  const auto s = gilbert_stream(400000, 0.1, 0.3, 11);
+  const StreamStats st = analyze_stream(s);
+  EXPECT_NEAR(st.request_rate, 0.25, 0.01);
+}
+
+TEST(Generators, OnOffBurstLengths) {
+  OnOffParams p;
+  p.mean_burst = 5.0;
+  p.mean_idle_short = 20.0;
+  p.mean_idle_long = 20.0;  // degenerate mixture: idle mean 20
+  p.long_idle_fraction = 0.5;
+  const auto s = on_off_stream(400000, p, 13);
+  const StreamStats st = analyze_stream(s);
+  EXPECT_NEAR(st.mean_burst_length, 5.0, 0.5);
+  EXPECT_NEAR(st.mean_idle_length, 20.0, 1.5);
+}
+
+TEST(Generators, EditingIsSparserThanCompilation) {
+  const StreamStats edit = analyze_stream(editing_stream(200000, 17));
+  const StreamStats comp = analyze_stream(compilation_stream(200000, 17));
+  EXPECT_LT(edit.request_rate, 0.35);
+  EXPECT_GT(comp.request_rate, 0.8);
+}
+
+TEST(Generators, ConcatStreams) {
+  const std::vector<unsigned> a{1, 0};
+  const std::vector<unsigned> b{0, 1, 1};
+  const auto c = concat_streams(a, b);
+  const std::vector<unsigned> expected{1, 0, 0, 1, 1};
+  EXPECT_EQ(c, expected);
+}
+
+TEST(Generators, DiurnalModulatesLoad) {
+  // Peak-phase load must exceed quiet-phase load.
+  const std::size_t period = 20000;
+  const auto s = diurnal_stream(period, period, 0.8, 0.02, 0.2, 23);
+  // First half of the sine period is the busy phase.
+  const std::vector<unsigned> busy(s.begin(), s.begin() + period / 2);
+  const std::vector<unsigned> quiet(s.begin() + period / 2, s.end());
+  EXPECT_GT(analyze_stream(busy).request_rate,
+            analyze_stream(quiet).request_rate + 0.1);
+  EXPECT_THROW(diurnal_stream(10, 0, 0.5, 0.1, 0.2, 1), TraceError);
+}
+
+}  // namespace
+}  // namespace dpm::trace

@@ -1,0 +1,115 @@
+// Tests for value iteration on the optimality equations (Eq. 12).
+#include <gtest/gtest.h>
+
+#include "cases/example_system.h"
+#include "dpm/evaluation.h"
+#include "dpm/value_iteration.h"
+
+namespace dpm {
+namespace {
+
+using cases::ExampleSystem;
+
+TEST(ValueIteration, ValidatesGamma) {
+  const SystemModel m = ExampleSystem::make_model();
+  EXPECT_THROW(value_iteration(m, metrics::power(m), 1.0), ModelError);
+  EXPECT_THROW(value_iteration(m, metrics::power(m), 0.0), ModelError);
+}
+
+TEST(ValueIteration, Converges) {
+  const SystemModel m = ExampleSystem::make_model();
+  const ValueIterationResult r =
+      value_iteration(m, metrics::power(m), 0.99);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.iterations, 0u);
+  EXPECT_EQ(r.values.size(), m.num_states());
+}
+
+TEST(ValueIteration, SatisfiesOptimalityEquations) {
+  // v*(s) = min_a [ m(s,a) + gamma sum_t P_a(s,t) v*(t) ]  (Eq. 12).
+  const SystemModel m = ExampleSystem::make_model();
+  const double gamma = 0.99;
+  const StateActionMetric cost = metrics::queue_length(m);
+  const ValueIterationResult r = value_iteration(m, cost, gamma);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t s = 0; s < m.num_states(); ++s) {
+    double best = 1e300;
+    for (std::size_t a = 0; a < m.num_commands(); ++a) {
+      double q = cost(s, a);
+      for (std::size_t t = 0; t < m.num_states(); ++t) {
+        q += gamma * m.chain().transition(s, t, a) * r.values[t];
+      }
+      best = std::min(best, q);
+    }
+    EXPECT_NEAR(r.values[s], best, 1e-7) << "state " << s;
+  }
+}
+
+TEST(ValueIteration, GreedyPolicyAchievesItsValues) {
+  // Evaluating the returned deterministic policy exactly must give the
+  // same discounted cost as the value function predicts.
+  const SystemModel m = ExampleSystem::make_model();
+  const double gamma = 0.99;
+  const ValueIterationResult r =
+      value_iteration(m, metrics::power(m), gamma);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t s0 = 0; s0 < m.num_states(); ++s0) {
+    linalg::Vector p0(m.num_states(), 0.0);
+    p0[s0] = 1.0;
+    const PolicyEvaluation ev(m, r.policy, gamma, p0);
+    EXPECT_NEAR(ev.total(metrics::power(m)), r.values[s0], 1e-6)
+        << "start state " << s0;
+  }
+}
+
+TEST(ValueIteration, PolicyIsDeterministic) {
+  const SystemModel m = ExampleSystem::make_model();
+  const ValueIterationResult r =
+      value_iteration(m, metrics::power(m), 0.95);
+  EXPECT_TRUE(r.policy.is_deterministic());
+}
+
+TEST(ValueIteration, ZeroCostGivesZeroValues) {
+  const SystemModel m = ExampleSystem::make_model();
+  const ValueIterationResult r =
+      value_iteration(m, metrics::constant(0.0), 0.9);
+  ASSERT_TRUE(r.converged);
+  for (const double v : r.values) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(ValueIteration, ConstantCostGivesGeometricSum) {
+  const SystemModel m = ExampleSystem::make_model();
+  const double gamma = 0.9;
+  const ValueIterationResult r =
+      value_iteration(m, metrics::constant(2.0), gamma);
+  ASSERT_TRUE(r.converged);
+  for (const double v : r.values) EXPECT_NEAR(v, 2.0 / (1.0 - gamma), 1e-7);
+}
+
+TEST(ValueIteration, IterationLimitReported) {
+  const SystemModel m = ExampleSystem::make_model();
+  ValueIterationOptions opt;
+  opt.max_iterations = 2;
+  const ValueIterationResult r =
+      value_iteration(m, metrics::power(m), 0.999, opt);
+  EXPECT_FALSE(r.converged);
+  EXPECT_EQ(r.iterations, 2u);
+}
+
+// Parameterized discount sweep: values grow like the horizon.
+class ViDiscountTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ViDiscountTest, ValuesScaleWithHorizon) {
+  const double gamma = GetParam();
+  const SystemModel m = ExampleSystem::make_model();
+  const ValueIterationResult r =
+      value_iteration(m, metrics::constant(1.0), gamma);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.values[0], 1.0 / (1.0 - gamma), 1e-5 / (1.0 - gamma));
+}
+
+INSTANTIATE_TEST_SUITE_P(Discounts, ViDiscountTest,
+                         ::testing::Values(0.5, 0.9, 0.99, 0.999));
+
+}  // namespace
+}  // namespace dpm
