@@ -26,12 +26,17 @@ int main() {
                 "stationary-distribution LP vs the discounted (Eq. 9) "
                 "formulation");
 
+  bench::JsonReport report("average_cost");
+
   bench::section("example system: discounted -> average convergence "
                  "(queue <= 0.45, loss <= 0.25)");
   {
     const SystemModel m = cases::ExampleSystem::make_model();
     const AverageCostOptimizer avg(m);
+    bench::WallTimer timer;
     const OptimizationResult a = avg.minimize_power(0.45, 0.25);
+    report.add("example average-cost", timer.elapsed_ms(), a.lp_iterations,
+               a.objective_per_step);
     std::printf("  %-22s %12.5f W\n", "average-cost optimum",
                 a.objective_per_step);
     for (const double gamma : {0.99, 0.999, 0.9999, 0.99999, 0.9999999}) {
@@ -48,11 +53,17 @@ int main() {
   {
     const SystemModel m = cases::DiskDrive::make_model();
     const AverageCostOptimizer avg(m);
+    bench::WallTimer t_avg;
     const OptimizationResult a = avg.minimize_power(0.4, 0.05);
+    report.add("disk average-cost", t_avg.elapsed_ms(), a.lp_iterations,
+               a.feasible ? a.objective_per_step : -1.0);
     std::printf("  %-22s %12.5f W\n", "average-cost optimum",
                 a.feasible ? a.objective_per_step : -1.0);
     const PolicyOptimizer d(m, cases::DiskDrive::make_config(m, 0.99999));
+    bench::WallTimer t_disc;
     const OptimizationResult r = d.minimize_power(0.4, 0.05);
+    report.add("disk discounted 1e5", t_disc.elapsed_ms(), r.lp_iterations,
+               r.feasible ? r.objective_per_step : -1.0);
     std::printf("  %-22s %12.5f W\n", "discounted (1e5)",
                 r.feasible ? r.objective_per_step : -1.0);
   }

@@ -23,6 +23,7 @@ int main() {
                 "power/performance Pareto curves under three request-loss "
                 "constraint settings; gamma = 0.99999");
 
+  bench::JsonReport report("fig06_pareto");
   const SystemModel m = ExampleSystem::make_model();
   const PolicyOptimizer opt(m, ExampleSystem::make_config(m));
 
@@ -46,17 +47,24 @@ int main() {
     std::printf("  %-10s", s.name);
     std::vector<OptimizationConstraint> fixed{
         {metrics::request_loss(m), s.loss_bound, "loss"}};
+    bench::WallTimer timer;
     const auto curve = opt.sweep(metrics::power(m), metrics::queue_length(m),
                                  "queue", queue_bounds, fixed);
+    const double wall_ms = timer.elapsed_ms();
     std::printf("\n    power:  ");
+    std::size_t pivots = 0;
+    double last_power = 0.0;
     for (const auto& pt : curve) {
+      pivots += pt.lp_iterations;
       if (pt.feasible) {
+        last_power = pt.objective;
         std::printf(" %8.4f", pt.objective);
       } else {
         std::printf(" %8s", "infeas");
       }
     }
     std::printf("\n");
+    report.add(s.name, wall_ms, pivots, last_power);
   }
 
   bench::section("shape checks");

@@ -18,8 +18,12 @@ namespace {
 
 void round_trip(const char* name, const SystemModel& m,
                 const PolicyOptimizer& opt,
-                const std::vector<double>& queue_bounds) {
+                const std::vector<double>& queue_bounds,
+                bench::JsonReport& report) {
   bench::section(name);
+  bench::WallTimer timer;
+  std::size_t lp_iterations = 0;
+  double last_power = 0.0;
   std::printf("  %-12s %14s %18s %12s\n", "queue bound", "LP4 power[W]",
               "LP3 queue @budget", "round-trip?");
   for (const double q : queue_bounds) {
@@ -32,11 +36,14 @@ void round_trip(const char* name, const SystemModel& m,
         opt.minimize_penalty(lp4.objective_per_step + 1e-9);
     const bool ok =
         lp3.feasible && std::abs(lp3.objective_per_step - q) < 1e-5;
+    lp_iterations += lp4.lp_iterations + lp3.lp_iterations;
+    last_power = lp4.objective_per_step;
     std::printf("  %-12.3f %14.5f %18.5f %12s\n", q,
                 lp4.objective_per_step,
                 lp3.feasible ? lp3.objective_per_step : -1.0,
                 ok ? "yes" : "NO");
   }
+  report.add(name, timer.elapsed_ms(), lp_iterations, last_power);
   (void)m;
 }
 
@@ -47,17 +54,18 @@ int main() {
                 "LP4's optimal power, used as LP3's power budget, "
                 "recovers the original performance bound");
 
+  bench::JsonReport report("po1_duality");
   {
     const SystemModel m = cases::ExampleSystem::make_model();
     const PolicyOptimizer opt(m, cases::ExampleSystem::make_config(m));
     round_trip("running example (gamma = 0.99999)", m, opt,
-               {0.25, 0.3, 0.35, 0.4, 0.45, 0.5});
+               {0.25, 0.3, 0.35, 0.4, 0.45, 0.5}, report);
   }
   {
     const SystemModel m = cases::DiskDrive::make_model();
     const PolicyOptimizer opt(m, cases::DiskDrive::make_config(m, 0.999));
     round_trip("disk drive (gamma = 0.999)", m, opt,
-               {0.15, 0.2, 0.3, 0.4});
+               {0.15, 0.2, 0.3, 0.4}, report);
   }
 
   bench::note("every feasible point round-trips: the two constrained "

@@ -1,12 +1,18 @@
 // Shared formatting helpers for the paper-reproduction harnesses.
 //
 // Every bench prints self-describing aligned tables: one table per
-// figure series, matching the rows/series the paper reports.  No files
-// are read or written; everything is deterministic from fixed seeds.
+// figure series, matching the rows/series the paper reports.
+// Deterministic from fixed seeds.  Each bench additionally drops a
+// BENCH_<bench>.json file into the current working directory with one
+// shared record schema — {"name", "wall_ms", "iterations", "objective"}
+// — so per-PR trajectories stay machine-comparable.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dpm::bench {
 
@@ -34,5 +40,65 @@ inline void fact(const std::string& label, double value) {
 inline void fact(const std::string& label, const std::string& value) {
   std::printf("  %-44s %12s\n", label.c_str(), value.c_str());
 }
+
+/// Wall-clock stopwatch for bench timings.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One measurement in the shared cross-bench schema.
+struct JsonRecord {
+  std::string name;        // what was measured ("revised n=2000", ...)
+  double wall_ms = 0.0;    // wall time spent
+  std::size_t iterations = 0;  // algorithm iterations (0 when n/a)
+  double objective = 0.0;  // headline numeric result (0 when n/a)
+};
+
+/// Collects records and writes BENCH_<bench>.json on destruction; every
+/// bench main emits exactly this schema so trajectories across PRs are
+/// comparable with one jq expression.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(std::string name, double wall_ms, std::size_t iterations,
+           double objective) {
+    records_.push_back({std::move(name), wall_ms, iterations, objective});
+  }
+
+  ~JsonReport() {
+    const std::string path = "BENCH_" + bench_name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [",
+                 bench_name_.c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const JsonRecord& r = records_[i];
+      std::fprintf(f,
+                   "%s\n    {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                   "\"iterations\": %zu, \"objective\": %.12g}",
+                   i == 0 ? "" : ",", r.name.c_str(), r.wall_ms,
+                   r.iterations, r.objective);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<JsonRecord> records_;
+};
 
 }  // namespace dpm::bench

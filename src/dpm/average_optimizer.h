@@ -23,8 +23,9 @@ namespace dpm {
 
 class AverageCostOptimizer {
  public:
-  explicit AverageCostOptimizer(const SystemModel& model,
-                                lp::Backend backend = lp::Backend::kSimplex);
+  explicit AverageCostOptimizer(
+      const SystemModel& model,
+      lp::Backend backend = lp::Backend::kRevisedSimplex);
 
   /// Minimizes the long-run average of `objective` under per-step
   /// constraints.  Fields of OptimizationResult are per-step averages;

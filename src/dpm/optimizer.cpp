@@ -50,19 +50,31 @@ lp::LpProblem PolicyOptimizer::build_lp(
   // Balance equations (the "incoming flow = outgoing flow" constraints
   // of LP2, Fig. 11): for every state j,
   //   sum_a x_{j,a} - gamma * sum_{s,a} P_a(s,j) x_{s,a} = p0_j.
+  // Assembled column-by-column over the chain's transition rows so only
+  // nonzero transitions produce terms: most (s, a) pairs reach a handful
+  // of successor states, so each balance row stays short.
+  std::vector<lp::Constraint> balance(n);
   for (std::size_t j = 0; j < n; ++j) {
-    lp::Constraint c;
-    c.sense = lp::Sense::kEq;
-    c.rhs = config_.initial_distribution[j];
-    c.name = "balance(" + std::to_string(j) + ")";
+    balance[j].sense = lp::Sense::kEq;
+    balance[j].rhs = config_.initial_distribution[j];
+    balance[j].name = "balance(" + std::to_string(j) + ")";
+    balance[j].terms.reserve(na + 8);
+  }
+  for (std::size_t a = 0; a < na; ++a) {
+    const linalg::Matrix& pa = model_->chain().matrix(a);
     for (std::size_t s = 0; s < n; ++s) {
-      for (std::size_t a = 0; a < na; ++a) {
-        double coeff = -gamma * model_->chain().transition(s, j, a);
-        if (s == j) coeff += 1.0;
-        if (coeff != 0.0) c.terms.emplace_back(s * na + a, coeff);
+      const std::size_t col = s * na + a;
+      const double* row = pa.data() + s * n;
+      balance[s].terms.emplace_back(col, 1.0);  // outgoing flow
+      for (std::size_t j = 0; j < n; ++j) {
+        if (row[j] != 0.0) {
+          balance[j].terms.emplace_back(col, -gamma * row[j]);
+        }
       }
     }
-    problem.add_constraint(std::move(c));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    problem.add_constraint(std::move(balance[j]));
   }
 
   // Metric constraints, scaled from per-step averages to discounted
@@ -72,6 +84,7 @@ lp::LpProblem PolicyOptimizer::build_lp(
     c.sense = lp::Sense::kLe;
     c.rhs = oc.per_step_bound * horizon;
     c.name = oc.name;
+    c.terms.reserve(n * na);
     for (std::size_t s = 0; s < n; ++s) {
       for (std::size_t a = 0; a < na; ++a) {
         const double m = oc.metric(s, a);
@@ -174,16 +187,52 @@ std::vector<PolicyOptimizer::ParetoPoint> PolicyOptimizer::sweep(
     const std::vector<OptimizationConstraint>& fixed_constraints) const {
   std::vector<ParetoPoint> curve;
   curve.reserve(sweep_bounds.size());
+
+  if (config_.backend != lp::Backend::kRevisedSimplex) {
+    // Backends without a warm-start contract: cold-solve every point.
+    for (const double bound : sweep_bounds) {
+      std::vector<OptimizationConstraint> constraints = fixed_constraints;
+      constraints.push_back({swept, bound, swept_name});
+      OptimizationResult r = minimize(objective, constraints);
+      ParetoPoint pt;
+      pt.bound = bound;
+      pt.feasible = r.feasible;
+      pt.lp_iterations = r.lp_iterations;
+      if (r.feasible) {
+        pt.objective = r.objective_per_step;
+        pt.policy = std::move(r.policy);
+      }
+      curve.push_back(std::move(pt));
+    }
+    return curve;
+  }
+
+  // Warm-started path: the LP matrix is identical across the sweep (the
+  // swept constraint is the last row; only its rhs moves), so each point
+  // restarts the revised simplex from the previous optimal basis.
+  std::vector<OptimizationConstraint> constraints = fixed_constraints;
+  constraints.push_back(
+      {swept, sweep_bounds.empty() ? 0.0 : sweep_bounds.front(), swept_name});
+  lp::LpProblem lp = build_lp(objective, constraints);
+  const std::size_t swept_row =
+      model_->num_states() + fixed_constraints.size();
+  const double one_minus_gamma = 1.0 - config_.discount;
+  const double horizon = 1.0 / one_minus_gamma;
+
+  lp::SimplexBasis basis;
   for (const double bound : sweep_bounds) {
-    std::vector<OptimizationConstraint> constraints = fixed_constraints;
-    constraints.push_back({swept, bound, swept_name});
-    OptimizationResult r = minimize(objective, constraints);
+    lp.set_rhs(swept_row, bound * horizon);
+    lp::SimplexBasis next;
+    const lp::LpSolution s = lp::solve_revised_simplex(
+        lp, {}, basis.empty() ? nullptr : &basis, &next);
     ParetoPoint pt;
     pt.bound = bound;
-    pt.feasible = r.feasible;
-    if (r.feasible) {
-      pt.objective = r.objective_per_step;
-      pt.policy = std::move(r.policy);
+    pt.lp_iterations = s.iterations;
+    if (s.status == lp::LpStatus::kOptimal) {
+      pt.feasible = true;
+      pt.objective = one_minus_gamma * s.objective;
+      pt.policy = extract_policy(s.x);
+      basis = std::move(next);  // warm-start the next bound from here
     }
     curve.push_back(std::move(pt));
   }

@@ -39,7 +39,7 @@ struct OptimizerConfig {
   double discount = 0.99999;
   /// Initial state distribution p0; empty means uniform.
   linalg::Vector initial_distribution;
-  lp::Backend backend = lp::Backend::kSimplex;
+  lp::Backend backend = lp::Backend::kRevisedSimplex;
 };
 
 struct OptimizationResult {
@@ -82,12 +82,18 @@ class PolicyOptimizer {
     double bound = 0.0;       // the swept constraint's per-step bound
     bool feasible = false;
     double objective = 0.0;   // optimal per-step objective
+    std::size_t lp_iterations = 0;  // simplex pivots spent on this point
     std::optional<Policy> policy;
   };
 
   /// Sweeps `sweep_bounds` for the first constraint while holding
   /// `fixed_constraints`, minimizing `objective` at each point — the
   /// paper's tradeoff-curve exploration (Figs. 6, 8b, 9a, 9b).
+  ///
+  /// With the revised-simplex backend the LP is built once and each
+  /// point after the first warm-starts from the previous optimal basis
+  /// (only the swept constraint's rhs changes), so subsequent points
+  /// cost a handful of dual-simplex pivots instead of a cold solve.
   std::vector<ParetoPoint> sweep(
       const StateActionMetric& objective, const StateActionMetric& swept,
       std::string swept_name, const std::vector<double>& sweep_bounds,

@@ -1,0 +1,114 @@
+#include "linalg/sparse.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dpm::linalg {
+
+SparseMatrixCsc SparseMatrixCsc::from_triplets(
+    std::size_t rows, std::size_t cols, const std::vector<Triplet>& entries) {
+  SparseMatrixCsc m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+
+  // Count entries per column, then bucket-place; duplicates are merged
+  // in a second pass over each sorted column.
+  std::vector<std::size_t> count(cols + 1, 0);
+  for (const Triplet& t : entries) {
+    if (t.row >= rows || t.col >= cols) {
+      throw LinalgError("sparse: triplet (" + std::to_string(t.row) + "," +
+                        std::to_string(t.col) + ") out of range");
+    }
+    ++count[t.col + 1];
+  }
+  std::vector<std::size_t> start(cols + 1, 0);
+  for (std::size_t j = 0; j < cols; ++j) start[j + 1] = start[j] + count[j + 1];
+
+  std::vector<std::size_t> rows_tmp(entries.size());
+  std::vector<double> vals_tmp(entries.size());
+  {
+    std::vector<std::size_t> next(start.begin(), start.end() - 1);
+    for (const Triplet& t : entries) {
+      const std::size_t k = next[t.col]++;
+      rows_tmp[k] = t.row;
+      vals_tmp[k] = t.value;
+    }
+  }
+
+  m.col_ptr_.assign(cols + 1, 0);
+  m.row_idx_.reserve(entries.size());
+  m.values_.reserve(entries.size());
+  std::vector<std::size_t> order;
+  for (std::size_t j = 0; j < cols; ++j) {
+    order.assign(rows_tmp.begin() + static_cast<std::ptrdiff_t>(start[j]),
+                 rows_tmp.begin() + static_cast<std::ptrdiff_t>(start[j + 1]));
+    std::sort(order.begin(), order.end());
+    order.erase(std::unique(order.begin(), order.end()), order.end());
+    // Sum duplicates: for each distinct row, accumulate matching values.
+    for (const std::size_t r : order) {
+      double v = 0.0;
+      for (std::size_t k = start[j]; k < start[j + 1]; ++k) {
+        if (rows_tmp[k] == r) v += vals_tmp[k];
+      }
+      if (v != 0.0) {
+        m.row_idx_.push_back(r);
+        m.values_.push_back(v);
+      }
+    }
+    m.col_ptr_[j + 1] = m.row_idx_.size();
+  }
+  return m;
+}
+
+double SparseMatrixCsc::coeff(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) {
+    throw LinalgError("sparse: coeff index out of range");
+  }
+  const auto first =
+      row_idx_.begin() + static_cast<std::ptrdiff_t>(col_ptr_[j]);
+  const auto last =
+      row_idx_.begin() + static_cast<std::ptrdiff_t>(col_ptr_[j + 1]);
+  const auto it = std::lower_bound(first, last, i);
+  if (it == last || *it != i) return 0.0;
+  return values_[static_cast<std::size_t>(it - row_idx_.begin())];
+}
+
+Vector SparseMatrixCsc::multiply(const Vector& x) const {
+  if (x.size() != cols_) throw LinalgError("sparse: multiply size mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const double xj = x[j];
+    if (xj == 0.0) continue;
+    for (std::size_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      y[row_idx_[k]] += values_[k] * xj;
+    }
+  }
+  return y;
+}
+
+Vector SparseMatrixCsc::multiply_transposed(const Vector& x) const {
+  if (x.size() != rows_) {
+    throw LinalgError("sparse: multiply_transposed size mismatch");
+  }
+  Vector y(cols_, 0.0);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    double acc = 0.0;
+    for (std::size_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      acc += values_[k] * x[row_idx_[k]];
+    }
+    y[j] = acc;
+  }
+  return y;
+}
+
+Matrix SparseMatrixCsc::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    for (std::size_t k = col_ptr_[j]; k < col_ptr_[j + 1]; ++k) {
+      d(row_idx_[k], j) = values_[k];
+    }
+  }
+  return d;
+}
+
+}  // namespace dpm::linalg

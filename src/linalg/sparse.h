@@ -1,0 +1,75 @@
+// Compressed-sparse-column matrix.
+//
+// The MDP balance-equation matrices this library produces have a handful
+// of nonzeros per column (one +1 diagonal flow term plus the few
+// successor states each (state, command) pair can reach).  The revised
+// simplex backend and the basis factorization operate on this type
+// instead of densifying.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpm::linalg {
+
+/// One (row, col, value) coordinate entry; duplicates are summed on
+/// assembly, exact zeros are dropped.
+struct Triplet {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSC sparse matrix (column pointers + row indices + values,
+/// rows sorted within each column).
+class SparseMatrixCsc {
+ public:
+  /// Empty 0x0 matrix.
+  SparseMatrixCsc() = default;
+
+  /// Assembles from coordinate entries.  Duplicate (row, col) pairs are
+  /// summed; entries that sum to exactly zero are kept out of the
+  /// pattern.  Throws LinalgError on out-of-range indices.
+  static SparseMatrixCsc from_triplets(std::size_t rows, std::size_t cols,
+                                       const std::vector<Triplet>& entries);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t nonzeros() const noexcept { return values_.size(); }
+
+  /// Half-open range [col_begin(j), col_end(j)) into row_indices()/
+  /// values() holding column j.
+  std::size_t col_begin(std::size_t j) const { return col_ptr_.at(j); }
+  std::size_t col_end(std::size_t j) const { return col_ptr_.at(j + 1); }
+
+  const std::vector<std::size_t>& row_indices() const noexcept {
+    return row_idx_;
+  }
+  const std::vector<double>& values() const noexcept { return values_; }
+
+  /// Element lookup by binary search within the column; zero when the
+  /// entry is not in the pattern.  O(log nnz(col)); for tests and
+  /// spot-checks, not hot loops.
+  double coeff(std::size_t i, std::size_t j) const;
+
+  /// y = A x   (x.size() == cols()).
+  Vector multiply(const Vector& x) const;
+
+  /// y = A^T x (x.size() == rows()).
+  Vector multiply_transposed(const Vector& x) const;
+
+  /// Densify (tests and small-problem fallbacks only).
+  Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> col_ptr_;  // size cols_ + 1
+  std::vector<std::size_t> row_idx_;  // size nnz, sorted per column
+  std::vector<double> values_;        // size nnz
+};
+
+}  // namespace dpm::linalg

@@ -1,0 +1,226 @@
+#include "linalg/sparse_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dpm::linalg {
+
+namespace {
+constexpr std::size_t kNoPosition = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+bool SparseLu::factorize(std::size_t n, const std::vector<SparseColumn>& columns,
+                         double pivot_tol) {
+  if (columns.size() != n) {
+    throw LinalgError("sparse-lu: column count does not match order");
+  }
+  n_ = n;
+  valid_ = false;
+  l_cols_.assign(n, {});
+  u_cols_.assign(n, {});
+  u_diag_.assign(n, 0.0);
+  pivot_row_.assign(n, 0);
+  row_position_.assign(n, kNoPosition);
+
+  // Fill reduction, part 1: eliminate sparse columns first (unit slack
+  // columns become free triangular steps), dense columns last.
+  col_of_position_.resize(n);
+  for (std::size_t j = 0; j < n; ++j) col_of_position_[j] = j;
+  std::stable_sort(col_of_position_.begin(), col_of_position_.end(),
+                   [&columns](std::size_t a, std::size_t b) {
+                     return columns[a].size() < columns[b].size();
+                   });
+
+  // Fill reduction, part 2: Markowitz-style row counts.  row_count_[r]
+  // approximates how many not-yet-eliminated columns touch row r;
+  // pivoting on a low-count row keeps its pattern out of L.
+  std::vector<std::size_t> row_count(n, 0);
+  for (const SparseColumn& col : columns) {
+    for (const auto& [r, v] : col) {
+      if (r >= n) throw LinalgError("sparse-lu: row index out of range");
+      (void)v;
+      ++row_count[r];
+    }
+  }
+
+  // Dense workspace + touched list: flops stay proportional to fill,
+  // only the k-scan below is O(position) per column.
+  Vector work(n, 0.0);
+  std::vector<char> marked(n, 0);
+  std::vector<std::size_t> touched;
+  touched.reserve(n);
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const SparseColumn& column = columns[col_of_position_[pos]];
+    touched.clear();
+    for (const auto& [r, v] : column) {
+      if (!marked[r]) {
+        marked[r] = 1;
+        touched.push_back(r);
+        work[r] = v;
+      } else {
+        work[r] += v;
+      }
+      --row_count[r];  // this column leaves the "remaining" set
+    }
+    // Left-looking elimination against the already-computed columns, in
+    // pivot order.  Only columns whose pivot row currently holds a
+    // nonzero contribute any flops.
+    SparseColumn& uj = u_cols_[pos];
+    for (std::size_t k = 0; k < pos; ++k) {
+      const std::size_t pr = pivot_row_[k];
+      const double ukj = marked[pr] ? work[pr] : 0.0;
+      if (ukj == 0.0) continue;
+      uj.emplace_back(k, ukj);
+      work[pr] = 0.0;  // consumed into U
+      for (const auto& [r, lv] : l_cols_[k]) {
+        if (!marked[r]) {
+          marked[r] = 1;
+          touched.push_back(r);
+          work[r] = 0.0;
+        }
+        work[r] -= ukj * lv;
+      }
+    }
+    // Threshold pivoting: among rows within a factor 10 of the largest
+    // candidate (numerical safety), take the lowest Markowitz row count
+    // (fill avoidance), breaking count ties by magnitude.
+    double max_abs = 0.0;
+    for (const std::size_t r : touched) {
+      if (row_position_[r] != kNoPosition) continue;
+      max_abs = std::max(max_abs, std::abs(work[r]));
+    }
+    std::size_t best_row = kNoPosition;
+    double best_abs = 0.0;
+    std::size_t best_count = kNoPosition;
+    if (max_abs > pivot_tol) {
+      const double threshold = 0.1 * max_abs;
+      for (const std::size_t r : touched) {
+        if (row_position_[r] != kNoPosition) continue;
+        const double a = std::abs(work[r]);
+        if (a < threshold) continue;
+        if (row_count[r] < best_count ||
+            (row_count[r] == best_count && a > best_abs)) {
+          best_count = row_count[r];
+          best_abs = a;
+          best_row = r;
+        }
+      }
+    }
+    if (best_row == kNoPosition) {
+      for (const std::size_t r : touched) {
+        marked[r] = 0;
+        work[r] = 0.0;
+      }
+      return false;  // numerically singular
+    }
+    const double diag = work[best_row];
+    u_diag_[pos] = diag;
+    pivot_row_[pos] = best_row;
+    row_position_[best_row] = pos;
+    SparseColumn& lj = l_cols_[pos];
+    for (const std::size_t r : touched) {
+      if (r != best_row && row_position_[r] == kNoPosition &&
+          work[r] != 0.0) {
+        lj.emplace_back(r, work[r] / diag);
+      }
+      marked[r] = 0;
+      work[r] = 0.0;
+    }
+  }
+  valid_ = true;
+  return true;
+}
+
+void SparseLu::ftran(Vector& x) const {
+  if (x.size() != n_) throw LinalgError("sparse-lu: ftran size mismatch");
+  // Forward solve L z = P x, column oriented over original row indices.
+  Vector z(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double zk = x[pivot_row_[k]];
+    z[k] = zk;
+    if (zk == 0.0) continue;
+    for (const auto& [r, lv] : l_cols_[k]) x[r] -= zk * lv;
+  }
+  // Back substitution U out = z, column oriented.
+  for (std::size_t jj = n_; jj-- > 0;) {
+    const double xj = z[jj] / u_diag_[jj];
+    z[jj] = xj;
+    if (xj == 0.0) continue;
+    for (const auto& [k, ukj] : u_cols_[jj]) z[k] -= xj * ukj;
+  }
+  // Undo the fill-reducing column permutation: position jj solved for
+  // the caller's column col_of_position_[jj].
+  for (std::size_t jj = 0; jj < n_; ++jj) x[col_of_position_[jj]] = z[jj];
+}
+
+void SparseLu::btran(Vector& x) const {
+  if (x.size() != n_) throw LinalgError("sparse-lu: btran size mismatch");
+  // Forward solve U^T t = c: u_cols_[j] holds exactly the U(k, j), k < j.
+  // Input is indexed by caller column; map it through the fill-reducing
+  // column permutation first.
+  Vector t(n_);
+  for (std::size_t j = 0; j < n_; ++j) {
+    double acc = x[col_of_position_[j]];
+    for (const auto& [k, ukj] : u_cols_[j]) acc -= ukj * t[k];
+    t[j] = acc / u_diag_[j];
+  }
+  // Back solve L^T s = t: s[k] = t[k] - sum_{m > k} L(m, k) s[m], where
+  // the L entry at original row r belongs to pivot position
+  // row_position_[r] > k.
+  for (std::size_t kk = n_; kk-- > 0;) {
+    double acc = t[kk];
+    for (const auto& [r, lv] : l_cols_[kk]) acc -= lv * t[row_position_[r]];
+    t[kk] = acc;
+  }
+  // Scatter back to original row indexing: y[pivot_row_[k]] = s[k].
+  for (std::size_t k = 0; k < n_; ++k) x[pivot_row_[k]] = t[k];
+}
+
+bool BasisFactorization::refactorize(std::size_t n,
+                                     const std::vector<SparseColumn>& columns) {
+  etas_.clear();
+  return lu_.factorize(n, columns, pivot_tol_);
+}
+
+bool BasisFactorization::update(std::size_t r, const Vector& d) {
+  if (etas_.size() >= refactor_interval_) return false;
+  const double dr = d[r];
+  // A small update pivot makes the eta column explosive; force a fresh
+  // factorization instead of poisoning every later solve.
+  if (std::abs(dr) < 1e-9) return false;
+  Eta eta;
+  eta.r = r;
+  const double inv = 1.0 / dr;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    if (i == r) {
+      eta.column.emplace_back(i, inv);
+    } else if (d[i] != 0.0) {
+      eta.column.emplace_back(i, -d[i] * inv);
+    }
+  }
+  etas_.push_back(std::move(eta));
+  return true;
+}
+
+void BasisFactorization::ftran(Vector& x) const {
+  lu_.ftran(x);
+  for (const Eta& e : etas_) {
+    const double t = x[e.r];
+    if (t == 0.0) continue;
+    x[e.r] = 0.0;
+    for (const auto& [i, v] : e.column) x[i] += v * t;
+  }
+}
+
+void BasisFactorization::btran(Vector& x) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    double acc = 0.0;
+    for (const auto& [i, v] : it->column) acc += v * x[i];
+    x[it->r] = acc;
+  }
+  lu_.btran(x);
+}
+
+}  // namespace dpm::linalg

@@ -1,0 +1,115 @@
+// Sparse LU basis factorization for the revised simplex method.
+//
+// SparseLu factorizes a square matrix given as sparse columns (left-
+// looking elimination with partial pivoting; flops proportional to fill,
+// not to n^2).  BasisFactorization wraps it with a product-form eta file:
+// each simplex pivot appends one eta column instead of refactorizing, and
+// the factorization is rebuilt from scratch every `refactor_interval`
+// updates (or sooner when an update pivot is too small) to bound error
+// accumulation — the classic eta-update / periodic-refactorization scheme
+// of sparse simplex codes.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpm::linalg {
+
+/// A sparse column: (row, value) pairs, unique rows.
+using SparseColumn = std::vector<std::pair<std::size_t, double>>;
+
+/// P A Q = LU of a square sparse matrix with fill-reducing pivoting:
+/// columns are processed sparsest-first, and within a column the pivot
+/// row is chosen among numerically safe candidates (threshold partial
+/// pivoting, |pivot| >= 0.1 * max) to minimize a Markowitz-style row
+/// count — dense rows (e.g. an LP's metric-constraint row) are deferred
+/// to the end instead of spraying fill through every elimination step.
+///
+/// ftran solves B x = b (b indexed by original row, x indexed by basis
+/// position, i.e. by the order the columns were supplied); btran solves
+/// B^T y = c (c indexed by basis position, y by original row).  This is
+/// exactly the index convention the revised simplex needs: ftran maps
+/// right-hand sides to basic-variable values, btran maps basic costs to
+/// row duals.
+class SparseLu {
+ public:
+  SparseLu() = default;
+
+  /// Factorizes the n x n matrix whose j-th column is `columns[j]`.
+  /// Returns false (leaving the object unusable) when a pivot below
+  /// `pivot_tol` makes the matrix numerically singular.
+  bool factorize(std::size_t n, const std::vector<SparseColumn>& columns,
+                 double pivot_tol = 1e-11);
+
+  std::size_t order() const noexcept { return n_; }
+  bool valid() const noexcept { return valid_; }
+
+  /// In place: x (indexed by original row on input) becomes the solution
+  /// of B x = input, indexed by basis position.
+  void ftran(Vector& x) const;
+
+  /// In place: x (indexed by basis position on input) becomes the
+  /// solution of B^T y = input, indexed by original row.
+  void btran(Vector& x) const;
+
+ private:
+  std::size_t n_ = 0;
+  bool valid_ = false;
+  // L column k: multipliers at *original* row indices (unit diagonal
+  // implicit).  U column k: entries U(k', k) at pivot positions k' < k,
+  // plus the diagonal.  Positions follow the internal elimination order;
+  // col_of_position_ maps them back to caller column indices.
+  std::vector<SparseColumn> l_cols_;
+  std::vector<SparseColumn> u_cols_;
+  Vector u_diag_;
+  std::vector<std::size_t> pivot_row_;     // pivot position -> original row
+  std::vector<std::size_t> row_position_;  // original row -> pivot position
+  std::vector<std::size_t> col_of_position_;  // position -> caller column
+};
+
+/// Basis handle for the revised simplex: LU plus an eta file.
+class BasisFactorization {
+ public:
+  explicit BasisFactorization(std::size_t refactor_interval = 64,
+                              double pivot_tol = 1e-11)
+      : refactor_interval_(refactor_interval), pivot_tol_(pivot_tol) {}
+
+  /// (Re)factorizes from scratch; clears the eta file.  Returns false on
+  /// a singular basis.
+  bool refactorize(std::size_t n, const std::vector<SparseColumn>& columns);
+
+  /// Rank-one basis change: position `r` is replaced by a column whose
+  /// ftran image is `d` (i.e. d = B^{-1} a_entering, as produced by
+  /// ftran()).  Appends one eta column.  Returns false when |d[r]| is
+  /// too small or the eta file is full — the caller must refactorize.
+  bool update(std::size_t r, const Vector& d);
+
+  /// Number of eta columns appended since the last refactorization.
+  std::size_t updates_since_refactor() const noexcept { return etas_.size(); }
+  bool needs_refactor() const noexcept {
+    return etas_.size() >= refactor_interval_;
+  }
+  bool valid() const noexcept { return lu_.valid(); }
+
+  /// x <- B^{-1} x  (input indexed by original row, output by position).
+  void ftran(Vector& x) const;
+
+  /// x <- B^{-T} x  (input indexed by position, output by original row).
+  void btran(Vector& x) const;
+
+ private:
+  struct Eta {
+    std::size_t r = 0;     // replaced basis position
+    SparseColumn column;   // eta column entries (position, value), incl. r
+  };
+
+  SparseLu lu_;
+  std::vector<Eta> etas_;
+  std::size_t refactor_interval_;
+  double pivot_tol_;
+};
+
+}  // namespace dpm::linalg

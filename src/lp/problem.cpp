@@ -29,6 +29,27 @@ void LpProblem::add_constraint(Constraint c) {
   constraints_.push_back(std::move(c));
 }
 
+void LpProblem::set_rhs(std::size_t row, double rhs) {
+  if (row >= constraints_.size()) {
+    throw LpError("lp: set_rhs row out of range");
+  }
+  constraints_[row].rhs = rhs;
+}
+
+linalg::SparseMatrixCsc LpProblem::constraint_csc() const {
+  std::vector<linalg::Triplet> triplets;
+  std::size_t nnz = 0;
+  for (const Constraint& c : constraints_) nnz += c.terms.size();
+  triplets.reserve(nnz);
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    for (const auto& [col, coeff] : constraints_[i].terms) {
+      triplets.push_back({i, col, coeff});
+    }
+  }
+  return linalg::SparseMatrixCsc::from_triplets(num_constraints(),
+                                                num_variables(), triplets);
+}
+
 void LpProblem::add_dense_constraint(const linalg::Vector& row, Sense sense,
                                      double rhs, std::string name) {
   if (row.size() != num_variables()) {
@@ -73,6 +94,25 @@ double LpProblem::max_violation(const linalg::Vector& x) const {
     }
   }
   return worst;
+}
+
+LpProblem perturbed_copy(const LpProblem& problem, double eps) {
+  LpProblem copy;
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    copy.add_variable(problem.costs()[j], problem.variable_name(j));
+  }
+  double scale = 1.0;
+  for (const Constraint& c : problem.constraints()) {
+    scale = std::max(scale, std::abs(c.rhs));
+  }
+  std::size_t i = 0;
+  for (Constraint c : problem.constraints()) {
+    c.rhs += eps * static_cast<double>(i + 1) * scale /
+             static_cast<double>(problem.num_constraints());
+    copy.add_constraint(std::move(c));
+    ++i;
+  }
+  return copy;
 }
 
 const char* to_string(LpStatus s) noexcept {

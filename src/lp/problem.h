@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/sparse.h"
 
 namespace dpm::lp {
 
@@ -44,6 +45,11 @@ class LpProblem {
   /// Duplicate columns within one constraint are summed.
   void add_constraint(Constraint c);
 
+  /// Replaces the right-hand side of constraint `row` (bounds sweeps:
+  /// the matrix and senses stay fixed, so a solver basis from the
+  /// previous rhs remains structurally valid and can warm-start).
+  void set_rhs(std::size_t row, double rhs);
+
   /// Convenience for dense rows (size must equal num_variables()).
   void add_dense_constraint(const linalg::Vector& row, Sense sense, double rhs,
                             std::string name = {});
@@ -58,6 +64,11 @@ class LpProblem {
   const std::string& variable_name(std::size_t j) const {
     return names_.at(j);
   }
+
+  /// Constraint matrix as CSC columns (num_constraints x num_variables)
+  /// — no densification; the revised simplex backend consumes this
+  /// directly.
+  linalg::SparseMatrixCsc constraint_csc() const;
 
   /// Objective value of a given point (no feasibility check).
   double objective(const linalg::Vector& x) const;
@@ -82,5 +93,13 @@ struct LpSolution {
   double objective = 0.0;  // c^T x
   std::size_t iterations = 0;
 };
+
+/// Deterministically perturbed copy: rhs_i += eps * (i+1) * scale / m,
+/// with scale = max |rhs|.  The classical anti-cycling remedy both
+/// simplex backends retry with when a heavily degenerate basis stalls
+/// (policy LPs are degenerate by construction: most initial-distribution
+/// entries are zero).  Objectives move by O(eps * m * horizon), far
+/// below any quantity the library reports.
+LpProblem perturbed_copy(const LpProblem& problem, double eps);
 
 }  // namespace dpm::lp

@@ -1,0 +1,549 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/sparse_lu.h"
+
+namespace dpm::lp {
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// Standard-form engine: columns [structural | slack/surplus | artificial]
+// over equality rows A x = b, x >= 0.  Artificials carry an implicit
+// upper bound of zero outside phase 1 and are never allowed to enter.
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const LpProblem& p, const RevisedSimplexOptions& opt)
+      : opt_(opt),
+        m_(p.num_constraints()),
+        n_struct_(p.num_variables()),
+        factor_(opt.refactor_interval) {
+    const linalg::SparseMatrixCsc a = p.constraint_csc();
+    cols_.reserve(n_struct_ + 2 * m_);
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      linalg::SparseColumn col;
+      col.reserve(a.col_end(j) - a.col_begin(j));
+      for (std::size_t k = a.col_begin(j); k < a.col_end(j); ++k) {
+        col.emplace_back(a.row_indices()[k], a.values()[k]);
+      }
+      cols_.push_back(std::move(col));
+    }
+    rhs_.resize(m_);
+    slack_of_row_.assign(m_, kNone);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Constraint& c = p.constraints()[i];
+      rhs_[i] = c.rhs;
+      if (c.sense != Sense::kEq) {
+        slack_of_row_[i] = cols_.size();
+        cols_.push_back({{i, c.sense == Sense::kLe ? 1.0 : -1.0}});
+      }
+    }
+    first_artificial_ = cols_.size();
+    for (std::size_t i = 0; i < m_; ++i) {
+      cols_.push_back({{i, rhs_[i] < 0.0 ? -1.0 : 1.0}});
+    }
+    n_cols_ = cols_.size();
+
+    cost2_.assign(n_cols_, 0.0);
+    for (std::size_t j = 0; j < n_struct_; ++j) cost2_[j] = p.costs()[j];
+    cost1_.assign(n_cols_, 0.0);
+    for (std::size_t j = first_artificial_; j < n_cols_; ++j) cost1_[j] = 1.0;
+  }
+
+  bool is_artificial(std::size_t j) const { return j >= first_artificial_; }
+
+  /// Cold start: slack basis where the slack sign admits it, artificial
+  /// elsewhere.  Returns true when any artificial entered the basis
+  /// (phase 1 required).
+  bool install_cold_basis() {
+    basis_.assign(m_, kNone);
+    bool need_phase1 = false;
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t s = slack_of_row_[i];
+      if (s != kNone) {
+        const double sigma = cols_[s].front().second;
+        if (rhs_[i] / sigma >= 0.0) {
+          basis_[i] = s;
+          continue;
+        }
+      }
+      basis_[i] = first_artificial_ + i;
+      need_phase1 = true;
+    }
+    rebuild_in_basis();
+    return need_phase1;
+  }
+
+  bool install_warm_basis(const SimplexBasis& warm) {
+    if (warm.basic.size() != m_) return false;
+    for (const std::size_t j : warm.basic) {
+      if (j >= n_cols_) return false;
+    }
+    basis_ = warm.basic;
+    rebuild_in_basis();
+    return true;
+  }
+
+  bool refactorize() {
+    std::vector<linalg::SparseColumn> bcols(m_);
+    for (std::size_t i = 0; i < m_; ++i) bcols[i] = cols_[basis_[i]];
+    return factor_.refactorize(m_, bcols);
+  }
+
+  void recompute_xb() {
+    xb_ = rhs_;
+    factor_.ftran(xb_);
+  }
+
+  linalg::Vector duals(const linalg::Vector& cost) const {
+    linalg::Vector y(m_);
+    for (std::size_t i = 0; i < m_; ++i) y[i] = cost[basis_[i]];
+    factor_.btran(y);
+    return y;
+  }
+
+  double column_dot(std::size_t j, const linalg::Vector& y) const {
+    double acc = 0.0;
+    for (const auto& [r, v] : cols_[j]) acc += v * y[r];
+    return acc;
+  }
+
+  double primal_infeasibility() const {
+    double worst = 0.0;
+    for (const double v : xb_) worst = std::max(worst, -v);
+    return worst;
+  }
+
+  /// True when any artificial column sits in the basis (a redundant
+  /// row's placeholder, legitimate only at value zero).  Warm starts
+  /// must refuse such bases: a rhs change can push the artificial
+  /// positive — which neither the dual simplex (it targets negative xb)
+  /// nor phase 2 (it only caps artificial growth) can repair — and the
+  /// dual simplex's infeasibility certificate is only sound when every
+  /// basic variable is genuinely sign-constrained.  An artificial-free
+  /// basis stays artificial-free: no phase ever lets one enter.
+  bool basis_has_artificial() const {
+    for (const std::size_t j : basis_) {
+      if (is_artificial(j)) return true;
+    }
+    return false;
+  }
+
+  double dual_infeasibility() const {
+    const linalg::Vector y = duals(cost2_);
+    double worst = 0.0;
+    for (std::size_t j = 0; j < first_artificial_; ++j) {
+      if (in_basis_[j]) continue;
+      worst = std::max(worst, -(cost2_[j] - column_dot(j, y)));
+    }
+    return worst;
+  }
+
+  struct PhaseResult {
+    LpStatus status = LpStatus::kIterationLimit;
+    std::size_t iterations = 0;
+  };
+
+  /// Primal simplex minimizing `cost` from the current factorized basis.
+  /// `artificial_cap` enforces the zero upper bound on basic artificials
+  /// (phase 2); phase 1 lets them move freely down to zero.
+  PhaseResult primal(const linalg::Vector& cost, bool artificial_cap) {
+    PhaseResult res;
+    std::size_t stall = 0;
+    bool bland = false;
+    double best_obj = std::numeric_limits<double>::infinity();
+    if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge) {
+      devex_.assign(n_cols_, 1.0);
+    }
+
+    while (res.iterations < opt_.max_iterations) {
+      if (!factor_.valid()) return res;  // numerically wedged
+      if (factor_.needs_refactor()) {
+        if (!refactorize()) return res;
+        recompute_xb();
+      }
+      const linalg::Vector y = duals(cost);
+
+      // --- pricing ---
+      std::size_t enter = kNone;
+      double enter_rc = 0.0;
+      double best_score = 0.0;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (in_basis_[j]) continue;
+        const double rc = cost[j] - column_dot(j, y);
+        if (rc >= -opt_.reduced_cost_tol) continue;
+        if (bland) {
+          enter = j;
+          enter_rc = rc;
+          break;
+        }
+        double score = -rc;
+        if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge) {
+          score = rc * rc / devex_[j];
+        }
+        if (enter == kNone || score > best_score) {
+          best_score = score;
+          enter = j;
+          enter_rc = rc;
+        }
+      }
+      if (enter == kNone) {
+        res.status = LpStatus::kOptimal;
+        return res;
+      }
+
+      // --- ftran + ratio test ---
+      linalg::Vector d(m_, 0.0);
+      for (const auto& [r, v] : cols_[enter]) d[r] = v;
+      factor_.ftran(d);
+
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double ratio = leave_ratio(i, d[i], artificial_cap);
+        if (ratio < best_ratio) best_ratio = ratio;
+      }
+      if (best_ratio == std::numeric_limits<double>::infinity()) {
+        res.status = LpStatus::kUnbounded;
+        return res;
+      }
+      const double cut = best_ratio + 1e-9 * (1.0 + std::abs(best_ratio));
+      std::size_t leave = kNone;
+      double best_pivot = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double ratio = leave_ratio(i, d[i], artificial_cap);
+        if (ratio > cut) continue;
+        if (bland) {
+          if (leave == kNone || basis_[i] < basis_[leave]) leave = i;
+        } else if (std::abs(d[i]) > best_pivot) {
+          best_pivot = std::abs(d[i]);
+          leave = i;
+        }
+      }
+
+      const double theta = std::max(best_ratio, 0.0);
+      for (std::size_t i = 0; i < m_; ++i) xb_[i] -= theta * d[i];
+      xb_[leave] = theta;
+      if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge &&
+          !bland) {
+        update_devex(enter, leave, d);
+      }
+      change_basis(leave, enter, d);
+      ++res.iterations;
+
+      double obj = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) obj += cost[basis_[i]] * xb_[i];
+      if (obj < best_obj - 1e-12) {
+        best_obj = obj;
+        stall = 0;
+        // Progress means we are off the degenerate plateau: resume
+        // aggressive pricing.  Termination is still guaranteed — the
+        // objective milestones strictly decrease, and each Bland
+        // episode between them terminates on its own.
+        bland = false;
+      } else if (++stall >=
+                 (bland ? opt_.bland_stall_abort : opt_.stall_limit)) {
+        if (bland) return res;  // give up; caller retries perturbed
+        bland = true;
+        stall = 0;
+      }
+    }
+    return res;
+  }
+
+  /// Dual simplex from a dual-feasible basis (warm restarts after a rhs
+  /// change).  Stops as soon as the basis is primal feasible; returns
+  /// kOptimal in that case (a phase-2 polish confirms optimality).
+  PhaseResult dual(std::size_t max_iters) {
+    PhaseResult res;
+    while (res.iterations < max_iters) {
+      if (!factor_.valid()) return res;
+      if (factor_.needs_refactor()) {
+        if (!refactorize()) return res;
+      }
+      recompute_xb();
+      std::size_t leave = kNone;
+      double most_negative = -opt_.feas_tol;
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (xb_[i] < most_negative) {
+          most_negative = xb_[i];
+          leave = i;
+        }
+      }
+      if (leave == kNone) {
+        res.status = LpStatus::kOptimal;
+        return res;
+      }
+
+      linalg::Vector rho(m_, 0.0);
+      rho[leave] = 1.0;
+      factor_.btran(rho);
+      const linalg::Vector y = duals(cost2_);
+
+      std::size_t enter = kNone;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      double best_alpha = 0.0;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (in_basis_[j]) continue;
+        const double alpha = column_dot(j, rho);
+        if (alpha >= -opt_.pivot_tol) continue;
+        const double rc = std::max(cost2_[j] - column_dot(j, y), 0.0);
+        const double ratio = rc / -alpha;
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && -alpha > best_alpha)) {
+          best_ratio = ratio;
+          best_alpha = -alpha;
+          enter = j;
+        }
+      }
+      if (enter == kNone) {
+        res.status = LpStatus::kInfeasible;
+        return res;
+      }
+
+      linalg::Vector d(m_, 0.0);
+      for (const auto& [r, v] : cols_[enter]) d[r] = v;
+      factor_.ftran(d);
+      change_basis(leave, enter, d);
+      ++res.iterations;
+    }
+    return res;
+  }
+
+  /// Post-phase-1 cleanup: swap basic artificials for structural or
+  /// slack columns where a usable pivot exists; redundant rows keep
+  /// their artificial basic at zero (phase 2 never lets it grow).
+  void drive_out_artificials() {
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (!factor_.valid()) return;
+      if (!is_artificial(basis_[i])) continue;
+      linalg::Vector rho(m_, 0.0);
+      rho[i] = 1.0;
+      factor_.btran(rho);
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (in_basis_[j]) continue;
+        if (std::abs(column_dot(j, rho)) <= opt_.pivot_tol) continue;
+        linalg::Vector d(m_, 0.0);
+        for (const auto& [r, v] : cols_[j]) d[r] = v;
+        factor_.ftran(d);
+        change_basis(i, j, d);
+        break;
+      }
+    }
+    if (!factor_.valid()) return;
+    recompute_xb();
+  }
+
+  double phase1_objective() const {
+    double obj = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (is_artificial(basis_[i])) obj += std::max(xb_[i], 0.0);
+    }
+    return obj;
+  }
+
+  LpSolution extract(const LpProblem& p) const {
+    LpSolution sol;
+    sol.status = LpStatus::kOptimal;
+    sol.x.assign(n_struct_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] < n_struct_) {
+        sol.x[basis_[i]] = std::max(xb_[i], 0.0);
+      }
+    }
+    sol.objective = p.objective(sol.x);
+    return sol;
+  }
+
+  const std::vector<std::size_t>& basis() const noexcept { return basis_; }
+  std::size_t rows() const noexcept { return m_; }
+  const linalg::Vector& phase1_cost() const noexcept { return cost1_; }
+  const linalg::Vector& phase2_cost() const noexcept { return cost2_; }
+
+ private:
+  void rebuild_in_basis() {
+    in_basis_.assign(n_cols_, 0);
+    for (const std::size_t j : basis_) in_basis_[j] = 1;
+  }
+
+  /// Ratio contributed by basic position i when the entering column's
+  /// ftran image is di; +inf when i cannot limit the step.  Basic
+  /// artificials outside phase 1 also block movement *upward* (their
+  /// upper bound is zero), which keeps phase 2 from re-entering
+  /// infeasibility through a redundant row.
+  double leave_ratio(std::size_t i, double di, bool artificial_cap) const {
+    if (di > opt_.pivot_tol) {
+      return std::max(xb_[i], 0.0) / di;
+    }
+    if (artificial_cap && di < -opt_.pivot_tol && is_artificial(basis_[i])) {
+      return std::max(-xb_[i], 0.0) / -di;
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+
+  void change_basis(std::size_t leave, std::size_t enter,
+                    const linalg::Vector& d) {
+    in_basis_[basis_[leave]] = 0;
+    in_basis_[enter] = 1;
+    basis_[leave] = enter;
+    if (!factor_.update(leave, d)) {
+      if (refactorize()) {
+        recompute_xb();
+      }
+      // A singular refactorization here leaves factor_ invalid; the
+      // next loop iteration's refactorize() attempt reports it.
+    }
+  }
+
+  /// Devex reference-weight update (Forrest–Goldfarb approximation of
+  /// steepest edge): needs the pivot row, one extra btran per iteration.
+  void update_devex(std::size_t enter, std::size_t leave,
+                    const linalg::Vector& d) {
+    const double dr = d[leave];
+    if (std::abs(dr) < 1e-12) return;
+    linalg::Vector rho(m_, 0.0);
+    rho[leave] = 1.0;
+    factor_.btran(rho);
+    const double wq = devex_[enter];
+    double max_w = 0.0;
+    for (std::size_t j = 0; j < first_artificial_; ++j) {
+      if (in_basis_[j] || j == enter) continue;
+      const double alpha = column_dot(j, rho);
+      if (alpha == 0.0) continue;
+      const double cand = (alpha / dr) * (alpha / dr) * wq;
+      if (cand > devex_[j]) devex_[j] = cand;
+      max_w = std::max(max_w, devex_[j]);
+    }
+    devex_[basis_[leave]] = std::max(wq / (dr * dr), 1.0);
+    if (max_w > 1e8) devex_.assign(n_cols_, 1.0);  // reference reset
+  }
+
+  RevisedSimplexOptions opt_;
+  std::size_t m_ = 0;
+  std::size_t n_struct_ = 0;
+  std::size_t n_cols_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::vector<linalg::SparseColumn> cols_;
+  std::vector<std::size_t> slack_of_row_;
+  linalg::Vector rhs_;
+  linalg::Vector cost1_, cost2_;
+  std::vector<std::size_t> basis_;
+  std::vector<char> in_basis_;
+  linalg::Vector xb_;
+  linalg::Vector devex_;
+  linalg::BasisFactorization factor_;
+};
+
+LpSolution solve_once(const LpProblem& problem,
+                      const RevisedSimplexOptions& opt,
+                      const SimplexBasis* warm, SimplexBasis* basis_out) {
+  RevisedSimplex engine(problem, opt);
+  LpSolution sol;
+
+  // --- warm-started path -------------------------------------------
+  bool warm_done = false;
+  if (warm != nullptr && !warm->empty()) {
+    if (engine.install_warm_basis(*warm) && !engine.basis_has_artificial() &&
+        engine.refactorize()) {
+      engine.recompute_xb();
+      if (engine.dual_infeasibility() <= 1e-6) {
+        RevisedSimplex::PhaseResult dres = {LpStatus::kOptimal, 0};
+        if (engine.primal_infeasibility() > opt.feas_tol) {
+          dres = engine.dual(opt.max_dual_iterations);
+          sol.iterations += dres.iterations;
+        }
+        if (dres.status == LpStatus::kInfeasible) {
+          sol.status = LpStatus::kInfeasible;
+          return sol;
+        }
+        if (dres.status == LpStatus::kOptimal) {
+          // Polish / confirm with phase-2 pivots (usually zero).
+          const auto r2 = engine.primal(engine.phase2_cost(),
+                                        /*artificial_cap=*/true);
+          sol.iterations += r2.iterations;
+          if (r2.status == LpStatus::kOptimal) {
+            const std::size_t iters = sol.iterations;
+            sol = engine.extract(problem);
+            sol.iterations = iters;
+            warm_done = true;
+          }
+        }
+      }
+    }
+    if (warm_done) {
+      if (basis_out != nullptr) basis_out->basic = engine.basis();
+      return sol;
+    }
+    // Fall through to a cold solve on any warm-start trouble.
+    sol = LpSolution{};
+  }
+
+  // --- cold path ----------------------------------------------------
+  const bool need_phase1 = engine.install_cold_basis();
+  if (!engine.refactorize()) {
+    return sol;  // kIterationLimit: pathological initial basis
+  }
+  engine.recompute_xb();
+
+  if (need_phase1) {
+    const auto r1 = engine.primal(engine.phase1_cost(),
+                                  /*artificial_cap=*/false);
+    sol.iterations += r1.iterations;
+    if (r1.status != LpStatus::kOptimal) {
+      sol.status = r1.status == LpStatus::kUnbounded ? LpStatus::kIterationLimit
+                                                     : r1.status;
+      return sol;
+    }
+    if (engine.phase1_objective() > opt.feas_tol) {
+      sol.status = LpStatus::kInfeasible;
+      return sol;
+    }
+    engine.drive_out_artificials();
+  }
+
+  const auto r2 = engine.primal(engine.phase2_cost(),
+                                /*artificial_cap=*/true);
+  sol.iterations += r2.iterations;
+  sol.status = r2.status;
+  if (r2.status != LpStatus::kOptimal) return sol;
+
+  const std::size_t iters = sol.iterations;
+  sol = engine.extract(problem);
+  sol.iterations = iters;
+  if (basis_out != nullptr) basis_out->basic = engine.basis();
+  return sol;
+}
+
+}  // namespace
+
+LpSolution solve_revised_simplex(const LpProblem& problem,
+                                 const RevisedSimplexOptions& options,
+                                 const SimplexBasis* warm,
+                                 SimplexBasis* basis_out) {
+  if (problem.num_variables() == 0) {
+    throw LpError("revised-simplex: problem has no variables");
+  }
+  LpSolution sol = solve_once(problem, options, warm, basis_out);
+  if (sol.status != LpStatus::kIterationLimit) return sol;
+
+  // Degeneracy stall: retry cold on deterministically perturbed copies,
+  // the same remedy (and helper) the dense tableau uses.
+  for (const double eps : {1e-11, 1e-9, 1e-7}) {
+    const LpProblem copy = perturbed_copy(problem, eps);
+    const LpSolution retry = solve_once(copy, options, nullptr, basis_out);
+    if (retry.status != LpStatus::kIterationLimit) {
+      LpSolution out = retry;
+      if (out.status == LpStatus::kOptimal) {
+        out.objective = problem.objective(out.x);
+      }
+      out.iterations += sol.iterations;
+      return out;
+    }
+  }
+  return sol;
+}
+
+}  // namespace dpm::lp

@@ -48,7 +48,9 @@ class Tableau {
       if (slack_col != kNoBasis) row[slack_col] = slack_coeff;
 
       if (rhs_[i] < 0.0) {
-        for (double& v : row) v = -v;
+        // Only [0, n_total_) can be populated at this point; the
+        // artificial tail is still all-zero.
+        for (std::size_t j = 0; j < n_total_; ++j) row[j] = -row[j];
         rhs_[i] = -rhs_[i];
         slack_coeff = -slack_coeff;
       }
@@ -220,7 +222,10 @@ class Tableau {
              double& obj_rhs) {
     linalg::Vector& prow = rows_[leave];
     const double inv = 1.0 / prow[enter];
-    for (double& v : prow) v *= inv;
+    // Live columns only: [n_total_, n_max) stays zero for the whole
+    // solve, so scaling it is pure waste (the allocation is worst-case
+    // sized for artificials that may never be created).
+    for (std::size_t j = 0; j < n_total_; ++j) prow[j] *= inv;
     rhs_[leave] *= inv;
     prow[enter] = 1.0;  // kill roundoff on the pivot element itself
 
@@ -276,34 +281,6 @@ class Tableau {
   double obj1_rhs_ = 0.0, obj2_rhs_ = 0.0;
   std::vector<std::size_t> basis_;
 };
-
-}  // namespace
-
-namespace {
-
-// Deterministically perturbed copy: rhs_i += eps * (i+1) * scale.  The
-// classical anti-cycling remedy for heavily degenerate bases (policy
-// LPs are degenerate by construction: most initial-distribution entries
-// are zero).  Objectives move by O(eps * m * horizon), far below any
-// quantity the library reports.
-LpProblem perturbed_copy(const LpProblem& problem, double eps) {
-  LpProblem copy;
-  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
-    copy.add_variable(problem.costs()[j], problem.variable_name(j));
-  }
-  double scale = 1.0;
-  for (const Constraint& c : problem.constraints()) {
-    scale = std::max(scale, std::abs(c.rhs));
-  }
-  std::size_t i = 0;
-  for (Constraint c : problem.constraints()) {
-    c.rhs += eps * static_cast<double>(i + 1) * scale /
-             static_cast<double>(problem.num_constraints());
-    copy.add_constraint(std::move(c));
-    ++i;
-  }
-  return copy;
-}
 
 }  // namespace
 

@@ -1,27 +1,34 @@
 // Solver facade: one entry point, selectable backend.
+//
+// See src/lp/README.md for the backend-selection and warm-start
+// contract.
 #pragma once
 
 #include "lp/interior_point.h"
 #include "lp/problem.h"
+#include "lp/revised_simplex.h"
 #include "lp/simplex.h"
 
 namespace dpm::lp {
 
 enum class Backend {
-  kSimplex,       // exact vertex solutions (default)
-  kInteriorPoint  // Mehrotra predictor-corrector (PCx-style)
+  kRevisedSimplex,  // sparse revised simplex (default for MDP LPs)
+  kSimplex,         // dense two-phase tableau (small/teaching reference)
+  kInteriorPoint    // Mehrotra predictor-corrector (PCx-style)
 };
 
 /// Solves `problem` with the requested backend.
 inline LpSolution solve(const LpProblem& problem,
-                        Backend backend = Backend::kSimplex) {
+                        Backend backend = Backend::kRevisedSimplex) {
   switch (backend) {
     case Backend::kInteriorPoint:
       return solve_interior_point(problem);
     case Backend::kSimplex:
+      return solve_simplex(problem);
+    case Backend::kRevisedSimplex:
       break;
   }
-  return solve_simplex(problem);
+  return solve_revised_simplex(problem);
 }
 
 }  // namespace dpm::lp

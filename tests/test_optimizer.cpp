@@ -217,6 +217,32 @@ TEST(Optimizer, SweepMarksInfeasiblePoints) {
   EXPECT_FALSE(curve[0].policy.has_value());
 }
 
+TEST(Optimizer, WarmStartedSweepMatchesColdSolves) {
+  const SystemModel m = ExampleSystem::make_model();
+  const PolicyOptimizer opt(m, example_config(m, 0.999));
+  const std::vector<double> bounds{0.2, 0.3, 0.4, 0.5, 0.7};
+  const std::vector<OptimizationConstraint> fixed{
+      {metrics::request_loss(m), 0.3, "loss"}};
+
+  // Warm-started sweep (revised-simplex default backend) vs. independent
+  // cold solves of exactly the same instances.
+  const auto curve = opt.sweep(metrics::power(m), metrics::queue_length(m),
+                               "queue", bounds, fixed);
+  ASSERT_EQ(curve.size(), bounds.size());
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    std::vector<OptimizationConstraint> constraints = fixed;
+    constraints.push_back({metrics::queue_length(m), bounds[i], "queue"});
+    const OptimizationResult cold = opt.minimize(metrics::power(m),
+                                                 constraints);
+    ASSERT_EQ(curve[i].feasible, cold.feasible) << "bound " << bounds[i];
+    if (cold.feasible) {
+      EXPECT_NEAR(curve[i].objective, cold.objective_per_step,
+                  1e-6 * (1.0 + std::abs(cold.objective_per_step)))
+          << "bound " << bounds[i];
+    }
+  }
+}
+
 TEST(Optimizer, InteriorPointBackendAgrees) {
   const SystemModel m = ExampleSystem::make_model();
   OptimizerConfig cfg = example_config(m, 0.99);
