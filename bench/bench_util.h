@@ -10,11 +10,25 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace dpm::bench {
+
+/// True when the bench should run tiny problem sizes: either `--smoke`
+/// was passed or DPMOPT_BENCH_SMOKE is set (the `ctest -L bench` smoke
+/// suite uses this so every bench compiles *and* runs in tier-1 without
+/// burning minutes).
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return true;
+  }
+  const char* env = std::getenv("DPMOPT_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
 
 inline void banner(const std::string& experiment, const std::string& what) {
   std::printf("\n");
@@ -66,10 +80,14 @@ struct JsonRecord {
 /// Collects records and writes BENCH_<bench>.json on destruction; every
 /// bench main emits exactly this schema so trajectories across PRs are
 /// comparable with one jq expression.
+///
+/// Pass `enabled = false` (benches with smoke-scaled sizes pass
+/// `!smoke`) to skip the write: a `ctest -L bench` smoke run must not
+/// overwrite benchmark-grade trajectory records with tiny-size numbers.
 class JsonReport {
  public:
-  explicit JsonReport(std::string bench_name)
-      : bench_name_(std::move(bench_name)) {}
+  explicit JsonReport(std::string bench_name, bool enabled = true)
+      : bench_name_(std::move(bench_name)), enabled_(enabled) {}
   JsonReport(const JsonReport&) = delete;
   JsonReport& operator=(const JsonReport&) = delete;
 
@@ -79,6 +97,7 @@ class JsonReport {
   }
 
   ~JsonReport() {
+    if (!enabled_) return;
     const std::string path = "BENCH_" + bench_name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (f == nullptr) return;
@@ -98,6 +117,7 @@ class JsonReport {
 
  private:
   std::string bench_name_;
+  bool enabled_;
   std::vector<JsonRecord> records_;
 };
 

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# One-shot verification: Release build + full test suite (including the
+# `bench`-labelled smoke runs), then the Debug/ASan+UBSan preset with the
+# same suite.  This is the tier-1 gate plus the sanitizer sweep in one
+# command:
+#
+#   scripts/verify.sh            # release + debug/asan
+#   scripts/verify.sh --release  # release only (fast path)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_preset() {
+  local preset="$1"
+  echo "=== configure/build/test: preset '${preset}' ==="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)"
+}
+
+run_preset release
+if [[ "${1:-}" != "--release" ]]; then
+  run_preset debug
+fi
+echo "verify: all presets green"

@@ -157,20 +157,31 @@ bool AverageCostOptimizer::support_is_single_class(
   if (support.size() <= 1) return true;
 
   // Strong connectivity of the support under the mixed chain: BFS both
-  // ways from support.front(), restricted to support states.
-  const markov::MarkovChain mixed =
-      model_->chain().under_policy(result.policy->matrix());
-  const auto reaches_all = [&](bool reversed) {
+  // ways from support.front(), restricted to support states, over the
+  // sparse mixed rows (no dense n x n matrix).
+  std::vector<markov::TransitionRow> mixed;
+  model_->chain().sparse().under_policy_rows(result.policy->matrix(), mixed);
+  std::vector<char> in_support(n, 0);
+  for (const std::size_t s : support) in_support[s] = 1;
+  std::vector<std::vector<std::size_t>> fwd(n), rev(n);
+  for (const std::size_t s : support) {
+    for (const auto& [t, w] : mixed[s]) {
+      if (w > 0.0 && in_support[t]) {
+        fwd[s].push_back(t);
+        rev[t].push_back(s);
+      }
+    }
+  }
+  const auto reaches_all = [&](const std::vector<std::vector<std::size_t>>&
+                                   adj) {
     std::vector<bool> seen(n, false);
     std::vector<std::size_t> frontier{support.front()};
     seen[support.front()] = true;
     while (!frontier.empty()) {
       const std::size_t s = frontier.back();
       frontier.pop_back();
-      for (const std::size_t t : support) {
-        const double w =
-            reversed ? mixed.transition(t, s) : mixed.transition(s, t);
-        if (w > 0.0 && !seen[t]) {
+      for (const std::size_t t : adj[s]) {
+        if (!seen[t]) {
           seen[t] = true;
           frontier.push_back(t);
         }
@@ -181,7 +192,7 @@ bool AverageCostOptimizer::support_is_single_class(
     }
     return true;
   };
-  return reaches_all(false) && reaches_all(true);
+  return reaches_all(fwd) && reaches_all(rev);
 }
 
 OptimizationResult AverageCostOptimizer::minimize_power(

@@ -23,8 +23,12 @@ PolicyEvaluation::PolicyEvaluation(const SystemModel& model,
   if (std::abs(mass - 1.0) > 1e-7) {
     throw ModelError("PolicyEvaluation: p0 must sum to 1");
   }
-  const markov::MarkovChain mixed = model.chain().under_policy(policy.matrix());
-  occupancy_ = mixed.discounted_occupancy(p0, gamma);
+  // Sparse path: mix the CSR rows under the policy and solve the
+  // occupancy system with the sparse LU — no dense n x n matrix, no
+  // O(n^3) factorization.
+  std::vector<markov::TransitionRow> mixed_rows;
+  model.chain().sparse().under_policy_rows(policy.matrix(), mixed_rows);
+  occupancy_ = markov::discounted_occupancy_sparse(mixed_rows, p0, gamma);
 }
 
 double PolicyEvaluation::total(const StateActionMetric& metric) const {

@@ -50,9 +50,10 @@ lp::LpProblem PolicyOptimizer::build_lp(
   // Balance equations (the "incoming flow = outgoing flow" constraints
   // of LP2, Fig. 11): for every state j,
   //   sum_a x_{j,a} - gamma * sum_{s,a} P_a(s,j) x_{s,a} = p0_j.
-  // Assembled column-by-column over the chain's transition rows so only
-  // nonzero transitions produce terms: most (s, a) pairs reach a handful
-  // of successor states, so each balance row stays short.
+  // Assembled straight off the chain's CSR rows: each (s, a) pair
+  // contributes its outgoing-flow term plus one term per stored
+  // successor, so assembly is O(nnz), independent of n^2.
+  const markov::SparseControlledChain& chain = model_->chain().sparse();
   std::vector<lp::Constraint> balance(n);
   for (std::size_t j = 0; j < n; ++j) {
     balance[j].sense = lp::Sense::kEq;
@@ -61,15 +62,11 @@ lp::LpProblem PolicyOptimizer::build_lp(
     balance[j].terms.reserve(na + 8);
   }
   for (std::size_t a = 0; a < na; ++a) {
-    const linalg::Matrix& pa = model_->chain().matrix(a);
     for (std::size_t s = 0; s < n; ++s) {
       const std::size_t col = s * na + a;
-      const double* row = pa.data() + s * n;
       balance[s].terms.emplace_back(col, 1.0);  // outgoing flow
-      for (std::size_t j = 0; j < n; ++j) {
-        if (row[j] != 0.0) {
-          balance[j].terms.emplace_back(col, -gamma * row[j]);
-        }
+      for (const auto& [j, p] : chain.row(a, s)) {
+        balance[j].terms.emplace_back(col, -gamma * p);
       }
     }
   }

@@ -2,30 +2,35 @@
 
 #include <cmath>
 
-#include "linalg/lu.h"
+#include "linalg/sparse_lu.h"
 
 namespace dpm {
 
 namespace {
 
 // Exact evaluation of a deterministic policy: solve
-// (I - gamma P_pi) v = m_pi.
+// (I - gamma P_pi) v = m_pi with the sparse LU over the chain's CSR
+// rows (O(nnz) assembly via discounted_transposed_columns).  The
+// factorized matrix is the transpose, so btran solves the original
+// system, giving v.
 linalg::Vector evaluate_deterministic(const SystemModel& model,
                                       const std::vector<std::size_t>& actions,
                                       const linalg::Matrix& cost,
                                       double gamma) {
   const std::size_t n = model.num_states();
-  linalg::Matrix a(n, n);
-  linalg::Vector b(n);
-  for (std::size_t s = 0; s < n; ++s) {
-    const std::size_t act = actions[s];
-    const linalg::Matrix& p = model.chain().matrix(act);
-    for (std::size_t t = 0; t < n; ++t) {
-      a(s, t) = (s == t ? 1.0 : 0.0) - gamma * p(s, t);
-    }
-    b[s] = cost(s, act);
+  const markov::SparseControlledChain& chain = model.chain().sparse();
+  const std::vector<linalg::SparseColumn> cols =
+      markov::discounted_transposed_columns(n, gamma, [&](std::size_t s) {
+        return chain.row(actions[s], s);
+      });
+  linalg::SparseLu lu;
+  if (!lu.factorize(n, cols)) {
+    throw ModelError("policy_iteration: singular evaluation system");
   }
-  return linalg::LuDecomposition(std::move(a)).solve(b);
+  linalg::Vector v(n);
+  for (std::size_t s = 0; s < n; ++s) v[s] = cost(s, actions[s]);
+  lu.btran(v);
+  return v;
 }
 
 }  // namespace
@@ -57,18 +62,16 @@ PolicyIterationResult policy_iteration(const SystemModel& model,
       double best_q = 0.0;
       std::size_t best_a = actions[s];
       {
-        const linalg::Matrix& p = model.chain().matrix(best_a);
         best_q = cost(s, best_a);
-        for (std::size_t t = 0; t < n; ++t) {
-          if (p(s, t) != 0.0) best_q += gamma * p(s, t) * v[t];
+        for (const auto& [t, p] : model.chain().row(best_a, s)) {
+          best_q += gamma * p * v[t];
         }
       }
       for (std::size_t a = 0; a < na; ++a) {
         if (a == actions[s]) continue;
-        const linalg::Matrix& p = model.chain().matrix(a);
         double q = cost(s, a);
-        for (std::size_t t = 0; t < n; ++t) {
-          if (p(s, t) != 0.0) q += gamma * p(s, t) * v[t];
+        for (const auto& [t, p] : model.chain().row(a, s)) {
+          q += gamma * p * v[t];
         }
         if (q < best_q - options.improvement_tol) {
           best_q = q;

@@ -47,14 +47,18 @@ SystemModel SystemModel::compose(ServiceProvider sp, ServiceRequester sr,
     return (isp * n_sr + isr) * n_q + iq;
   };
 
-  std::vector<linalg::Matrix> per_command;
-  per_command.reserve(n_a);
+  // Assemble sparse transition rows directly: each (state, command) pair
+  // reaches only |supp(SR row)| x |supp(SP row)| x (<= 2 queue outcomes)
+  // successors, so composition is O(nnz) and never materializes an
+  // n x n matrix.  Duplicate successors (distinct paths to one state)
+  // are summed by the SparseControlledChain constructor.
+  std::vector<std::vector<markov::TransitionRow>> rows(
+      n_a, std::vector<markov::TransitionRow>(n));
   for (std::size_t a = 0; a < n_a; ++a) {
-    linalg::Matrix p(n, n);
     for (std::size_t isp = 0; isp < n_sp; ++isp) {
       for (std::size_t isr = 0; isr < n_sr; ++isr) {
         for (std::size_t iq = 0; iq < n_q; ++iq) {
-          const std::size_t from = idx(isp, isr, iq);
+          markov::TransitionRow& row = rows[a][idx(isp, isr, iq)];
           const double rate = sp.service_rate(isp, a);
           for (std::size_t jsr = 0; jsr < n_sr; ++jsr) {
             const double p_sr = sr.chain().transition(isr, jsr);
@@ -68,18 +72,18 @@ SystemModel SystemModel::compose(ServiceProvider sp, ServiceRequester sr,
                               : sp.chain().transition(isp, jsp, a);
               if (p_sp == 0.0) continue;
               for (const auto& [jq, p_q] : q_dist) {
-                p(from, idx(jsp, jsr, jq)) += p_sr * p_sp * p_q;
+                row.emplace_back(idx(jsp, jsr, jq), p_sr * p_sp * p_q);
               }
             }
           }
         }
       }
     }
-    per_command.push_back(std::move(p));
   }
-  // ControlledMarkovChain validates row-stochasticity of the composed
-  // matrices, which also catches non-stochastic overrides.
-  markov::ControlledMarkovChain chain(std::move(per_command), 1e-7);
+  // SparseControlledChain validates row-stochasticity of the composed
+  // rows, which also catches non-stochastic overrides.
+  markov::ControlledMarkovChain chain(
+      markov::SparseControlledChain(n, std::move(rows), 1e-7));
   return SystemModel(std::move(sp), std::move(sr), queue_capacity,
                      std::move(chain), std::move(override_sp));
 }

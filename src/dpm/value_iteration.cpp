@@ -33,10 +33,8 @@ ValueIterationResult value_iteration(const SystemModel& model,
       std::size_t arg = 0;
       for (std::size_t a = 0; a < na; ++a) {
         double q = cost(s, a);
-        const linalg::Matrix& p = model.chain().matrix(a);
-        for (std::size_t t = 0; t < n; ++t) {
-          const double w = p(s, t);
-          if (w != 0.0) q += gamma * w * v[t];
+        for (const auto& [t, w] : model.chain().row(a, s)) {
+          q += gamma * w * v[t];
         }
         if (q < best) {
           best = q;

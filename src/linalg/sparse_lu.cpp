@@ -7,128 +7,215 @@
 namespace dpm::linalg {
 
 namespace {
+
 constexpr std::size_t kNoPosition = std::numeric_limits<std::size_t>::max();
+
+/// Threshold partial pivoting factor: entries within 1/10 of the
+/// column's largest magnitude are numerically acceptable pivots.
+constexpr double kPivotThreshold = 0.1;
+
+/// How many numerically acceptable candidate columns the Markowitz
+/// search examines before settling (Suhl-style bounded search; the
+/// classic compromise between fill quality and search cost).
+constexpr std::size_t kMarkowitzCandidates = 8;
+
 }  // namespace
 
-bool SparseLu::factorize(std::size_t n, const std::vector<SparseColumn>& columns,
+bool SparseLu::factorize(std::size_t n,
+                         const std::vector<SparseColumn>& columns,
                          double pivot_tol) {
   if (columns.size() != n) {
     throw LinalgError("sparse-lu: column count does not match order");
   }
   n_ = n;
   valid_ = false;
+  factor_nnz_ = 0;
   l_cols_.assign(n, {});
   u_cols_.assign(n, {});
   u_diag_.assign(n, 0.0);
   pivot_row_.assign(n, 0);
   row_position_.assign(n, kNoPosition);
+  col_of_position_.assign(n, 0);
 
-  // Fill reduction, part 1: eliminate sparse columns first (unit slack
-  // columns become free triangular steps), dense columns last.
-  col_of_position_.resize(n);
-  for (std::size_t j = 0; j < n; ++j) col_of_position_[j] = j;
-  std::stable_sort(col_of_position_.begin(), col_of_position_.end(),
-                   [&columns](std::size_t a, std::size_t b) {
-                     return columns[a].size() < columns[b].size();
-                   });
+  // --- active-submatrix working set -------------------------------------
+  // Column-wise values (authoritative) + row-wise patterns (may hold
+  // stale column ids, filtered on use) + exact row/column counts.
+  std::vector<SparseColumn> acols(n);
+  std::vector<std::vector<std::size_t>> row_cols(n);
+  std::vector<std::size_t> row_count(n, 0), col_count(n, 0);
+  std::vector<char> col_active(n, 1);
 
-  // Fill reduction, part 2: Markowitz-style row counts.  row_count_[r]
-  // approximates how many not-yet-eliminated columns touch row r;
-  // pivoting on a low-count row keeps its pattern out of L.
-  std::vector<std::size_t> row_count(n, 0);
-  for (const SparseColumn& col : columns) {
-    for (const auto& [r, v] : col) {
+  // Dense scatter workspace for merging duplicates and applying updates:
+  // pos_in_col[r] = 1 + index of row r inside the column being touched.
+  std::vector<std::size_t> pos_in_col(n, 0);
+
+  for (std::size_t j = 0; j < n; ++j) {
+    SparseColumn& col = acols[j];
+    col.reserve(columns[j].size());
+    for (const auto& [r, v] : columns[j]) {
       if (r >= n) throw LinalgError("sparse-lu: row index out of range");
-      (void)v;
+      if (v == 0.0) continue;
+      if (pos_in_col[r] == 0) {
+        col.emplace_back(r, v);
+        pos_in_col[r] = col.size();
+      } else {
+        col[pos_in_col[r] - 1].second += v;
+      }
+    }
+    for (const auto& [r, v] : col) pos_in_col[r] = 0;
+    col_count[j] = col.size();
+    for (const auto& [r, v] : col) {
       ++row_count[r];
+      row_cols[r].push_back(j);
     }
   }
 
-  // Dense workspace + touched list: flops stay proportional to fill,
-  // only the k-scan below is O(position) per column.
-  Vector work(n, 0.0);
-  std::vector<char> marked(n, 0);
-  std::vector<std::size_t> touched;
-  touched.reserve(n);
+  // Column-count buckets (lazy: a column is re-pushed whenever its count
+  // changes; stale entries are filtered when popped).
+  std::vector<std::vector<std::size_t>> buckets(n + 1);
+  for (std::size_t j = 0; j < n; ++j) buckets[col_count[j]].push_back(j);
+
+  // U(k', k) entries accumulate per *caller column* while the column is
+  // still active; they become u_cols_ when the column is pivoted.
+  std::vector<SparseColumn> u_stash(n);
 
   for (std::size_t pos = 0; pos < n; ++pos) {
-    const SparseColumn& column = columns[col_of_position_[pos]];
-    touched.clear();
-    for (const auto& [r, v] : column) {
-      if (!marked[r]) {
-        marked[r] = 1;
-        touched.push_back(r);
-        work[r] = v;
-      } else {
-        work[r] += v;
-      }
-      --row_count[r];  // this column leaves the "remaining" set
-    }
-    // Left-looking elimination against the already-computed columns, in
-    // pivot order.  Only columns whose pivot row currently holds a
-    // nonzero contribute any flops.
-    SparseColumn& uj = u_cols_[pos];
-    for (std::size_t k = 0; k < pos; ++k) {
-      const std::size_t pr = pivot_row_[k];
-      const double ukj = marked[pr] ? work[pr] : 0.0;
-      if (ukj == 0.0) continue;
-      uj.emplace_back(k, ukj);
-      work[pr] = 0.0;  // consumed into U
-      for (const auto& [r, lv] : l_cols_[k]) {
-        if (!marked[r]) {
-          marked[r] = 1;
-          touched.push_back(r);
-          work[r] = 0.0;
+    // --- Markowitz pivot search ---------------------------------------
+    std::size_t best_col = kNoPosition, best_row = kNoPosition;
+    double best_val = 0.0;
+    std::size_t best_cost = kNoPosition;
+    std::size_t candidates = 0;
+    for (std::size_t count = 0; count <= n && best_cost > 0; ++count) {
+      if (count == 0) {
+        // A count-0 active column has no entry in any unpivoted row:
+        // structurally singular.
+        bool empty_active = false;
+        for (const std::size_t j : buckets[0]) {
+          if (col_active[j] && col_count[j] == 0) empty_active = true;
         }
-        work[r] -= ukj * lv;
+        if (empty_active) return false;
+        continue;
       }
+      // Lower bound for any column of this count is (count-1) * 0; the
+      // classic search cutoff accepts the incumbent once no column of
+      // the next count can beat it under the (c-1)^2 heuristic bound.
+      if (best_cost != kNoPosition && best_cost <= (count - 1) * (count - 1)) {
+        break;
+      }
+      std::vector<std::size_t>& bucket = buckets[count];
+      for (std::size_t bi = 0; bi < bucket.size();) {
+        const std::size_t j = bucket[bi];
+        if (!col_active[j] || col_count[j] != count) {
+          // Stale: drop via swap-pop.
+          bucket[bi] = bucket.back();
+          bucket.pop_back();
+          continue;
+        }
+        ++bi;
+        double max_abs = 0.0;
+        for (const auto& [r, v] : acols[j]) {
+          max_abs = std::max(max_abs, std::abs(v));
+        }
+        if (max_abs <= pivot_tol) continue;  // numerically unusable now
+        const double threshold = kPivotThreshold * max_abs;
+        std::size_t cand_row = kNoPosition;
+        double cand_val = 0.0;
+        std::size_t cand_cost = kNoPosition;
+        double cand_abs = 0.0;
+        for (const auto& [r, v] : acols[j]) {
+          const double a = std::abs(v);
+          if (a < threshold) continue;
+          const std::size_t cost = (row_count[r] - 1) * (count - 1);
+          if (cost < cand_cost || (cost == cand_cost && a > cand_abs)) {
+            cand_cost = cost;
+            cand_abs = a;
+            cand_row = r;
+            cand_val = v;
+          }
+        }
+        if (cand_row == kNoPosition) continue;
+        ++candidates;
+        if (cand_cost < best_cost) {
+          best_cost = cand_cost;
+          best_col = j;
+          best_row = cand_row;
+          best_val = cand_val;
+        }
+        if (candidates >= kMarkowitzCandidates || best_cost == 0) break;
+      }
+      if (candidates >= kMarkowitzCandidates) break;
     }
-    // Threshold pivoting: among rows within a factor 10 of the largest
-    // candidate (numerical safety), take the lowest Markowitz row count
-    // (fill avoidance), breaking count ties by magnitude.
-    double max_abs = 0.0;
-    for (const std::size_t r : touched) {
-      if (row_position_[r] != kNoPosition) continue;
-      max_abs = std::max(max_abs, std::abs(work[r]));
+    if (best_col == kNoPosition) return false;  // numerically singular
+
+    // --- record pivot -------------------------------------------------
+    const std::size_t cp = best_col, rp = best_row;
+    const double piv = best_val;
+    u_diag_[pos] = piv;
+    pivot_row_[pos] = rp;
+    row_position_[rp] = pos;
+    col_of_position_[pos] = cp;
+    u_cols_[pos] = std::move(u_stash[cp]);
+    col_active[cp] = 0;
+
+    // L multipliers: the pivot column's remaining active entries.
+    SparseColumn& lcol = l_cols_[pos];
+    lcol.reserve(acols[cp].size() - 1);
+    for (const auto& [r, v] : acols[cp]) {
+      if (r == rp) continue;
+      lcol.emplace_back(r, v / piv);
+      --row_count[r];  // entry (r, cp) leaves the active matrix
     }
-    std::size_t best_row = kNoPosition;
-    double best_abs = 0.0;
-    std::size_t best_count = kNoPosition;
-    if (max_abs > pivot_tol) {
-      const double threshold = 0.1 * max_abs;
-      for (const std::size_t r : touched) {
-        if (row_position_[r] != kNoPosition) continue;
-        const double a = std::abs(work[r]);
-        if (a < threshold) continue;
-        if (row_count[r] < best_count ||
-            (row_count[r] == best_count && a > best_abs)) {
-          best_count = row_count[r];
-          best_abs = a;
-          best_row = r;
+    acols[cp].clear();
+    acols[cp].shrink_to_fit();
+
+    // --- right-looking update of every column with an entry in row rp -
+    std::vector<std::size_t>& prow = row_cols[rp];
+    for (const std::size_t j : prow) {
+      if (!col_active[j]) continue;  // stale or already pivoted
+      SparseColumn& col = acols[j];
+      // Locate and extract the U entry (rp, j).
+      double urj = 0.0;
+      bool found = false;
+      for (std::size_t k = 0; k < col.size(); ++k) {
+        if (col[k].first == rp) {
+          urj = col[k].second;
+          col[k] = col.back();
+          col.pop_back();
+          found = true;
+          break;
         }
       }
-    }
-    if (best_row == kNoPosition) {
-      for (const std::size_t r : touched) {
-        marked[r] = 0;
-        work[r] = 0.0;
+      if (!found) continue;  // stale row entry
+      u_stash[j].emplace_back(pos, urj);
+      --col_count[j];
+      if (urj != 0.0 && !lcol.empty()) {
+        // col_j -= (urj / piv) * col_cp, via scatter on the column.
+        for (std::size_t k = 0; k < col.size(); ++k) {
+          pos_in_col[col[k].first] = k + 1;
+        }
+        for (const auto& [r, l] : lcol) {
+          const std::size_t where = pos_in_col[r];
+          if (where != 0) {
+            col[where - 1].second -= l * urj;
+          } else {
+            col.emplace_back(r, -l * urj);  // fill-in
+            pos_in_col[r] = col.size();
+            ++col_count[j];
+            ++row_count[r];
+            row_cols[r].push_back(j);
+          }
+        }
+        for (const auto& [r, v] : col) pos_in_col[r] = 0;
       }
-      return false;  // numerically singular
+      buckets[col_count[j]].push_back(j);
     }
-    const double diag = work[best_row];
-    u_diag_[pos] = diag;
-    pivot_row_[pos] = best_row;
-    row_position_[best_row] = pos;
-    SparseColumn& lj = l_cols_[pos];
-    for (const std::size_t r : touched) {
-      if (r != best_row && row_position_[r] == kNoPosition &&
-          work[r] != 0.0) {
-        lj.emplace_back(r, work[r] / diag);
-      }
-      marked[r] = 0;
-      work[r] = 0.0;
-    }
+    prow.clear();
+    prow.shrink_to_fit();
+    row_count[rp] = 0;
   }
+  factor_nnz_ = n;  // U diagonal
+  for (const SparseColumn& c : l_cols_) factor_nnz_ += c.size();
+  for (const SparseColumn& c : u_cols_) factor_nnz_ += c.size();
   valid_ = true;
   return true;
 }
@@ -181,6 +268,7 @@ void SparseLu::btran(Vector& x) const {
 bool BasisFactorization::refactorize(std::size_t n,
                                      const std::vector<SparseColumn>& columns) {
   etas_.clear();
+  eta_nonzeros_ = 0;
   return lu_.factorize(n, columns, pivot_tol_);
 }
 
@@ -200,6 +288,7 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
       eta.column.emplace_back(i, -d[i] * inv);
     }
   }
+  eta_nonzeros_ += eta.column.size();
   etas_.push_back(std::move(eta));
   return true;
 }

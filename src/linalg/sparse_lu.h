@@ -1,13 +1,20 @@
 // Sparse LU basis factorization for the revised simplex method.
 //
-// SparseLu factorizes a square matrix given as sparse columns (left-
-// looking elimination with partial pivoting; flops proportional to fill,
-// not to n^2).  BasisFactorization wraps it with a product-form eta file:
-// each simplex pivot appends one eta column instead of refactorizing, and
-// the factorization is rebuilt from scratch every `refactor_interval`
+// SparseLu factorizes a square matrix given as sparse columns with a
+// right-looking elimination and dynamic Markowitz pivoting: at every
+// step the pivot is chosen (among numerically safe candidates) to
+// minimize the Markowitz fill bound (r-1)(c-1) over the *current* active
+// submatrix, and the outer-product update is applied eagerly so row and
+// column counts stay exact.  Flops are proportional to fill, and —
+// unlike the earlier left-looking scheme — there is no O(n) scan per
+// column, so refactorization cost tracks nnz(L+U), not n^2.
+//
+// BasisFactorization wraps it with a product-form eta file: each simplex
+// pivot appends one eta column instead of refactorizing, and the
+// factorization is rebuilt from scratch every `refactor_interval`
 // updates (or sooner when an update pivot is too small) to bound error
-// accumulation — the classic eta-update / periodic-refactorization scheme
-// of sparse simplex codes.
+// accumulation — the classic eta-update / periodic-refactorization
+// scheme of sparse simplex codes.
 #pragma once
 
 #include <cstddef>
@@ -21,46 +28,51 @@ namespace dpm::linalg {
 /// A sparse column: (row, value) pairs, unique rows.
 using SparseColumn = std::vector<std::pair<std::size_t, double>>;
 
-/// P A Q = LU of a square sparse matrix with fill-reducing pivoting:
-/// columns are processed sparsest-first, and within a column the pivot
-/// row is chosen among numerically safe candidates (threshold partial
-/// pivoting, |pivot| >= 0.1 * max) to minimize a Markowitz-style row
-/// count — dense rows (e.g. an LP's metric-constraint row) are deferred
-/// to the end instead of spraying fill through every elimination step.
+/// P A Q = LU of a square sparse matrix with dynamic Markowitz
+/// pivoting: candidate columns are examined sparsest-first (count
+/// buckets), and within a column the pivot row is chosen among
+/// numerically safe entries (threshold partial pivoting,
+/// |pivot| >= 0.1 * max of the column) to minimize (r-1)(c-1) — dense
+/// rows (e.g. an LP's metric-constraint row) are deferred to the end
+/// instead of spraying fill through every elimination step.
 ///
-/// ftran solves B x = b (b indexed by original row, x indexed by basis
-/// position, i.e. by the order the columns were supplied); btran solves
-/// B^T y = c (c indexed by basis position, y by original row).  This is
-/// exactly the index convention the revised simplex needs: ftran maps
-/// right-hand sides to basic-variable values, btran maps basic costs to
-/// row duals.
+/// ftran solves B x = b (b indexed by original row, x indexed by the
+/// caller's column); btran solves B^T y = c (c indexed by caller column,
+/// y by original row).  This is exactly the index convention the revised
+/// simplex needs: ftran maps right-hand sides to basic-variable values,
+/// btran maps basic costs to row duals.
 class SparseLu {
  public:
   SparseLu() = default;
 
   /// Factorizes the n x n matrix whose j-th column is `columns[j]`.
-  /// Returns false (leaving the object unusable) when a pivot below
-  /// `pivot_tol` makes the matrix numerically singular.
+  /// Returns false (leaving the object unusable) when no pivot of
+  /// magnitude above `pivot_tol` remains — numerically singular.
   bool factorize(std::size_t n, const std::vector<SparseColumn>& columns,
                  double pivot_tol = 1e-11);
 
   std::size_t order() const noexcept { return n_; }
   bool valid() const noexcept { return valid_; }
 
+  /// Stored entries of L + U including the diagonal (fill metric for
+  /// benches and tests; cached at factorization time).
+  std::size_t factor_nonzeros() const noexcept { return factor_nnz_; }
+
   /// In place: x (indexed by original row on input) becomes the solution
-  /// of B x = input, indexed by basis position.
+  /// of B x = input, indexed by the caller's columns.
   void ftran(Vector& x) const;
 
-  /// In place: x (indexed by basis position on input) becomes the
+  /// In place: x (indexed by caller column on input) becomes the
   /// solution of B^T y = input, indexed by original row.
   void btran(Vector& x) const;
 
  private:
   std::size_t n_ = 0;
   bool valid_ = false;
+  std::size_t factor_nnz_ = 0;
   // L column k: multipliers at *original* row indices (unit diagonal
   // implicit).  U column k: entries U(k', k) at pivot positions k' < k,
-  // plus the diagonal.  Positions follow the internal elimination order;
+  // plus the diagonal.  Positions follow the elimination order;
   // col_of_position_ maps them back to caller column indices.
   std::vector<SparseColumn> l_cols_;
   std::vector<SparseColumn> u_cols_;
@@ -74,8 +86,11 @@ class SparseLu {
 class BasisFactorization {
  public:
   explicit BasisFactorization(std::size_t refactor_interval = 64,
-                              double pivot_tol = 1e-11)
-      : refactor_interval_(refactor_interval), pivot_tol_(pivot_tol) {}
+                              double pivot_tol = 1e-11,
+                              double eta_ratio = 2.0)
+      : refactor_interval_(refactor_interval),
+        pivot_tol_(pivot_tol),
+        eta_ratio_(eta_ratio) {}
 
   /// (Re)factorizes from scratch; clears the eta file.  Returns false on
   /// a singular basis.
@@ -89,10 +104,31 @@ class BasisFactorization {
 
   /// Number of eta columns appended since the last refactorization.
   std::size_t updates_since_refactor() const noexcept { return etas_.size(); }
+  /// Refactorization trigger: the hard eta-count cap, or — the adaptive
+  /// rule — once the eta file holds `eta_ratio` times more nonzeros than
+  /// the LU factors.  A triangular solve costs ~1 flop per stored
+  /// nonzero while rebuilding the factorization costs many (pivot
+  /// search, scatter, fill bookkeeping), so the balance point sits well
+  /// above parity; the ratio self-scales with fill: heavily filling
+  /// bases (expensive factorizations) tolerate long eta files, cheap
+  /// ones refactorize often.  The factor count is floored at
+  /// kMinFactorNonzeros: below that size both rebuild and eta sweeps
+  /// are measurement noise and a ratio of tiny numbers would thrash —
+  /// small bases are effectively governed by the eta-count cap alone.
+  /// `eta_ratio <= 0` disables the adaptive rule (pure fixed interval).
+  static constexpr std::size_t kMinFactorNonzeros = 4096;
   bool needs_refactor() const noexcept {
-    return etas_.size() >= refactor_interval_;
+    return etas_.size() >= refactor_interval_ ||
+           (eta_ratio_ > 0.0 &&
+            static_cast<double>(eta_nonzeros_) >
+                eta_ratio_ * static_cast<double>(std::max(
+                                 lu_.factor_nonzeros(), kMinFactorNonzeros)));
   }
   bool valid() const noexcept { return lu_.valid(); }
+
+  std::size_t factor_nonzeros() const noexcept {
+    return lu_.factor_nonzeros();
+  }
 
   /// x <- B^{-1} x  (input indexed by original row, output by position).
   void ftran(Vector& x) const;
@@ -110,6 +146,8 @@ class BasisFactorization {
   std::vector<Eta> etas_;
   std::size_t refactor_interval_;
   double pivot_tol_;
+  double eta_ratio_;
+  std::size_t eta_nonzeros_ = 0;
 };
 
 }  // namespace dpm::linalg

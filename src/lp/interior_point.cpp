@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
 #include <optional>
 
 #include "linalg/cholesky.h"
+#include "lp/revised_simplex.h"
 
 namespace dpm::lp {
 
@@ -112,6 +114,21 @@ LpSolution solve_interior_point(const LpProblem& problem,
                                 const InteriorPointOptions& options) {
   if (problem.num_variables() == 0) {
     throw LpError("interior-point: problem has no variables");
+  }
+  if (options.dense_column_limit != 0 &&
+      problem.num_variables() > options.dense_column_limit) {
+    // The normal equations are dense (O(m^2) memory, O(m^3) per
+    // iteration): above the limit this backend silently takes minutes,
+    // so route the solve to the sparse revised simplex instead.
+    std::fprintf(stderr,
+                 "[lp] interior-point: %zu columns exceeds the dense limit "
+                 "of %zu; falling back to the revised simplex\n",
+                 problem.num_variables(), options.dense_column_limit);
+    return solve_revised_simplex(problem);
+  }
+  if (problem.has_finite_upper_bounds()) {
+    // No native bound handling; solve the explicit-row reformulation.
+    return solve_interior_point(bounds_as_rows(problem), options);
   }
   const StandardForm sf = to_standard_form(problem);
   const Matrix& a = sf.a;

@@ -15,6 +15,11 @@ struct InteriorPointOptions {
   std::size_t max_iterations = 200;
   double tolerance = 1e-8;      // relative duality gap + residual target
   double step_scale = 0.99995;  // fraction of the max step to the boundary
+  /// This implementation is dense (normal equations via Cholesky):
+  /// above this many columns it logs a note to stderr and delegates to
+  /// the sparse revised simplex instead of silently taking minutes.
+  /// 0 disables the guard.
+  std::size_t dense_column_limit = 4000;
 };
 
 /// Solves `problem` with Mehrotra's predictor-corrector method.

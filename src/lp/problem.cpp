@@ -2,17 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <map>
 
 namespace dpm::lp {
 
 std::size_t LpProblem::add_variable(double cost, std::string name) {
   costs_.push_back(cost);
+  upper_.push_back(std::numeric_limits<double>::infinity());
   if (name.empty()) {
     name = "x" + std::to_string(costs_.size() - 1);
   }
   names_.push_back(std::move(name));
   return costs_.size() - 1;
+}
+
+void LpProblem::set_upper_bound(std::size_t j, double upper) {
+  if (j >= num_variables()) {
+    throw LpError("lp: set_upper_bound variable out of range");
+  }
+  if (std::isnan(upper) || upper < 0.0) {
+    throw LpError("lp: upper bound must be >= 0");
+  }
+  upper_[j] = upper;
+}
+
+bool LpProblem::has_finite_upper_bounds() const noexcept {
+  for (const double u : upper_) {
+    if (std::isfinite(u)) return true;
+  }
+  return false;
 }
 
 void LpProblem::add_constraint(Constraint c) {
@@ -77,7 +96,12 @@ double LpProblem::max_violation(const linalg::Vector& x) const {
     throw LpError("lp: point size mismatch");
   }
   double worst = 0.0;
-  for (double xi : x) worst = std::max(worst, -xi);  // x >= 0
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    worst = std::max(worst, -x[j]);  // x >= 0
+    if (std::isfinite(upper_[j])) {
+      worst = std::max(worst, x[j] - upper_[j]);
+    }
+  }
   for (const auto& c : constraints_) {
     double lhs = 0.0;
     for (const auto& [col, coeff] : c.terms) lhs += coeff * x[col];
@@ -96,10 +120,31 @@ double LpProblem::max_violation(const linalg::Vector& x) const {
   return worst;
 }
 
+LpProblem bounds_as_rows(const LpProblem& problem) {
+  LpProblem copy;
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    copy.add_variable(problem.costs()[j], problem.variable_name(j));
+  }
+  for (const Constraint& c : problem.constraints()) {
+    copy.add_constraint(c);
+  }
+  for (std::size_t j = 0; j < problem.num_variables(); ++j) {
+    const double u = problem.upper_bounds()[j];
+    if (std::isfinite(u)) {
+      copy.add_constraint({{{j, 1.0}},
+                           Sense::kLe,
+                           u,
+                           "ub(" + problem.variable_name(j) + ")"});
+    }
+  }
+  return copy;
+}
+
 LpProblem perturbed_copy(const LpProblem& problem, double eps) {
   LpProblem copy;
   for (std::size_t j = 0; j < problem.num_variables(); ++j) {
     copy.add_variable(problem.costs()[j], problem.variable_name(j));
+    copy.set_upper_bound(j, problem.upper_bounds()[j]);
   }
   double scale = 1.0;
   for (const Constraint& c : problem.constraints()) {

@@ -32,14 +32,26 @@ struct Constraint {
   std::string name;
 };
 
-/// Minimization LP over nonnegative variables.
+/// Minimization LP over nonnegative variables, optionally box-bounded:
+/// 0 <= x_j <= u_j with u_j = +inf by default.
 ///
-/// Invariant: every constraint term references an existing variable.
+/// Invariant: every constraint term references an existing variable;
+/// every upper bound is nonnegative.
 class LpProblem {
  public:
   /// Adds a variable with the given objective coefficient; returns its
   /// column index.
   std::size_t add_variable(double cost, std::string name = {});
+
+  /// Caps variable `j` at `upper` (>= 0; +inf restores the default).
+  /// The revised simplex handles finite bounds natively (nonbasic-at-
+  /// bound states and bound flips — no extra row); the dense tableau and
+  /// interior-point backends solve the `bounds_as_rows` reformulation.
+  void set_upper_bound(std::size_t j, double upper);
+
+  const linalg::Vector& upper_bounds() const noexcept { return upper_; }
+  /// True when any variable carries a finite upper bound.
+  bool has_finite_upper_bounds() const noexcept;
 
   /// Adds a constraint; all term column indices must already exist.
   /// Duplicate columns within one constraint are summed.
@@ -79,9 +91,16 @@ class LpProblem {
 
  private:
   linalg::Vector costs_;
+  linalg::Vector upper_;  // per-variable upper bound, +inf by default
   std::vector<std::string> names_;
   std::vector<Constraint> constraints_;
 };
+
+/// Reformulates finite upper bounds as explicit `x_j <= u_j` rows and
+/// clears the bound vector — the reference formulation for backends
+/// without native bound handling, and the comparison target of the
+/// bounded-variable tests.
+LpProblem bounds_as_rows(const LpProblem& problem);
 
 enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 

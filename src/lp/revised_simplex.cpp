@@ -1,6 +1,7 @@
 #include "lp/revised_simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
@@ -11,31 +12,67 @@ namespace dpm::lp {
 namespace {
 
 constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 // Standard-form engine: columns [structural | slack/surplus | artificial]
-// over equality rows A x = b, x >= 0.  Artificials carry an implicit
-// upper bound of zero outside phase 1 and are never allowed to enter.
+// over equality rows A x = b, 0 <= x <= u (u = +inf unless the problem
+// bounds the variable or a singleton row was absorbed into the bound
+// set).  Artificials carry an implicit upper bound of zero outside
+// phase 1 and are never allowed to enter.
 class RevisedSimplex {
  public:
   RevisedSimplex(const LpProblem& p, const RevisedSimplexOptions& opt)
       : opt_(opt),
-        m_(p.num_constraints()),
         n_struct_(p.num_variables()),
-        factor_(opt.refactor_interval) {
+        factor_(opt.refactor_interval, 1e-11, opt.refactor_eta_ratio) {
+    // --- bound setup + singleton-row absorption ----------------------
+    upper_struct_.assign(n_struct_, kInf);
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      upper_struct_[j] = p.upper_bounds()[j];
+    }
+    std::vector<char> keep_row(p.num_constraints(), 1);
+    if (opt_.absorb_singleton_rows) {
+      for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+        if (!absorb_row(p.constraints()[i], keep_row[i])) {
+          infeasible_by_bounds_ = true;
+          return;
+        }
+      }
+    }
+
+    // --- row remap + structural columns ------------------------------
+    std::vector<std::size_t> row_map(p.num_constraints(), kNone);
+    for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+      if (keep_row[i]) {
+        row_map[i] = m_;
+        ++m_;
+      }
+    }
     const linalg::SparseMatrixCsc a = p.constraint_csc();
     cols_.reserve(n_struct_ + 2 * m_);
     for (std::size_t j = 0; j < n_struct_; ++j) {
       linalg::SparseColumn col;
       col.reserve(a.col_end(j) - a.col_begin(j));
       for (std::size_t k = a.col_begin(j); k < a.col_end(j); ++k) {
-        col.emplace_back(a.row_indices()[k], a.values()[k]);
+        const std::size_t i = row_map[a.row_indices()[k]];
+        if (i != kNone) col.emplace_back(i, a.values()[k]);
       }
       cols_.push_back(std::move(col));
     }
+
+    // --- logical columns ---------------------------------------------
     rhs_.resize(m_);
     slack_of_row_.assign(m_, kNone);
-    for (std::size_t i = 0; i < m_; ++i) {
-      const Constraint& c = p.constraints()[i];
+    for (std::size_t i0 = 0; i0 < p.num_constraints(); ++i0) {
+      if (!keep_row[i0]) continue;
+      const Constraint& c = p.constraints()[i0];
+      const std::size_t i = row_map[i0];
       rhs_[i] = c.rhs;
       if (c.sense != Sense::kEq) {
         slack_of_row_[i] = cols_.size();
@@ -48,12 +85,21 @@ class RevisedSimplex {
     }
     n_cols_ = cols_.size();
 
+    upper_.assign(n_cols_, kInf);
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      upper_[j] = upper_struct_[j];
+      if (std::isfinite(upper_[j])) finite_ub_cols_.push_back(j);
+    }
+    at_upper_.assign(n_cols_, 0);
+
     cost2_.assign(n_cols_, 0.0);
     for (std::size_t j = 0; j < n_struct_; ++j) cost2_[j] = p.costs()[j];
     cost1_.assign(n_cols_, 0.0);
     for (std::size_t j = first_artificial_; j < n_cols_; ++j) cost1_[j] = 1.0;
   }
 
+  bool infeasible_by_bounds() const noexcept { return infeasible_by_bounds_; }
+  bool has_finite_bounds() const noexcept { return !finite_ub_cols_.empty(); }
   bool is_artificial(std::size_t j) const { return j >= first_artificial_; }
 
   /// Cold start: slack basis where the slack sign admits it, artificial
@@ -61,6 +107,7 @@ class RevisedSimplex {
   /// (phase 1 required).
   bool install_cold_basis() {
     basis_.assign(m_, kNone);
+    std::fill(at_upper_.begin(), at_upper_.end(), 0);
     bool need_phase1 = false;
     for (std::size_t i = 0; i < m_; ++i) {
       const std::size_t s = slack_of_row_[i];
@@ -84,6 +131,7 @@ class RevisedSimplex {
       if (j >= n_cols_) return false;
     }
     basis_ = warm.basic;
+    std::fill(at_upper_.begin(), at_upper_.end(), 0);
     rebuild_in_basis();
     return true;
   }
@@ -91,11 +139,22 @@ class RevisedSimplex {
   bool refactorize() {
     std::vector<linalg::SparseColumn> bcols(m_);
     for (std::size_t i = 0; i < m_; ++i) bcols[i] = cols_[basis_[i]];
-    return factor_.refactorize(m_, bcols);
+    const double t0 = now_ms();
+    const bool ok = factor_.refactorize(m_, bcols);
+    if (opt_.stats != nullptr) {
+      opt_.stats->refactorizations += 1;
+      opt_.stats->refactor_ms += now_ms() - t0;
+      if (ok) opt_.stats->factor_nonzeros = factor_.factor_nonzeros();
+    }
+    return ok;
   }
 
   void recompute_xb() {
     xb_ = rhs_;
+    for (const std::size_t j : finite_ub_cols_) {
+      if (!at_upper_[j]) continue;
+      for (const auto& [r, v] : cols_[j]) xb_[r] -= upper_[j] * v;
+    }
     factor_.ftran(xb_);
   }
 
@@ -114,7 +173,11 @@ class RevisedSimplex {
 
   double primal_infeasibility() const {
     double worst = 0.0;
-    for (const double v : xb_) worst = std::max(worst, -v);
+    for (std::size_t i = 0; i < m_; ++i) {
+      worst = std::max(worst, -xb_[i]);
+      const double u = upper_[basis_[i]];
+      if (std::isfinite(u)) worst = std::max(worst, xb_[i] - u);
+    }
     return worst;
   }
 
@@ -138,7 +201,9 @@ class RevisedSimplex {
     double worst = 0.0;
     for (std::size_t j = 0; j < first_artificial_; ++j) {
       if (in_basis_[j]) continue;
-      worst = std::max(worst, -(cost2_[j] - column_dot(j, y)));
+      const double rc = cost2_[j] - column_dot(j, y);
+      // At-lower columns need rc >= 0, at-upper columns rc <= 0.
+      worst = std::max(worst, at_upper_[j] ? rc : -rc);
     }
     return worst;
   }
@@ -168,74 +233,79 @@ class RevisedSimplex {
       }
       const linalg::Vector y = duals(cost);
 
-      // --- pricing ---
-      std::size_t enter = kNone;
-      double enter_rc = 0.0;
-      double best_score = 0.0;
-      for (std::size_t j = 0; j < first_artificial_; ++j) {
-        if (in_basis_[j]) continue;
-        const double rc = cost[j] - column_dot(j, y);
-        if (rc >= -opt_.reduced_cost_tol) continue;
-        if (bland) {
-          enter = j;
-          enter_rc = rc;
-          break;
-        }
-        double score = -rc;
-        if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge) {
-          score = rc * rc / devex_[j];
-        }
-        if (enter == kNone || score > best_score) {
-          best_score = score;
-          enter = j;
-          enter_rc = rc;
-        }
-      }
+      const std::size_t enter = price(cost, y, bland).first;
       if (enter == kNone) {
         res.status = LpStatus::kOptimal;
         return res;
       }
+      // sigma: +1 when the entering variable rises off its lower bound,
+      // -1 when it falls off its upper bound; basics move by -sigma*t*d.
+      const double sigma = at_upper_[enter] ? -1.0 : 1.0;
 
-      // --- ftran + ratio test ---
+      // --- ftran + two-sided ratio test ---
       linalg::Vector d(m_, 0.0);
       for (const auto& [r, v] : cols_[enter]) d[r] = v;
       factor_.ftran(d);
 
-      double best_ratio = std::numeric_limits<double>::infinity();
+      const auto ratio = [&](std::size_t i) {
+        return leave_ratio(i, sigma * d[i], artificial_cap);
+      };
+      double best_ratio = kInf;
       for (std::size_t i = 0; i < m_; ++i) {
-        const double ratio = leave_ratio(i, d[i], artificial_cap);
-        if (ratio < best_ratio) best_ratio = ratio;
+        best_ratio = std::min(best_ratio, ratio(i));
       }
-      if (best_ratio == std::numeric_limits<double>::infinity()) {
+      const double own_bound = upper_[enter];  // flip distance
+      if (best_ratio == kInf && own_bound == kInf) {
         res.status = LpStatus::kUnbounded;
         return res;
       }
-      const double cut = best_ratio + 1e-9 * (1.0 + std::abs(best_ratio));
-      std::size_t leave = kNone;
-      double best_pivot = 0.0;
-      for (std::size_t i = 0; i < m_; ++i) {
-        const double ratio = leave_ratio(i, d[i], artificial_cap);
-        if (ratio > cut) continue;
-        if (bland) {
-          if (leave == kNone || basis_[i] < basis_[leave]) leave = i;
-        } else if (std::abs(d[i]) > best_pivot) {
-          best_pivot = std::abs(d[i]);
-          leave = i;
-        }
-      }
 
-      const double theta = std::max(best_ratio, 0.0);
-      for (std::size_t i = 0; i < m_; ++i) xb_[i] -= theta * d[i];
-      xb_[leave] = theta;
-      if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge &&
-          !bland) {
-        update_devex(enter, leave, d);
+      if (own_bound <= best_ratio) {
+        // Bound flip: the entering variable crosses to its other bound
+        // before any basic variable blocks — no basis change, no
+        // factorization update.
+        for (std::size_t i = 0; i < m_; ++i) {
+          xb_[i] -= sigma * own_bound * d[i];
+        }
+        at_upper_[enter] ^= 1;
+        ++res.iterations;
+        if (opt_.stats != nullptr) opt_.stats->bound_flips += 1;
+      } else {
+        const double cut = best_ratio + 1e-9 * (1.0 + std::abs(best_ratio));
+        std::size_t leave = kNone;
+        double best_pivot = 0.0;
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (ratio(i) > cut) continue;
+          if (bland) {
+            if (leave == kNone || basis_[i] < basis_[leave]) leave = i;
+          } else if (std::abs(d[i]) > best_pivot) {
+            best_pivot = std::abs(d[i]);
+            leave = i;
+          }
+        }
+
+        const double theta = std::max(best_ratio, 0.0);
+        for (std::size_t i = 0; i < m_; ++i) xb_[i] -= sigma * theta * d[i];
+        // Which bound does the leaving variable settle at?
+        const std::size_t leaving_col = basis_[leave];
+        at_upper_[leaving_col] =
+            (sigma * d[leave] < 0.0 && std::isfinite(upper_[leaving_col]))
+                ? 1
+                : 0;
+        xb_[leave] = at_upper_[enter] ? upper_[enter] - theta : theta;
+        if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge &&
+            !bland) {
+          update_devex(enter, leave, d);
+        }
+        change_basis(leave, enter, d);
+        ++res.iterations;
       }
-      change_basis(leave, enter, d);
-      ++res.iterations;
 
       double obj = 0.0;
       for (std::size_t i = 0; i < m_; ++i) obj += cost[basis_[i]] * xb_[i];
+      for (const std::size_t j : finite_ub_cols_) {
+        if (at_upper_[j]) obj += cost[j] * upper_[j];
+      }
       if (obj < best_obj - 1e-12) {
         best_obj = obj;
         stall = 0;
@@ -255,8 +325,10 @@ class RevisedSimplex {
   }
 
   /// Dual simplex from a dual-feasible basis (warm restarts after a rhs
-  /// change).  Stops as soon as the basis is primal feasible; returns
-  /// kOptimal in that case (a phase-2 polish confirms optimality).
+  /// change; only entered when the problem carries no finite bounds, see
+  /// solve_once).  Stops as soon as the basis is primal feasible;
+  /// returns kOptimal in that case (a phase-2 polish confirms
+  /// optimality).
   PhaseResult dual(std::size_t max_iters) {
     PhaseResult res;
     while (res.iterations < max_iters) {
@@ -284,17 +356,17 @@ class RevisedSimplex {
       const linalg::Vector y = duals(cost2_);
 
       std::size_t enter = kNone;
-      double best_ratio = std::numeric_limits<double>::infinity();
+      double best_ratio = kInf;
       double best_alpha = 0.0;
       for (std::size_t j = 0; j < first_artificial_; ++j) {
         if (in_basis_[j]) continue;
         const double alpha = column_dot(j, rho);
         if (alpha >= -opt_.pivot_tol) continue;
         const double rc = std::max(cost2_[j] - column_dot(j, y), 0.0);
-        const double ratio = rc / -alpha;
-        if (ratio < best_ratio - 1e-12 ||
-            (ratio < best_ratio + 1e-12 && -alpha > best_alpha)) {
-          best_ratio = ratio;
+        const double r = rc / -alpha;
+        if (r < best_ratio - 1e-12 ||
+            (r < best_ratio + 1e-12 && -alpha > best_alpha)) {
+          best_ratio = r;
           best_alpha = -alpha;
           enter = j;
         }
@@ -349,6 +421,9 @@ class RevisedSimplex {
     LpSolution sol;
     sol.status = LpStatus::kOptimal;
     sol.x.assign(n_struct_, 0.0);
+    for (const std::size_t j : finite_ub_cols_) {
+      if (at_upper_[j] && j < n_struct_) sol.x[j] = upper_[j];
+    }
     for (std::size_t i = 0; i < m_; ++i) {
       if (basis_[i] < n_struct_) {
         sol.x[basis_[i]] = std::max(xb_[i], 0.0);
@@ -364,30 +439,153 @@ class RevisedSimplex {
   const linalg::Vector& phase2_cost() const noexcept { return cost2_; }
 
  private:
+  /// Folds a singleton (or degenerate) row into the bound set.  Returns
+  /// false when the row alone is infeasible against x >= 0; sets `keep`
+  /// to 0 when the row is absorbed or redundant.
+  bool absorb_row(const Constraint& c, char& keep) {
+    // Count structural terms with nonzero coefficients.
+    std::size_t nz = 0;
+    std::size_t var = 0;
+    double coeff = 0.0;
+    for (const auto& [j, v] : c.terms) {
+      if (v != 0.0) {
+        ++nz;
+        var = j;
+        coeff = v;
+      }
+    }
+    if (nz == 0) {
+      // 0 (sense) rhs: decide feasibility outright, to the same
+      // tolerance phase 1 would apply to the residual.
+      const bool ok = c.sense == Sense::kEq
+                          ? std::abs(c.rhs) <= opt_.feas_tol
+                          : c.sense == Sense::kLe ? c.rhs >= -opt_.feas_tol
+                                                  : c.rhs <= opt_.feas_tol;
+      if (!ok) return false;
+      keep = 0;
+      return true;
+    }
+    if (nz != 1 || c.sense == Sense::kEq) return true;  // keep as a row
+    const double bound = c.rhs / coeff;
+    const bool is_upper = (c.sense == Sense::kLe) == (coeff > 0.0);
+    if (is_upper) {
+      // x_var <= bound: infeasible against x >= 0 when bound < 0
+      // (beyond the feasibility tolerance; a within-tolerance negative
+      // bound clamps to "fixed at zero").
+      if (bound < -opt_.feas_tol) return false;
+      upper_struct_[var] = std::min(upper_struct_[var], std::max(bound, 0.0));
+      keep = 0;
+    } else if (bound <= opt_.feas_tol) {
+      keep = 0;  // x_var >= bound <~ 0: implied by nonnegativity
+    }
+    // Positive lower bounds are not representable; keep the row.
+    return true;
+  }
+
   void rebuild_in_basis() {
     in_basis_.assign(n_cols_, 0);
     for (const std::size_t j : basis_) in_basis_[j] = 1;
   }
 
-  /// Ratio contributed by basic position i when the entering column's
-  /// ftran image is di; +inf when i cannot limit the step.  Basic
-  /// artificials outside phase 1 also block movement *upward* (their
-  /// upper bound is zero), which keeps phase 2 from re-entering
-  /// infeasibility through a redundant row.
-  double leave_ratio(std::size_t i, double di, bool artificial_cap) const {
-    if (di > opt_.pivot_tol) {
-      return std::max(xb_[i], 0.0) / di;
+  /// True when column j may price in: nonbasic, not artificial, and not
+  /// fixed at zero by a zero upper bound.
+  bool price_eligible(std::size_t j) const {
+    return !in_basis_[j] && upper_[j] > 0.0;
+  }
+
+  /// Entering-column selection.  Returns {kNone, 0} at optimality.
+  /// Bland mode always scans everything by index (anti-cycling); Devex
+  /// scans everything weighted; Dantzig scans everything; partial
+  /// pricing scans rotating sections and returns the best candidate of
+  /// the first section that has one.
+  std::pair<std::size_t, double> price(const linalg::Vector& cost,
+                                       const linalg::Vector& y, bool bland) {
+    const auto reduced_cost = [&](std::size_t j) {
+      return cost[j] - column_dot(j, y);
+    };
+    // Attractive = can improve the objective moving off its bound.
+    const auto attractive = [&](std::size_t j, double rc) {
+      return at_upper_[j] ? rc > opt_.reduced_cost_tol
+                          : rc < -opt_.reduced_cost_tol;
+    };
+    if (bland) {
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (!price_eligible(j)) continue;
+        const double rc = reduced_cost(j);
+        if (attractive(j, rc)) return {j, rc};
+      }
+      return {kNone, 0.0};
     }
-    if (artificial_cap && di < -opt_.pivot_tol && is_artificial(basis_[i])) {
-      return std::max(-xb_[i], 0.0) / -di;
+    const bool devex =
+        opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge;
+    const bool partial =
+        opt_.pricing == RevisedSimplexOptions::Pricing::kPartial;
+    const std::size_t section =
+        !partial ? first_artificial_
+                 : (opt_.partial_section != 0
+                        ? opt_.partial_section
+                        : std::max<std::size_t>(
+                              256, 4 * static_cast<std::size_t>(std::sqrt(
+                                       static_cast<double>(
+                                           first_artificial_)))));
+
+    std::size_t enter = kNone;
+    double enter_rc = 0.0;
+    double best_score = 0.0;
+    std::size_t scanned = 0;
+    std::size_t j = partial ? price_start_ % first_artificial_ : 0;
+    while (scanned < first_artificial_) {
+      const std::size_t chunk =
+          std::min(section, first_artificial_ - scanned);
+      for (std::size_t k = 0; k < chunk; ++k) {
+        if (price_eligible(j)) {
+          const double rc = reduced_cost(j);
+          if (attractive(j, rc)) {
+            double score = std::abs(rc);
+            if (devex) score = rc * rc / devex_[j];
+            if (enter == kNone || score > best_score) {
+              best_score = score;
+              enter = j;
+              enter_rc = rc;
+            }
+          }
+        }
+        if (++j == first_artificial_) j = 0;
+      }
+      scanned += chunk;
+      if (partial && enter != kNone) break;
     }
-    return std::numeric_limits<double>::infinity();
+    if (partial) price_start_ = j;
+    return {enter, enter_rc};
+  }
+
+  /// Ratio contributed by basic position i when the entering column
+  /// moves the basics by -delta_i per unit step; +inf when i cannot
+  /// limit the step.  Decreasing basics stop at zero; increasing basics
+  /// stop at their upper bound.  Basic artificials outside phase 1 also
+  /// block movement *upward* (their upper bound is zero), which keeps
+  /// phase 2 from re-entering infeasibility through a redundant row.
+  double leave_ratio(std::size_t i, double delta, bool artificial_cap) const {
+    if (delta > opt_.pivot_tol) {
+      return std::max(xb_[i], 0.0) / delta;
+    }
+    if (delta < -opt_.pivot_tol) {
+      const std::size_t b = basis_[i];
+      if (artificial_cap && is_artificial(b)) {
+        return std::max(-xb_[i], 0.0) / -delta;
+      }
+      if (std::isfinite(upper_[b])) {
+        return std::max(upper_[b] - xb_[i], 0.0) / -delta;
+      }
+    }
+    return kInf;
   }
 
   void change_basis(std::size_t leave, std::size_t enter,
                     const linalg::Vector& d) {
     in_basis_[basis_[leave]] = 0;
     in_basis_[enter] = 1;
+    at_upper_[enter] = 0;  // basic variables are never at a bound marker
     basis_[leave] = enter;
     if (!factor_.update(leave, d)) {
       if (refactorize()) {
@@ -426,14 +624,20 @@ class RevisedSimplex {
   std::size_t n_struct_ = 0;
   std::size_t n_cols_ = 0;
   std::size_t first_artificial_ = 0;
+  bool infeasible_by_bounds_ = false;
   std::vector<linalg::SparseColumn> cols_;
   std::vector<std::size_t> slack_of_row_;
   linalg::Vector rhs_;
+  linalg::Vector upper_struct_;  // structural bounds incl. absorbed rows
+  linalg::Vector upper_;         // per standard-form column
+  std::vector<std::size_t> finite_ub_cols_;
+  std::vector<char> at_upper_;
   linalg::Vector cost1_, cost2_;
   std::vector<std::size_t> basis_;
   std::vector<char> in_basis_;
   linalg::Vector xb_;
   linalg::Vector devex_;
+  std::size_t price_start_ = 0;
   linalg::BasisFactorization factor_;
 };
 
@@ -442,10 +646,16 @@ LpSolution solve_once(const LpProblem& problem,
                       const SimplexBasis* warm, SimplexBasis* basis_out) {
   RevisedSimplex engine(problem, opt);
   LpSolution sol;
+  if (engine.infeasible_by_bounds()) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
 
   // --- warm-started path -------------------------------------------
+  // Finite bounds would require a boxed dual simplex; those problems
+  // (rare in the sweep workloads warm starts serve) go cold instead.
   bool warm_done = false;
-  if (warm != nullptr && !warm->empty()) {
+  if (warm != nullptr && !warm->empty() && !engine.has_finite_bounds()) {
     if (engine.install_warm_basis(*warm) && !engine.basis_has_artificial() &&
         engine.refactorize()) {
       engine.recompute_xb();
@@ -526,8 +736,16 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
   if (problem.num_variables() == 0) {
     throw LpError("revised-simplex: problem has no variables");
   }
+  const double t0 = now_ms();
+  if (options.stats != nullptr) *options.stats = SimplexStats{};
   LpSolution sol = solve_once(problem, options, warm, basis_out);
-  if (sol.status != LpStatus::kIterationLimit) return sol;
+  if (sol.status != LpStatus::kIterationLimit) {
+    if (options.stats != nullptr) {
+      options.stats->solve_ms = now_ms() - t0;
+      options.stats->iterations = sol.iterations;
+    }
+    return sol;
+  }
 
   // Degeneracy stall: retry cold on deterministically perturbed copies,
   // the same remedy (and helper) the dense tableau uses.
@@ -540,8 +758,16 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
         out.objective = problem.objective(out.x);
       }
       out.iterations += sol.iterations;
+      if (options.stats != nullptr) {
+        options.stats->solve_ms = now_ms() - t0;
+        options.stats->iterations = out.iterations;
+      }
       return out;
     }
+  }
+  if (options.stats != nullptr) {
+    options.stats->solve_ms = now_ms() - t0;
+    options.stats->iterations = sol.iterations;
   }
   return sol;
 }

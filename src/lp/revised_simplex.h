@@ -1,12 +1,19 @@
 // Sparse revised simplex (two-phase primal, plus dual-simplex restarts).
 //
 // Operates on the LpProblem's CSC columns directly: each iteration costs
-// two triangular solves against an LU-factorized basis (eta-updated
-// between periodic refactorizations) plus one sparse pricing pass —
-// instead of the dense tableau's O(rows x columns) pivot.  This is the
-// backend of choice for the MDP balance-equation LPs, whose columns have
-// only a handful of nonzeros (one outgoing-flow term plus the few
-// reachable successor states).
+// two triangular solves against an LU-factorized basis (right-looking
+// Markowitz LU, eta-updated between periodic refactorizations) plus one
+// pricing pass — instead of the dense tableau's O(rows x columns) pivot.
+// This is the backend of choice for the MDP balance-equation LPs, whose
+// columns have only a handful of nonzeros (one outgoing-flow term plus
+// the few reachable successor states).
+//
+// Bounded variables: 0 <= x_j <= u_j is handled natively — nonbasic
+// columns rest at either bound, the ratio test is two-sided, and a step
+// limited by the entering variable's own bound becomes a bound *flip*
+// (no basis change, no factorization update).  Singleton rows
+// (a * x_j <= b and friends) are absorbed into the bound set during
+// setup, shrinking the basis instead of wasting a row on them.
 //
 // Warm starts: the optimal basis of a solved instance can be fed back to
 // solve a neighboring instance (same matrix and senses, different rhs).
@@ -21,24 +28,51 @@
 
 namespace dpm::lp {
 
+/// Per-solve instrumentation (optional; see RevisedSimplexOptions::stats).
+struct SimplexStats {
+  std::size_t refactorizations = 0;  // from-scratch LU factorizations
+  double refactor_ms = 0.0;          // wall time inside those
+  double solve_ms = 0.0;             // wall time of the whole solve
+  std::size_t iterations = 0;        // pivots + bound flips
+  std::size_t bound_flips = 0;       // iterations that were pure flips
+  std::size_t factor_nonzeros = 0;   // nnz(L+U) of the last factorization
+};
+
 struct RevisedSimplexOptions {
   std::size_t max_iterations = 20000;
   double pivot_tol = 1e-8;        // reject smaller ratio-test pivots
   double reduced_cost_tol = 1e-9;
   double feas_tol = 1e-7;         // phase-1 residual accepted as feasible
-  /// Refactorize the basis after this many eta updates.  128 balances
-  /// the O(fill) cost of a fresh factorization against the growing eta
-  /// file (measured sweet spot on the n*na = 8000 synthetic MDPs).
-  std::size_t refactor_interval = 128;
+  /// Hard cap on eta updates between refactorizations.  The effective
+  /// trigger is usually the adaptive rule in BasisFactorization (eta
+  /// file nonzeros exceed `refactor_eta_ratio` times the LU factor
+  /// nonzeros), which self-balances cheap factorizations against
+  /// heavily filling ones; this cap only bounds numerical drift on
+  /// extreme instances.
+  std::size_t refactor_interval = 1024;
+  /// Adaptive refactorization threshold (see BasisFactorization);
+  /// <= 0 falls back to the fixed interval alone.  2.0 measured best
+  /// across both the cheap-factor (m ~ 1000, fill ~ 0.1M) and the
+  /// heavy-fill (m ~ 2000+, fill ~ 0.7M) synthetic MDP bases.
+  double refactor_eta_ratio = 2.0;
   enum class Pricing {
-    kDantzig,       // most negative reduced cost
+    kDantzig,       // most negative reduced cost, full scan
+    kPartial,       // Dantzig over rotating sections (partial pricing)
     kSteepestEdge,  // Devex-style reference weights ("steepest-edge lite")
   };
-  /// Dantzig default: on the balance-equation LPs the Devex weights
-  /// rarely cut enough pivots to pay for their extra btran per
-  /// iteration; switch to kSteepestEdge for LPs with long degenerate
+  /// Partial pricing default: the full Dantzig scan touches every
+  /// column's sparse dot product per iteration, which dominates once
+  /// columns outnumber rows; scanning a rotating section finds an
+  /// entering column of almost the same quality at a fraction of the
+  /// cost.  kSteepestEdge remains available for LPs with long degenerate
   /// plateaus.
-  Pricing pricing = Pricing::kDantzig;
+  Pricing pricing = Pricing::kPartial;
+  /// Columns per partial-pricing section; 0 picks a size proportional
+  /// to sqrt(#columns) (at least 256).
+  std::size_t partial_section = 0;
+  /// Absorb singleton constraint rows (one structural term) into the
+  /// variable bound set instead of keeping them as basis rows.
+  bool absorb_singleton_rows = true;
   /// Switch to Bland's rule after this many non-improving iterations.
   std::size_t stall_limit = 64;
   /// Abort (caller retries perturbed) after this many non-improving
@@ -47,11 +81,15 @@ struct RevisedSimplexOptions {
   /// Cap on dual-simplex pivots in a warm start before falling back to a
   /// cold solve (warm starts are only worth it when they are short).
   std::size_t max_dual_iterations = 1000;
+  /// Optional instrumentation sink (bench harnesses); reset and filled
+  /// by solve_revised_simplex when non-null.
+  SimplexStats* stats = nullptr;
 };
 
 /// Opaque warm-start handle: the basic column set over the solver's
 /// internal standard form.  Only valid for problems with the same
-/// constraint matrix, senses, and variable count (rhs may differ).
+/// constraint matrix, senses, variable count, and bounds (rhs may
+/// differ).
 struct SimplexBasis {
   std::vector<std::size_t> basic;  // one standard-form column per row
   bool empty() const noexcept { return basic.empty(); }

@@ -289,6 +289,11 @@ LpSolution solve_simplex(const LpProblem& problem,
   if (problem.num_variables() == 0) {
     throw LpError("simplex: problem has no variables");
   }
+  if (problem.has_finite_upper_bounds()) {
+    // The tableau has no native bound handling; solve the explicit-row
+    // reformulation (same variables, same objective).
+    return solve_simplex(bounds_as_rows(problem), options);
+  }
   {
     Tableau t(problem, options);
     LpSolution sol = t.run(problem);

@@ -1,54 +1,39 @@
 #include "markov/controlled_chain.h"
 
-#include <cmath>
+#include <utility>
 
 namespace dpm::markov {
 
 ControlledMarkovChain::ControlledMarkovChain(
     std::vector<linalg::Matrix> per_command, double tol)
-    : matrices_(std::move(per_command)) {
-  if (matrices_.empty()) {
-    throw MarkovError("ControlledMarkovChain: needs at least one command");
+    : sparse_(SparseControlledChain::from_dense(per_command, tol)) {
+  // The caller already paid for the dense matrices: keep them as the
+  // dense cache instead of re-densifying on the first matrix() call.
+  dense_cache_.reserve(per_command.size());
+  for (linalg::Matrix& m : per_command) {
+    dense_cache_.push_back(std::make_unique<linalg::Matrix>(std::move(m)));
   }
-  const std::size_t n = matrices_.front().rows();
-  for (std::size_t a = 0; a < matrices_.size(); ++a) {
-    if (matrices_[a].rows() != n || matrices_[a].cols() != n) {
-      throw MarkovError(
-          "ControlledMarkovChain: command matrices must share one order");
-    }
-    validate_stochastic(matrices_[a],
-                        "ControlledMarkovChain[command " + std::to_string(a) +
-                            "]",
-                        tol);
+}
+
+ControlledMarkovChain::ControlledMarkovChain(SparseControlledChain chain)
+    : sparse_(std::move(chain)) {}
+
+const linalg::Matrix& ControlledMarkovChain::matrix(
+    std::size_t command) const {
+  if (command >= num_commands()) {
+    throw MarkovError("ControlledMarkovChain: command index out of range");
   }
+  if (dense_cache_.empty()) dense_cache_.resize(num_commands());
+  std::unique_ptr<linalg::Matrix>& slot = dense_cache_[command];
+  if (slot == nullptr) {
+    slot = std::make_unique<linalg::Matrix>(sparse_.to_dense(command));
+  }
+  return *slot;
 }
 
 MarkovChain ControlledMarkovChain::under_policy(
     const linalg::Matrix& policy) const {
-  const std::size_t n = num_states();
-  const std::size_t na = num_commands();
-  if (policy.rows() != n || policy.cols() != na) {
-    throw MarkovError("under_policy: policy matrix shape mismatch");
-  }
-  linalg::Matrix mixed(n, n);
-  for (std::size_t s = 0; s < n; ++s) {
-    double row_sum = 0.0;
-    for (std::size_t a = 0; a < na; ++a) {
-      const double w = policy(s, a);
-      if (w < -1e-9) {
-        throw MarkovError("under_policy: negative decision probability");
-      }
-      row_sum += w;
-      if (w == 0.0) continue;
-      const linalg::Matrix& pa = matrices_[a];
-      for (std::size_t t = 0; t < n; ++t) mixed(s, t) += w * pa(s, t);
-    }
-    if (std::abs(row_sum - 1.0) > 1e-7) {
-      throw MarkovError("under_policy: decision row " + std::to_string(s) +
-                        " does not sum to 1");
-    }
-  }
-  return MarkovChain(std::move(mixed), 1e-6);
+  return sparse_.under_policy(policy);
 }
 
 }  // namespace dpm::markov

@@ -1,9 +1,11 @@
 // Controlled (command-dependent) Markov chains, paper Section III-A.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "markov/markov_chain.h"
+#include "markov/sparse_chain.h"
 
 namespace dpm::markov {
 
@@ -11,30 +13,71 @@ namespace dpm::markov {
 /// command (the representation the paper adopts for the SP and for the
 /// composed system).
 ///
-/// Invariant: all matrices are square, same order, row-stochastic.
+/// Storage is sparse-first: the CSR SparseControlledChain is the primary
+/// representation every hot path consumes (`sparse()` / `row()`); dense
+/// per-command matrices are materialized lazily, one command at a time,
+/// only when a reference path asks via `matrix()`.
+///
+/// Invariant: all commands share one order; every row is stochastic
+/// (validated at construction).
 class ControlledMarkovChain {
  public:
+  /// From dense matrices (reference construction; validates and converts
+  /// to CSR, keeping the provided matrices as the dense cache).
   explicit ControlledMarkovChain(std::vector<linalg::Matrix> per_command,
                                  double tol = 1e-9);
 
-  std::size_t num_states() const noexcept { return matrices_.front().rows(); }
-  std::size_t num_commands() const noexcept { return matrices_.size(); }
+  /// From an already-validated sparse chain.  No densification happens
+  /// unless `matrix()` is called.
+  explicit ControlledMarkovChain(SparseControlledChain chain);
 
-  const linalg::Matrix& matrix(std::size_t command) const {
-    return matrices_.at(command);
+  // Copies share no state; the dense cache is dropped (it re-materializes
+  // on demand) so copying stays cheap for sparse-only chains.
+  ControlledMarkovChain(const ControlledMarkovChain& other)
+      : sparse_(other.sparse_) {}
+  ControlledMarkovChain& operator=(const ControlledMarkovChain& other) {
+    sparse_ = other.sparse_;
+    dense_cache_.clear();
+    return *this;
   }
+  ControlledMarkovChain(ControlledMarkovChain&&) = default;
+  ControlledMarkovChain& operator=(ControlledMarkovChain&&) = default;
+
+  std::size_t num_states() const noexcept { return sparse_.num_states(); }
+  std::size_t num_commands() const noexcept {
+    return sparse_.num_commands();
+  }
+
+  /// The CSR representation (hot paths).
+  const SparseControlledChain& sparse() const noexcept { return sparse_; }
+
+  /// The sparse row P_a(s, .).
+  TransitionRowView row(std::size_t command, std::size_t state) const {
+    return sparse_.row(command, state);
+  }
+
+  /// Dense view of one command's matrix.  Densified on first use and
+  /// cached; reference paths and small models only — O(n^2) memory per
+  /// command.
+  const linalg::Matrix& matrix(std::size_t command) const;
+
   double transition(std::size_t from, std::size_t to,
                     std::size_t command) const {
-    return matrices_.at(command)(from, to);
+    return sparse_.transition(from, to, command);
   }
 
   /// Mixes the per-command matrices under a randomized stationary Markov
   /// decision matrix `policy` (num_states x num_commands, rows summing
   /// to 1): P_pi(s, .) = sum_a policy(s, a) P_a(s, .)   (paper Eq. 5).
+  /// Allocates a fresh dense chain per call — hot loops should use
+  /// sparse().under_policy_rows() with a reused workspace instead.
   MarkovChain under_policy(const linalg::Matrix& policy) const;
 
  private:
-  std::vector<linalg::Matrix> matrices_;
+  SparseControlledChain sparse_;
+  // Lazy per-command dense cache (nullptr until requested).  unique_ptr
+  // keeps `matrix()` references stable across cache growth.
+  mutable std::vector<std::unique_ptr<linalg::Matrix>> dense_cache_;
 };
 
 }  // namespace dpm::markov

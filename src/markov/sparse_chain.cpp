@@ -1,0 +1,232 @@
+#include "markov/sparse_chain.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "linalg/sparse_lu.h"
+
+namespace dpm::markov {
+
+namespace {
+
+/// Sorts `row` by successor and sums duplicate successors in place.
+/// Returns the total probability mass; entries that sum to exactly zero
+/// are dropped from the pattern.
+double sort_and_merge(TransitionRow& row) {
+  std::sort(row.begin(), row.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  double row_sum = 0.0;
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    auto [to, p] = row[k];
+    while (k + 1 < row.size() && row[k + 1].first == to) {
+      p += row[++k].second;
+    }
+    row_sum += p;
+    if (p != 0.0) row[out++] = {to, p};
+  }
+  row.resize(out);
+  return row_sum;
+}
+
+/// sort_and_merge plus validation that `row` is a probability
+/// distribution over states < n within `tol`.
+void normalize_row(TransitionRow& row, std::size_t n, std::size_t command,
+                   std::size_t state, double tol) {
+  const double row_sum = sort_and_merge(row);
+  const auto where = [&] {
+    return "SparseControlledChain[command " + std::to_string(command) +
+           "] row " + std::to_string(state);
+  };
+  for (const auto& [to, p] : row) {
+    if (to >= n) {
+      throw MarkovError(where() + ": successor index out of range");
+    }
+    if (p < -tol || p > 1.0 + tol || std::isnan(p)) {
+      throw MarkovError(where() + ": entry " + std::to_string(p) +
+                        " is not a probability");
+    }
+  }
+  if (std::abs(row_sum - 1.0) > tol) {
+    throw MarkovError(where() + " sums to " + std::to_string(row_sum) +
+                      ", expected 1");
+  }
+}
+
+}  // namespace
+
+SparseControlledChain::SparseControlledChain(
+    std::size_t num_states, std::vector<std::vector<TransitionRow>> rows,
+    double tol)
+    : n_(num_states) {
+  if (rows.empty()) {
+    throw MarkovError("SparseControlledChain: needs at least one command");
+  }
+  commands_.reserve(rows.size());
+  for (std::size_t a = 0; a < rows.size(); ++a) {
+    if (rows[a].size() != n_) {
+      throw MarkovError("SparseControlledChain: command " + std::to_string(a) +
+                        " has " + std::to_string(rows[a].size()) +
+                        " rows, expected " + std::to_string(n_));
+    }
+    Csr csr;
+    csr.row_ptr.reserve(n_ + 1);
+    csr.row_ptr.push_back(0);
+    std::size_t nnz = 0;
+    for (const TransitionRow& row : rows[a]) nnz += row.size();
+    csr.entries.reserve(nnz);
+    for (std::size_t s = 0; s < n_; ++s) {
+      normalize_row(rows[a][s], n_, a, s, tol);
+      csr.entries.insert(csr.entries.end(), rows[a][s].begin(),
+                         rows[a][s].end());
+      csr.row_ptr.push_back(csr.entries.size());
+    }
+    commands_.push_back(std::move(csr));
+  }
+}
+
+SparseControlledChain SparseControlledChain::from_dense(
+    const std::vector<linalg::Matrix>& per_command, double tol) {
+  if (per_command.empty()) {
+    throw MarkovError("SparseControlledChain: needs at least one command");
+  }
+  const std::size_t n = per_command.front().rows();
+  std::vector<std::vector<TransitionRow>> rows(per_command.size());
+  for (std::size_t a = 0; a < per_command.size(); ++a) {
+    const linalg::Matrix& p = per_command[a];
+    if (p.rows() != n || p.cols() != n) {
+      throw MarkovError(
+          "SparseControlledChain: command matrices must share one order");
+    }
+    rows[a].resize(n);
+    for (std::size_t s = 0; s < n; ++s) {
+      const double* prow = p.data() + s * n;
+      for (std::size_t t = 0; t < n; ++t) {
+        if (prow[t] != 0.0) rows[a][s].emplace_back(t, prow[t]);
+      }
+    }
+  }
+  return SparseControlledChain(n, std::move(rows), tol);
+}
+
+std::size_t SparseControlledChain::nonzeros() const noexcept {
+  std::size_t nnz = 0;
+  for (const Csr& c : commands_) nnz += c.entries.size();
+  return nnz;
+}
+
+TransitionRowView SparseControlledChain::row(std::size_t command,
+                                             std::size_t state) const {
+  const Csr& c = commands_.at(command);
+  if (state >= n_) {
+    throw MarkovError("SparseControlledChain: state index out of range");
+  }
+  return TransitionRowView(c.entries.data() + c.row_ptr[state],
+                           c.row_ptr[state + 1] - c.row_ptr[state]);
+}
+
+double SparseControlledChain::transition(std::size_t from, std::size_t to,
+                                         std::size_t command) const {
+  const TransitionRowView r = row(command, from);
+  const auto it = std::lower_bound(
+      r.begin(), r.end(), to,
+      [](const auto& entry, std::size_t t) { return entry.first < t; });
+  return (it != r.end() && it->first == to) ? it->second : 0.0;
+}
+
+linalg::Matrix SparseControlledChain::to_dense(std::size_t command) const {
+  linalg::Matrix p(n_, n_);
+  for (std::size_t s = 0; s < n_; ++s) {
+    for (const auto& [t, v] : row(command, s)) p(s, t) = v;
+  }
+  return p;
+}
+
+void SparseControlledChain::under_policy_rows(
+    const linalg::Matrix& policy, std::vector<TransitionRow>& rows_out) const {
+  const std::size_t na = num_commands();
+  if (policy.rows() != n_ || policy.cols() != na) {
+    throw MarkovError("under_policy: policy matrix shape mismatch");
+  }
+  rows_out.resize(n_);
+  for (std::size_t s = 0; s < n_; ++s) {
+    TransitionRow& mixed = rows_out[s];
+    mixed.clear();
+    double row_sum = 0.0;
+    for (std::size_t a = 0; a < na; ++a) {
+      const double w = policy(s, a);
+      if (w < -1e-9) {
+        throw MarkovError("under_policy: negative decision probability");
+      }
+      row_sum += w;
+      if (w == 0.0) continue;
+      for (const auto& [t, p] : row(a, s)) mixed.emplace_back(t, w * p);
+    }
+    if (std::abs(row_sum - 1.0) > 1e-7) {
+      throw MarkovError("under_policy: decision row " + std::to_string(s) +
+                        " does not sum to 1");
+    }
+    // Merge the per-command contributions (each sorted) into one sorted
+    // unique row.  na is small, so one sort of the concatenation beats a
+    // k-way merge.
+    sort_and_merge(mixed);
+  }
+}
+
+MarkovChain SparseControlledChain::under_policy(
+    const linalg::Matrix& policy) const {
+  std::vector<TransitionRow> rows;
+  under_policy_rows(policy, rows);
+  linalg::Matrix mixed(n_, n_);
+  for (std::size_t s = 0; s < n_; ++s) {
+    for (const auto& [t, p] : rows[s]) mixed(s, t) = p;
+  }
+  return MarkovChain(std::move(mixed), 1e-6);
+}
+
+std::vector<linalg::SparseColumn> discounted_transposed_columns(
+    std::size_t n, double gamma,
+    const std::function<TransitionRowView(std::size_t)>& row_of) {
+  std::vector<linalg::SparseColumn> cols(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const TransitionRowView row = row_of(j);
+    linalg::SparseColumn& col = cols[j];
+    col.reserve(row.size() + 1);
+    bool diag_seen = false;
+    for (const auto& [t, p] : row) {
+      if (t == j) {
+        col.emplace_back(j, 1.0 - gamma * p);
+        diag_seen = true;
+      } else {
+        col.emplace_back(t, -gamma * p);
+      }
+    }
+    if (!diag_seen) col.emplace_back(j, 1.0);
+  }
+  return cols;
+}
+
+linalg::Vector discounted_occupancy_sparse(
+    const std::vector<TransitionRow>& rows, const linalg::Vector& p0,
+    double gamma) {
+  const std::size_t n = rows.size();
+  if (p0.size() != n) {
+    throw MarkovError("discounted_occupancy: p0 size mismatch");
+  }
+  if (gamma <= 0.0 || gamma >= 1.0) {
+    throw MarkovError("discounted_occupancy: gamma must be in (0,1)");
+  }
+  // u = p0 (I - gamma P)^{-1}  <=>  M u = p0 with M = (I - gamma P)^T.
+  const std::vector<linalg::SparseColumn> cols = discounted_transposed_columns(
+      n, gamma, [&rows](std::size_t j) { return TransitionRowView(rows[j]); });
+  linalg::SparseLu lu;
+  if (!lu.factorize(n, cols)) {
+    throw MarkovError("discounted_occupancy: singular system");
+  }
+  linalg::Vector u = p0;
+  lu.ftran(u);
+  return u;
+}
+
+}  // namespace dpm::markov

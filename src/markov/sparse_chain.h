@@ -1,0 +1,111 @@
+// CSR controlled Markov chains: the sparse counterpart of
+// ControlledMarkovChain.
+//
+// DPM system models reach only a handful of successor states per
+// (state, command) pair (the SR moves to few neighbors, the queue to at
+// most two lengths), so the composed transition matrices are extremely
+// sparse.  This type stores one compressed-sparse-row matrix per command
+// and is the representation every hot path consumes: model composition,
+// policy mixing, discounted policy evaluation, and the optimizer's LP
+// assembly all run in O(nnz) instead of O(n^2 * na).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "linalg/sparse_lu.h"
+#include "markov/markov_chain.h"
+
+namespace dpm::markov {
+
+/// One sparse transition row: (successor state, probability) pairs with
+/// unique, sorted successor indices.
+using TransitionRow = std::vector<std::pair<std::size_t, double>>;
+
+/// A (successor, probability) view into one CSR row.
+using TransitionRowView = std::span<const std::pair<std::size_t, double>>;
+
+/// Stationary controllable Markov chain in CSR form: per command, the
+/// rows of a row-stochastic matrix stored as (successor, probability)
+/// entries.
+///
+/// Invariant: all commands share one order n; every row has entries in
+/// [0, 1] with unique sorted successors summing to 1 (validated at
+/// construction within `tol`; exact zeros are dropped from the pattern).
+class SparseControlledChain {
+ public:
+  /// Assembles from per-command, per-state rows: `rows[a][s]` lists the
+  /// (successor, probability) entries of P_a(s, .).  Entries may be
+  /// unsorted and may repeat a successor (duplicates are summed).
+  SparseControlledChain(std::size_t num_states,
+                        std::vector<std::vector<TransitionRow>> rows,
+                        double tol = 1e-9);
+
+  /// Converts a dense per-command family (the reference representation).
+  static SparseControlledChain from_dense(
+      const std::vector<linalg::Matrix>& per_command, double tol = 1e-9);
+
+  std::size_t num_states() const noexcept { return n_; }
+  std::size_t num_commands() const noexcept {
+    return commands_.size();
+  }
+  /// Total stored transition probabilities across all commands.
+  std::size_t nonzeros() const noexcept;
+
+  /// The sparse row P_a(s, .).
+  TransitionRowView row(std::size_t command, std::size_t state) const;
+
+  /// Element lookup (binary search within the row; for spot checks, not
+  /// hot loops).  Zero when (from, to) is not in command's pattern.
+  double transition(std::size_t from, std::size_t to,
+                    std::size_t command) const;
+
+  /// Densifies one command's matrix (reference paths and tests).
+  linalg::Matrix to_dense(std::size_t command) const;
+
+  /// Sparse rows of the policy-mixed chain
+  ///   P_pi(s, .) = sum_a policy(s, a) P_a(s, .)     (paper Eq. 5)
+  /// written into `rows_out` (resized to n).  Row and scratch capacity
+  /// is reused across calls, so a caller evaluating many policies on one
+  /// model allocates only on the first mix.  Throws MarkovError on shape
+  /// mismatch, negative decision weights, or rows not summing to 1.
+  void under_policy_rows(const linalg::Matrix& policy,
+                         std::vector<TransitionRow>& rows_out) const;
+
+  /// Convenience wrapper returning a dense validated MarkovChain (the
+  /// historical contract; reference paths only).
+  MarkovChain under_policy(const linalg::Matrix& policy) const;
+
+ private:
+  struct Csr {
+    std::vector<std::size_t> row_ptr;  // size n + 1
+    std::vector<std::pair<std::size_t, double>> entries;  // sorted per row
+  };
+
+  std::size_t n_ = 0;
+  std::vector<Csr> commands_;
+};
+
+/// Sparse columns of (I - gamma P)^T for a chain whose row s is
+/// `row_of(s)`: column s is e_s - gamma * P(s, .), i.e. the CSR rows are
+/// literally the columns of the transposed system — no transpose pass.
+/// Shared by discounted occupancy and deterministic policy evaluation
+/// (ftran solves the transposed system, btran the original one).
+std::vector<linalg::SparseColumn> discounted_transposed_columns(
+    std::size_t n, double gamma,
+    const std::function<TransitionRowView(std::size_t)>& row_of);
+
+/// Discounted occupancy u = p0 (I - gamma P)^{-1} for a chain given by
+/// sparse `rows` (the output of under_policy_rows): u_s is the expected
+/// discounted number of visits to s.  Solved with the sparse LU — the
+/// O(nnz)-flavored counterpart of MarkovChain::discounted_occupancy.
+/// Throws MarkovError on bad gamma/p0 or a singular system (which cannot
+/// happen for a stochastic P and gamma < 1 unless rows are malformed).
+linalg::Vector discounted_occupancy_sparse(
+    const std::vector<TransitionRow>& rows, const linalg::Vector& p0,
+    double gamma);
+
+}  // namespace dpm::markov

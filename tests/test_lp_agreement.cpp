@@ -132,7 +132,7 @@ INSTANTIATE_TEST_SUITE_P(RandomLps, AgreementTest, ::testing::Range(0, 17));
 // Revised-simplex specifics: pricing rules and warm starts.
 // ---------------------------------------------------------------------
 
-TEST(RevisedSimplex, DantzigAndDevexAgree) {
+TEST(RevisedSimplex, AllPricingRulesAgree) {
   std::mt19937_64 gen(42);
   for (int trial = 0; trial < 10; ++trial) {
     const LpProblem p = random_feasible(gen);
@@ -140,11 +140,18 @@ TEST(RevisedSimplex, DantzigAndDevexAgree) {
     dantzig.pricing = RevisedSimplexOptions::Pricing::kDantzig;
     RevisedSimplexOptions devex;
     devex.pricing = RevisedSimplexOptions::Pricing::kSteepestEdge;
+    RevisedSimplexOptions partial;
+    partial.pricing = RevisedSimplexOptions::Pricing::kPartial;
+    partial.partial_section = 3;  // force several sections even when tiny
     const LpSolution a = solve_revised_simplex(p, dantzig);
     const LpSolution b = solve_revised_simplex(p, devex);
+    const LpSolution c = solve_revised_simplex(p, partial);
     ASSERT_EQ(a.status, LpStatus::kOptimal);
     ASSERT_EQ(b.status, LpStatus::kOptimal);
+    ASSERT_EQ(c.status, LpStatus::kOptimal);
     EXPECT_NEAR(a.objective, b.objective,
+                kTol * (1.0 + std::abs(a.objective)));
+    EXPECT_NEAR(a.objective, c.objective,
                 kTol * (1.0 + std::abs(a.objective)));
   }
 }

@@ -169,6 +169,53 @@ TEST_P(SparseLuRandomTest, ResidualsAreSmall) {
 INSTANTIATE_TEST_SUITE_P(Orders, SparseLuRandomTest,
                          ::testing::Values(1, 2, 5, 10, 25, 60, 150));
 
+TEST(SparseLuTest, MarkowitzKeepsArrowheadFillLinear) {
+  // Arrowhead matrix with the dense row/column FIRST: naive in-order
+  // elimination fills the whole matrix (O(n^2) entries); Markowitz
+  // pivoting defers the dense row and keeps the factors linear.
+  const int n = 200;
+  std::vector<SparseColumn> cols(n);
+  for (int j = 1; j < n; ++j) {
+    cols[0].emplace_back(j, 0.5);                        // dense column 0
+    cols[j] = {{0, 0.5}, {static_cast<std::size_t>(j), 4.0}};  // dense row 0
+  }
+  cols[0].emplace_back(0, 4.0);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factorize(n, cols));
+  // Linear fill: a handful of entries per pivot, nowhere near n^2/2.
+  EXPECT_LT(lu.factor_nonzeros(), static_cast<std::size_t>(6 * n));
+
+  std::mt19937_64 gen(9);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  Vector b(n);
+  for (auto& v : b) v = u(gen);
+  Vector x = b;
+  lu.ftran(x);
+  Matrix dense(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (const auto& [r, v] : cols[j]) dense(r, j) = v;
+  }
+  const Vector ax = dense * x;
+  for (int i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+}
+
+TEST(SparseLuTest, SumsDuplicateEntriesWithinColumn) {
+  // The factorize contract merges duplicate (row, value) pairs.
+  std::vector<SparseColumn> cols = {{{0, 1.0}, {0, 1.0}}, {{1, 2.0}}};
+  SparseLu lu;
+  ASSERT_TRUE(lu.factorize(2, cols));
+  Vector x{4.0, 6.0};
+  lu.ftran(x);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(SparseLuTest, StructurallySingularEmptyColumn) {
+  std::vector<SparseColumn> cols = {{{0, 1.0}}, {}};
+  SparseLu lu;
+  EXPECT_FALSE(lu.factorize(2, cols));
+}
+
 // ---------------------------------------------------------------------
 // BasisFactorization (eta updates)
 // ---------------------------------------------------------------------
