@@ -1,0 +1,222 @@
+// bench_scenarios: the one experiment multiplexer.
+//
+// Every paper figure, ablation, and extension is a registered Scenario
+// (src/scenario/); this driver lists, filters, and executes them on the
+// parallel ExperimentRunner.  Replaces the former per-figure binaries
+// (bench_fig06_pareto ... bench_average_cost).
+//
+//   bench_scenarios --list                 # what is registered
+//   bench_scenarios                        # run everything, --jobs 1
+//   bench_scenarios --jobs 8               # saturate the machine
+//   bench_scenarios --filter fig1          # substring selection
+//   bench_scenarios --exact fig08_disk     # exact-name selection
+//   bench_scenarios --smoke                # tiny grids (ctest smoke)
+//   bench_scenarios --list --expect a,b,c  # registry drift gate (ctest)
+//
+// Determinism contract: all randomness derives from (scenario name,
+// unit index), and results are assembled in unit order, so stdout and
+// the emitted BENCH_<scenario>.json files are byte-identical for any
+// --jobs value.  Full runs write JSON; --smoke runs never overwrite
+// benchmark-grade records.  Exit status is nonzero when any
+// expected-shape assertion fails.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+
+namespace {
+
+using dpm::scenario::Scenario;
+
+struct CliOptions {
+  bool list = false;
+  bool smoke = false;
+  bool quiet = false;
+  std::size_t jobs = 1;
+  std::vector<std::string> filters;  // substring matches, OR-ed
+  std::vector<std::string> exact;    // exact names, OR-ed
+  std::string expect;                // comma-separated registry gate
+};
+
+bool parse_args(int argc, char** argv, CliOptions& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_scenarios: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      opt.list = true;
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else if (arg == "--jobs" || arg == "-j") {
+      const char* v = next("--jobs");
+      if (v == nullptr) return false;
+      opt.jobs = static_cast<std::size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--filter") {
+      const char* v = next("--filter");
+      if (v == nullptr) return false;
+      opt.filters.emplace_back(v);
+    } else if (arg == "--exact") {
+      const char* v = next("--exact");
+      if (v == nullptr) return false;
+      opt.exact.emplace_back(v);
+    } else if (arg == "--expect") {
+      const char* v = next("--expect");
+      if (v == nullptr) return false;
+      opt.expect = v;
+    } else {
+      std::fprintf(stderr, "bench_scenarios: unknown argument '%s'\n",
+                   arg.c_str());
+      return false;
+    }
+  }
+  // The ctest smoke environment variable mirrors the historical
+  // per-bench behaviour (bench_util.h).
+  if (const char* env = std::getenv("DPMOPT_BENCH_SMOKE");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    opt.smoke = true;
+  }
+  return true;
+}
+
+bool selected(const Scenario& sc, const CliOptions& opt) {
+  if (opt.filters.empty() && opt.exact.empty()) return true;
+  for (const std::string& e : opt.exact) {
+    if (sc.name == e) return true;
+  }
+  for (const std::string& f : opt.filters) {
+    if (sc.name.find(f) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',' || c == ';') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+/// Registry drift gate: the build system registers one smoke test per
+/// scenario from a literal list; this check fails the suite when the
+/// two go out of sync instead of silently dropping coverage.
+int check_expected(const std::string& csv) {
+  const std::vector<std::string> expected = split_csv(csv);
+  int mismatches = 0;
+  for (const std::string& name : expected) {
+    if (dpm::scenario::find(name) == nullptr) {
+      std::fprintf(stderr,
+                   "EXPECTED scenario '%s' is not registered "
+                   "(update register_builtin or the CMake list)\n",
+                   name.c_str());
+      ++mismatches;
+    }
+  }
+  for (const Scenario& sc : dpm::scenario::all()) {
+    bool found = false;
+    for (const std::string& name : expected) {
+      if (name == sc.name) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::fprintf(stderr,
+                   "REGISTERED scenario '%s' is missing from the CMake "
+                   "DPMOPT_SCENARIOS list (no smoke test will run it)\n",
+                   sc.name.c_str());
+      ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  dpm::scenario::register_builtin();
+
+  if (opt.list) {
+    std::printf("%-22s %5s  %s\n", "scenario", "units", "description");
+    for (const Scenario& sc : dpm::scenario::all()) {
+      if (!selected(sc, opt)) continue;
+      std::printf("%-22s %5zu  %s\n", sc.name.c_str(),
+                  sc.units(opt.smoke).size(), sc.what.c_str());
+    }
+    if (!opt.expect.empty()) {
+      const int mismatches = check_expected(opt.expect);
+      if (mismatches != 0) return 1;
+      std::printf("registry matches the expected scenario list (%zu)\n",
+                  dpm::scenario::all().size());
+    }
+    return 0;
+  }
+
+  std::vector<const Scenario*> run_list;
+  for (const Scenario& sc : dpm::scenario::all()) {
+    if (selected(sc, opt)) run_list.push_back(&sc);
+  }
+  if (run_list.empty()) {
+    std::fprintf(stderr, "bench_scenarios: no scenario matches\n");
+    return 2;
+  }
+
+  dpm::scenario::RunnerOptions ropts;
+  ropts.jobs = opt.jobs;
+  ropts.smoke = opt.smoke;
+  ropts.print = !opt.quiet;
+  // Smoke grids must never overwrite benchmark-grade JSON records.
+  ropts.write_json = !opt.smoke;
+
+  const dpm::bench::WallTimer timer;
+  const dpm::scenario::ExperimentRunner runner(ropts);
+  const auto results = runner.run(run_list);
+  const double wall_ms = timer.elapsed_ms();
+
+  std::printf("\n%-22s %6s %8s %10s %12s  %s\n", "scenario", "units",
+              "records", "iterations", "unit ms", "shape");
+  std::size_t failures = 0;
+  for (const auto& r : results) {
+    const std::string shape =
+        r.failures.empty() ? "ok"
+                           : std::to_string(r.failures.size()) + " FAIL";
+    std::printf("%-22s %6zu %8zu %10zu %12.1f  %s\n", r.name.c_str(),
+                r.units, r.records.size(), r.iterations, r.wall_ms,
+                shape.c_str());
+    failures += r.failures.size();
+  }
+  std::printf("\ntotal wall %.1f ms with --jobs %zu on %u hardware "
+              "thread(s) (%zu scenarios)%s\n",
+              wall_ms, opt.jobs == 0 ? std::size_t{1} : opt.jobs,
+              std::thread::hardware_concurrency(), results.size(),
+              opt.smoke ? "  [smoke — no JSON written]" : "");
+  if (failures != 0) {
+    std::fprintf(stderr, "bench_scenarios: %zu shape-check failure(s)\n",
+                 failures);
+    return 1;
+  }
+  return 0;
+}

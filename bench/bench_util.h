@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "scenario/report.h"
+
 namespace dpm::bench {
 
 /// True when the bench should run tiny problem sizes: either `--smoke`
@@ -69,56 +71,10 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// One measurement in the shared cross-bench schema.
-struct JsonRecord {
-  std::string name;        // what was measured ("revised n=2000", ...)
-  double wall_ms = 0.0;    // wall time spent
-  std::size_t iterations = 0;  // algorithm iterations (0 when n/a)
-  double objective = 0.0;  // headline numeric result (0 when n/a)
-};
-
-/// Collects records and writes BENCH_<bench>.json on destruction; every
-/// bench main emits exactly this schema so trajectories across PRs are
-/// comparable with one jq expression.
-///
-/// Pass `enabled = false` (benches with smoke-scaled sizes pass
-/// `!smoke`) to skip the write: a `ctest -L bench` smoke run must not
-/// overwrite benchmark-grade trajectory records with tiny-size numbers.
-class JsonReport {
- public:
-  explicit JsonReport(std::string bench_name, bool enabled = true)
-      : bench_name_(std::move(bench_name)), enabled_(enabled) {}
-  JsonReport(const JsonReport&) = delete;
-  JsonReport& operator=(const JsonReport&) = delete;
-
-  void add(std::string name, double wall_ms, std::size_t iterations,
-           double objective) {
-    records_.push_back({std::move(name), wall_ms, iterations, objective});
-  }
-
-  ~JsonReport() {
-    if (!enabled_) return;
-    const std::string path = "BENCH_" + bench_name_ + ".json";
-    std::FILE* f = std::fopen(path.c_str(), "w");
-    if (f == nullptr) return;
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [",
-                 bench_name_.c_str());
-    for (std::size_t i = 0; i < records_.size(); ++i) {
-      const JsonRecord& r = records_[i];
-      std::fprintf(f,
-                   "%s\n    {\"name\": \"%s\", \"wall_ms\": %.6f, "
-                   "\"iterations\": %zu, \"objective\": %.12g}",
-                   i == 0 ? "" : ",", r.name.c_str(), r.wall_ms,
-                   r.iterations, r.objective);
-    }
-    std::fprintf(f, "\n  ]\n}\n");
-    std::fclose(f);
-  }
-
- private:
-  std::string bench_name_;
-  bool enabled_;
-  std::vector<JsonRecord> records_;
-};
+/// The shared cross-bench record/report schema now lives in
+/// src/scenario/report.h (the scenario runner emits the same files);
+/// these aliases keep the solver-scaling benches unchanged.
+using JsonRecord = scenario::JsonRecord;
+using JsonReport = scenario::JsonReport;
 
 }  // namespace dpm::bench

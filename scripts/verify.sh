@@ -1,24 +1,40 @@
 #!/usr/bin/env bash
-# One-shot verification: Release build + full test suite (including the
-# `bench`-labelled smoke runs), then the Debug/ASan+UBSan preset with the
-# same suite.  This is the tier-1 gate plus the sanitizer sweep in one
-# command:
+# One-shot verification.
 #
-#   scripts/verify.sh            # release + debug/asan
-#   scripts/verify.sh --release  # release only (fast path)
+#   scripts/verify.sh            # Release + Debug/ASan+UBSan, full suites
+#   scripts/verify.sh --release  # Release only, full suite
+#   scripts/verify.sh --quick    # Release only: unit tests + scenario
+#                                # smokes (skips the solver-scaling bench
+#                                # smokes and the sanitizer pass)
+#
+# Full mode is the tier-1 gate plus the sanitizer sweep; --quick is the
+# edit-compile-check loop (every gtest suite plus one smoke run of every
+# registered scenario with shape assertions on).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 run_preset() {
   local preset="$1"
+  shift
   echo "=== configure/build/test: preset '${preset}' ==="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" -j "$(nproc)"
-  ctest --preset "${preset}" -j "$(nproc)"
+  ctest --preset "${preset}" -j "$(nproc)" "$@"
 }
 
-run_preset release
-if [[ "${1:-}" != "--release" ]]; then
-  run_preset debug
-fi
-echo "verify: all presets green"
+case "${1:-}" in
+  --quick)
+    # Everything except the solver-scaling bench smokes (the scenario
+    # smoke tests are named smoke_scenario_* / smoke_scenarios_list and
+    # stay in).
+    run_preset release -E '^smoke_bench_'
+    ;;
+  --release)
+    run_preset release
+    ;;
+  *)
+    run_preset release
+    run_preset debug
+    ;;
+esac
+echo "verify: done"

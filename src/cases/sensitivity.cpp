@@ -1,5 +1,7 @@
 #include "cases/sensitivity.h"
 
+#include "trace/generators.h"
+
 namespace dpm::cases::sensitivity {
 
 const std::vector<SleepStateSpec>& standard_sleep_states() {
@@ -76,6 +78,16 @@ OptimizerConfig make_config(const SystemModel& model, double horizon_slices) {
   cfg.discount = 1.0 - 1.0 / horizon_slices;
   cfg.initial_distribution = model.point_distribution({0, 0, 0});
   return cfg;
+}
+
+std::vector<unsigned> memory_study_stream(std::size_t slices,
+                                          std::uint64_t seed) {
+  trace::OnOffParams wp;
+  wp.mean_burst = 4.0;
+  wp.mean_idle_short = 3.0;
+  wp.mean_idle_long = 60.0;
+  wp.long_idle_fraction = 0.3;
+  return trace::on_off_stream(slices, wp, seed);
 }
 
 }  // namespace dpm::cases::sensitivity

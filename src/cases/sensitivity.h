@@ -54,4 +54,10 @@ SystemModel make_model(const std::vector<SleepStateSpec>& sleep_states,
 /// 1 - 1/horizon; starts active/idle/empty.
 OptimizerConfig make_config(const SystemModel& model, double horizon_slices);
 
+/// The Fig. 13(b) workload: idle lengths are a mixture of short
+/// intra-burst gaps and long think times — NOT memoryless, which is
+/// exactly the structure a k-memory SR model can exploit.
+std::vector<unsigned> memory_study_stream(std::size_t slices,
+                                          std::uint64_t seed = 99);
+
 }  // namespace dpm::cases::sensitivity

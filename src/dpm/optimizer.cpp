@@ -5,6 +5,30 @@
 
 namespace dpm {
 
+namespace {
+
+/// Achieved per-step value of each constraint at the LP point x
+/// (columns laid out x[s*A + a]); shared by the cold and warm-started
+/// solve paths so their accounting cannot drift apart.
+std::vector<double> achieved_per_step(
+    const SystemModel& model, double one_minus_gamma, const linalg::Vector& x,
+    const std::vector<OptimizationConstraint>& constraints) {
+  const std::size_t na = model.num_commands();
+  std::vector<double> achieved;
+  achieved.reserve(constraints.size());
+  for (const auto& oc : constraints) {
+    double total = 0.0;
+    for (std::size_t col = 0; col < x.size(); ++col) {
+      const double v = x[col];
+      if (v != 0.0) total += oc.metric(col / na, col % na) * v;
+    }
+    achieved.push_back(one_minus_gamma * total);
+  }
+  return achieved;
+}
+
+}  // namespace
+
 PolicyOptimizer::PolicyOptimizer(const SystemModel& model,
                                  OptimizerConfig config)
     : model_(&model), config_(std::move(config)) {
@@ -139,19 +163,8 @@ OptimizationResult PolicyOptimizer::minimize(
   result.objective_per_step = one_minus_gamma * lp_sol.objective;
   result.policy = extract_policy(lp_sol.x);
 
-  const std::size_t n = model_->num_states();
-  const std::size_t na = model_->num_commands();
-  result.constraint_per_step.reserve(constraints.size());
-  for (const auto& oc : constraints) {
-    double total = 0.0;
-    for (std::size_t s = 0; s < n; ++s) {
-      for (std::size_t a = 0; a < na; ++a) {
-        const double x = lp_sol.x[s * na + a];
-        if (x != 0.0) total += oc.metric(s, a) * x;
-      }
-    }
-    result.constraint_per_step.push_back(one_minus_gamma * total);
-  }
+  result.constraint_per_step =
+      achieved_per_step(*model_, one_minus_gamma, lp_sol.x, constraints);
   return result;
 }
 
@@ -198,6 +211,8 @@ std::vector<PolicyOptimizer::ParetoPoint> PolicyOptimizer::sweep(
       if (r.feasible) {
         pt.objective = r.objective_per_step;
         pt.policy = std::move(r.policy);
+        pt.constraint_per_step = std::move(r.constraint_per_step);
+        pt.frequencies = std::move(r.frequencies);
       }
       curve.push_back(std::move(pt));
     }
@@ -229,6 +244,9 @@ std::vector<PolicyOptimizer::ParetoPoint> PolicyOptimizer::sweep(
       pt.feasible = true;
       pt.objective = one_minus_gamma * s.objective;
       pt.policy = extract_policy(s.x);
+      pt.constraint_per_step =
+          achieved_per_step(*model_, one_minus_gamma, s.x, constraints);
+      pt.frequencies = s.x;
       basis = std::move(next);  // warm-start the next bound from here
     }
     curve.push_back(std::move(pt));

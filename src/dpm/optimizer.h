@@ -84,6 +84,13 @@ class PolicyOptimizer {
     double objective = 0.0;   // optimal per-step objective
     std::size_t lp_iterations = 0;  // simplex pivots spent on this point
     std::optional<Policy> policy;
+    /// Achieved per-step values of every constraint at this point: the
+    /// fixed constraints in order, then the swept constraint last.
+    std::vector<double> constraint_per_step;
+    /// Raw discounted state-action frequencies (layout x[s*A + a]) —
+    /// lets scenario code inspect structural properties of the optimum
+    /// (e.g. Fig. 9a's "CPU2 never runs alone") without re-solving.
+    linalg::Vector frequencies;
   };
 
   /// Sweeps `sweep_bounds` for the first constraint while holding

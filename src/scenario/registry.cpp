@@ -1,0 +1,50 @@
+#include "scenario/registry.h"
+
+#include <stdexcept>
+
+namespace dpm::scenario {
+
+namespace {
+
+std::vector<Scenario>& table() {
+  static std::vector<Scenario> scenarios;
+  return scenarios;
+}
+
+}  // namespace
+
+void add(Scenario scenario) {
+  if (scenario.name.empty() || !scenario.units) {
+    throw std::invalid_argument(
+        "scenario::add: a scenario needs a name and a unit factory");
+  }
+  if (find(scenario.name) != nullptr) {
+    throw std::invalid_argument("scenario::add: duplicate scenario '" +
+                                scenario.name + "'");
+  }
+  table().push_back(std::move(scenario));
+}
+
+const std::vector<Scenario>& all() { return table(); }
+
+const Scenario* find(std::string_view name) {
+  for (const Scenario& s : table()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void register_builtin() {
+  static const bool once = [] {
+    register_example_scenarios();
+    register_disk_scenarios();
+    register_cpu_scenarios();
+    register_webserver_scenarios();
+    register_sensitivity_scenarios();
+    register_extension_scenarios();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace dpm::scenario

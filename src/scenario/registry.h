@@ -1,0 +1,41 @@
+// Scenario registry: every paper figure / ablation / extension is a
+// named Scenario; new workloads cost one registration, not a new
+// binary.  The `bench_scenarios` multiplexer, the smoke tests, and the
+// gtest registry suite all run off this single table.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace dpm::scenario {
+
+/// Registers a scenario; throws std::invalid_argument on a duplicate
+/// name or a scenario without a unit factory.
+void add(Scenario scenario);
+
+/// All registered scenarios, in registration order.
+const std::vector<Scenario>& all();
+
+/// Lookup by exact name; nullptr when absent.
+const Scenario* find(std::string_view name);
+
+/// Registers every built-in paper scenario (idempotent).  Call this
+/// before `all()`/`find()` in mains and tests; registrations are plain
+/// function calls, not static initializers, so nothing depends on
+/// link-order or --whole-archive.
+void register_builtin();
+
+// Per-family registration functions (scenario/scenarios_*.cpp).  NOT
+// idempotent (add() throws on duplicates) — call them only through
+// register_builtin(); they are declared here so register_builtin can
+// live apart from the registration translation units.
+void register_example_scenarios();      // example_a2, fig06, determinize
+void register_disk_scenarios();         // fig08_disk, po1_duality
+void register_cpu_scenarios();          // fig09b, fig10, adaptive
+void register_webserver_scenarios();    // fig09a
+void register_sensitivity_scenarios();  // fig12a/b, fig13a/b, fig14a/b
+void register_extension_scenarios();    // average_cost
+
+}  // namespace dpm::scenario

@@ -1,0 +1,79 @@
+// The shared cross-bench measurement schema.
+//
+// Every experiment harness in the repository — the scenario runner and
+// the solver-scaling benches alike — drops a `BENCH_<name>.json` file
+// with one record schema, {"name", "wall_ms", "iterations",
+// "objective"}, so per-PR trajectories stay machine-comparable with a
+// single jq expression.
+//
+// Scenario runs write `wall_ms = 0` for every record: their JSON is
+// deterministic by construction (identical for `--jobs 1` and
+// `--jobs N`), and pivot counts (`iterations`) are the performance
+// trajectory for LP work.  The solver-scaling benches keep real wall
+// times.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dpm::scenario {
+
+/// One measurement in the shared cross-bench schema.
+struct JsonRecord {
+  std::string name;        // what was measured ("revised n=2000", ...)
+  double wall_ms = 0.0;    // wall time spent (0 in deterministic runs)
+  std::size_t iterations = 0;  // algorithm iterations (0 when n/a)
+  double objective = 0.0;  // headline numeric result (0 when n/a)
+};
+
+/// Writes `BENCH_<name>.json` in the shared schema.  Returns false when
+/// the file cannot be opened.
+inline bool write_json_report(const std::string& name,
+                              const std::vector<JsonRecord>& records) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", name.c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"wall_ms\": %.6f, "
+                 "\"iterations\": %zu, \"objective\": %.12g}",
+                 i == 0 ? "" : ",", r.name.c_str(), r.wall_ms, r.iterations,
+                 r.objective);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Collects records and writes `BENCH_<name>.json` on destruction.
+/// Pass `enabled = false` (smoke runs) to skip the write: a smoke run
+/// must not overwrite benchmark-grade trajectory records with tiny-size
+/// numbers.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name, bool enabled = true)
+      : bench_name_(std::move(bench_name)), enabled_(enabled) {}
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  void add(std::string name, double wall_ms, std::size_t iterations,
+           double objective) {
+    records_.push_back({std::move(name), wall_ms, iterations, objective});
+  }
+
+  ~JsonReport() {
+    if (!enabled_) return;
+    write_json_report(bench_name_, records_);
+  }
+
+ private:
+  std::string bench_name_;
+  bool enabled_;
+  std::vector<JsonRecord> records_;
+};
+
+}  // namespace dpm::scenario

@@ -1,0 +1,162 @@
+#include "scenario/runner.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <thread>
+
+namespace dpm::scenario {
+
+namespace {
+
+struct UnitTask {
+  std::size_t scenario = 0;  // index into the scenario list
+  std::size_t unit = 0;      // index into that scenario's unit list
+};
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void print_banner(const Scenario& sc, bool smoke) {
+  std::printf("\n");
+  std::printf(
+      "=====================================================================\n");
+  std::printf("%s — %s%s\n", sc.name.c_str(), sc.title.c_str(),
+              smoke ? "  [smoke]" : "");
+  std::printf("  %s\n", sc.what.c_str());
+  std::printf(
+      "=====================================================================\n");
+}
+
+}  // namespace
+
+std::vector<ScenarioRunResult> ExperimentRunner::run(
+    const std::vector<const Scenario*>& scenarios) const {
+  const bool smoke = options_.smoke;
+
+  // Expand every scenario's grid up front so the pool sees one flat
+  // task list (units of different scenarios interleave freely).
+  std::vector<std::vector<Unit>> units(scenarios.size());
+  std::vector<UnitTask> tasks;
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    units[i] = scenarios[i]->units(smoke);
+    for (std::size_t u = 0; u < units[i].size(); ++u) {
+      tasks.push_back({i, u});
+    }
+  }
+
+  std::vector<std::vector<UnitOutput>> outputs(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    outputs[i].resize(units[i].size());
+  }
+
+  // Work-stealing-by-counter pool.  Units write only into their own
+  // preassigned output slot, so no synchronization beyond the counter
+  // (and the final join) is needed, and results are independent of
+  // which worker ran what.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&]() {
+    for (;;) {
+      const std::size_t t = next.fetch_add(1, std::memory_order_relaxed);
+      if (t >= tasks.size()) return;
+      const UnitTask task = tasks[t];
+      const Scenario& sc = *scenarios[task.scenario];
+      UnitContext ctx(sc.name, task.unit, smoke);
+      const double t0 = now_ms();
+      try {
+        units[task.scenario][task.unit].run(ctx);
+      } catch (const std::exception& e) {
+        ctx.check(false, "unit '" + units[task.scenario][task.unit].label +
+                             "' threw: " + e.what());
+      } catch (...) {
+        ctx.check(false, "unit '" + units[task.scenario][task.unit].label +
+                             "' threw a non-std exception");
+      }
+      ctx.output().wall_ms = now_ms() - t0;
+      outputs[task.scenario][task.unit] = std::move(ctx.output());
+    }
+  };
+
+  std::size_t jobs = options_.jobs == 0 ? 1 : options_.jobs;
+  jobs = std::min(jobs, tasks.size() == 0 ? std::size_t{1} : tasks.size());
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Deterministic assembly: scenario order, then unit order.
+  std::vector<ScenarioRunResult> results;
+  results.reserve(scenarios.size());
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const Scenario& sc = *scenarios[i];
+    ScenarioRunResult res;
+    res.name = sc.name;
+    res.units = units[i].size();
+    if (options_.print) print_banner(sc, smoke);
+    for (std::size_t u = 0; u < units[i].size(); ++u) {
+      UnitOutput& out = outputs[i][u];
+      if (options_.print) {
+        std::printf("\n--- %s ---   (%.1f ms)\n", units[i][u].label.c_str(),
+                    out.wall_ms);
+        for (const std::string& line : out.lines) {
+          std::printf("%s\n", line.c_str());
+        }
+      }
+      res.wall_ms += out.wall_ms;
+      for (Record& r : out.records) {
+        res.iterations += r.iterations;
+        res.records.push_back(std::move(r));
+      }
+      // Colliding keys would make cross-unit shape checks silently read
+      // the wrong cell — treat a duplicate as a scenario defect.
+      for (auto& [k, v] : out.values) {
+        if (!res.values.emplace(k, v).second) {
+          res.failures.push_back("duplicate cross-unit value key '" + k +
+                                 "' (unit '" + units[i][u].label + "')");
+        }
+      }
+      for (std::string& f : out.failures) res.failures.push_back(std::move(f));
+    }
+
+    if (sc.check) {
+      ShapeChecker checker(res.values);
+      sc.check(checker);
+      for (std::string& f : checker.take_failures()) {
+        res.failures.push_back(std::move(f));
+      }
+    }
+
+    if (options_.write_json) write_json_report(sc.name, res.records);
+
+    if (options_.print) {
+      if (res.failures.empty()) {
+        std::printf("\n  shape checks: OK   (%zu units, %zu records, "
+                    "%zu iterations, %.1f ms)\n",
+                    res.units, res.records.size(), res.iterations,
+                    res.wall_ms);
+      } else {
+        std::printf("\n  shape checks: %zu FAILURE(S)\n",
+                    res.failures.size());
+        for (const std::string& f : res.failures) {
+          std::printf("    FAIL: %s\n", f.c_str());
+        }
+      }
+    }
+    results.push_back(std::move(res));
+  }
+  return results;
+}
+
+ScenarioRunResult ExperimentRunner::run_one(const Scenario& scenario) const {
+  return run({&scenario}).front();
+}
+
+}  // namespace dpm::scenario

@@ -1,0 +1,57 @@
+// ExperimentRunner: executes scenario grids on a thread pool.
+//
+// The unit (scenario/scenario.h) is the scheduling quantum: workers
+// pull units off a shared queue, so a 16-scenario run saturates every
+// core while each warm-started sweep series stays sequential on one
+// worker.  Determinism contract:
+//  * every unit derives all randomness from (scenario name, unit
+//    index) via sim::derive_seed — never from the worker thread;
+//  * units buffer their output; the runner prints and serializes in
+//    unit order after the barrier.
+// Hence stdout tables and the emitted BENCH_<scenario>.json files are
+// byte-identical for --jobs 1 and --jobs N (records carry wall_ms = 0;
+// real wall times are reported on stdout only).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace dpm::scenario {
+
+struct RunnerOptions {
+  std::size_t jobs = 1;       // worker threads (0 -> 1)
+  bool smoke = false;         // reduced grids, short simulations
+  bool print = true;          // banner + buffered unit tables on stdout
+  bool write_json = true;     // one BENCH_<scenario>.json per scenario
+};
+
+struct ScenarioRunResult {
+  std::string name;
+  std::size_t units = 0;
+  std::size_t iterations = 0;  // sum of record iterations (pivots/slices)
+  double wall_ms = 0.0;        // sum of unit wall times (real)
+  std::vector<Record> records;            // unit order
+  std::vector<std::string> failures;      // shape-assertion failures
+  std::map<std::string, double> values;   // merged cross-unit facts
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions options) : options_(options) {}
+
+  /// Runs every scenario's units on the pool; returns per-scenario
+  /// results in the given order.
+  std::vector<ScenarioRunResult> run(
+      const std::vector<const Scenario*>& scenarios) const;
+
+  /// Convenience: run one scenario.
+  ScenarioRunResult run_one(const Scenario& scenario) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace dpm::scenario

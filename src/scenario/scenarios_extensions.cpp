@@ -1,0 +1,145 @@
+// Scenario registration for the average-cost extension: the paper's
+// Eq. 7 formulation solved directly, without a discount, and its
+// agreement with the discounted (Eq. 9) optima as gamma -> 1.
+// Replaces bench_average_cost.
+#include <cmath>
+#include <string>
+
+#include "cases/disk_drive.h"
+#include "cases/example_system.h"
+#include "cases/sensitivity.h"
+#include "dpm/average_optimizer.h"
+#include "scenario/registry.h"
+
+namespace dpm::scenario {
+
+namespace {
+
+namespace sens = cases::sensitivity;
+
+Scenario make_average_cost() {
+  Scenario sc;
+  sc.name = "average_cost";
+  sc.title = "Extension: average-cost optimization (paper Eq. 7)";
+  sc.what =
+      "stationary-distribution LP vs the discounted (Eq. 9) "
+      "formulation: the discounted optima converge to the horizon-free "
+      "optimum as gamma -> 1";
+
+  sc.units = [](bool smoke) {
+    std::vector<Unit> units;
+
+    units.push_back(Unit{
+        "example system: discounted -> average convergence",
+        [smoke](UnitContext& ctx) {
+          const SystemModel m = cases::ExampleSystem::make_model();
+          const AverageCostOptimizer avg(m);
+          const OptimizationResult a = avg.minimize_power(0.45, 0.25);
+          ctx.check(a.feasible, "average-cost LP infeasible on the example");
+          if (!a.feasible) return;
+          ctx.record("example average-cost", a.lp_iterations,
+                     a.objective_per_step);
+          ctx.linef("  average-cost optimum      %10.5f W",
+                    a.objective_per_step);
+          const std::vector<double> gammas =
+              smoke ? std::vector<double>{0.99, 0.9999999}
+                    : std::vector<double>{0.99, 0.999, 0.9999, 0.99999,
+                                          0.9999999};
+          double closest = -1.0;
+          for (const double gamma : gammas) {
+            const PolicyOptimizer d(
+                m, cases::ExampleSystem::make_config(m, gamma));
+            const OptimizationResult r = d.minimize_power(0.45, 0.25);
+            ctx.linef("  discounted gamma=%-9.7f %10.5f W", gamma,
+                      r.feasible ? r.objective_per_step : -1.0);
+            if (r.feasible) closest = r.objective_per_step;
+          }
+          ctx.check(closest > 0.0 &&
+                        std::abs(closest - a.objective_per_step) <=
+                            0.01 * a.objective_per_step,
+                    "discounted optimum at gamma ~ 1 failed to converge "
+                    "to the average-cost optimum");
+          ctx.value("example/average", a.objective_per_step);
+          ctx.value("example/discounted_limit", closest);
+        }});
+
+    units.push_back(Unit{
+        "disk drive: the two formulations agree at gamma ~ 1",
+        [](UnitContext& ctx) {
+          const SystemModel m = cases::DiskDrive::make_model();
+          const AverageCostOptimizer avg(m);
+          const OptimizationResult a = avg.minimize_power(0.4, 0.05);
+          ctx.check(a.feasible, "average-cost LP infeasible on the disk");
+          const PolicyOptimizer d(m,
+                                  cases::DiskDrive::make_config(m, 0.99999));
+          const OptimizationResult r = d.minimize_power(0.4, 0.05);
+          ctx.check(r.feasible, "discounted LP infeasible on the disk");
+          if (!a.feasible || !r.feasible) return;
+          ctx.record("disk average-cost", a.lp_iterations,
+                     a.objective_per_step);
+          ctx.record("disk discounted 1e5", r.lp_iterations,
+                     r.objective_per_step);
+          ctx.linef("  average-cost %10.5f W, discounted(1e5) %10.5f W",
+                    a.objective_per_step, r.objective_per_step);
+          ctx.check(std::abs(a.objective_per_step - r.objective_per_step) <=
+                        0.05 * a.objective_per_step,
+                    "disk: discounted(1e5) and average-cost optima "
+                    "disagree by more than 5%");
+        }});
+
+    units.push_back(Unit{
+        "Fig. 14(a) revisited without the end-game artifact",
+        [smoke](UnitContext& ctx) {
+          const SystemModel m =
+              sens::make_model(sens::standard_sleep_states(), 0.01, 2);
+          const AverageCostOptimizer avg(m);
+          const auto constraints = [](const SystemModel& mm) {
+            return std::vector<OptimizationConstraint>{
+                {metrics::queue_length(mm), 0.5, "perf"},
+                {metrics::request_loss(mm), 0.05, "loss"}};
+          };
+          const OptimizationResult a =
+              avg.minimize(metrics::power(m), constraints(m));
+          ctx.check(a.feasible, "average-cost LP infeasible (Fig. 14a)");
+          if (!a.feasible) return;
+          ctx.record("fig14a average-cost", a.lp_iterations,
+                     a.objective_per_step);
+          ctx.linef("  average-cost optimum %10.4f W (horizon-free)",
+                    a.objective_per_step);
+          const std::vector<double> horizons =
+              smoke ? std::vector<double>{1e2, 1e5}
+                    : std::vector<double>{1e2, 1e3, 1e4, 1e5};
+          double longest = -1.0;
+          for (const double h : horizons) {
+            const PolicyOptimizer d(m, sens::make_config(m, h));
+            const OptimizationResult r =
+                d.minimize(metrics::power(m), constraints(m));
+            ctx.linef("  discounted horizon %-8g %10.4f W", h,
+                      r.feasible ? r.objective_per_step : -1.0);
+            if (r.feasible) {
+              // Free end-of-session shutdown: discounted optima sit at
+              // or below the horizon-free optimum...
+              ctx.check(r.objective_per_step <=
+                            a.objective_per_step + 1e-6,
+                        "a discounted optimum exceeded the average-cost "
+                        "optimum at horizon " + std::to_string(h));
+              longest = r.objective_per_step;
+            }
+          }
+          // ...and converge to it from below as the horizon grows.
+          ctx.check(longest > 0.0 &&
+                        a.objective_per_step - longest <=
+                            0.01 * a.objective_per_step,
+                    "discounted optimum at horizon 1e5 failed to approach "
+                    "the average-cost optimum");
+        }});
+    return units;
+  };
+  return sc;
+}
+
+}  // namespace
+
+void register_extension_scenarios() { add(make_average_cost()); }
+
+}  // namespace dpm::scenario

@@ -4,9 +4,35 @@
 #include <cstdint>
 #include <random>
 #include <stdexcept>
+#include <string_view>
 #include <vector>
 
 namespace dpm::sim {
+
+/// SplitMix64 finalizer (Vigna): a bijective 64-bit mixer with full
+/// avalanche, the standard way to turn structured integers (indices,
+/// hashes) into statistically independent seeds.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Derives a deterministic seed stream from a textual scope (scenario
+/// name) plus a grid index and an optional salt for sub-draws within
+/// one grid cell.  The result depends only on the arguments — never on
+/// thread scheduling — so a parallel experiment run reproduces the
+/// single-threaded one exactly (`--jobs 1` == `--jobs N`).
+inline std::uint64_t derive_seed(std::string_view scope, std::uint64_t index,
+                                 std::uint64_t salt = 0) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ull;  // FNV-1a over the scope name
+  for (const char c : scope) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return mix64(mix64(h ^ mix64(index)) ^ mix64(salt ^ 0xA5A5A5A5A5A5A5A5ull));
+}
 
 /// Seeded PRNG wrapper: every experiment in the repository draws its
 /// randomness through this class, so all results are reproducible from a

@@ -1,0 +1,199 @@
+// Scenario-engine tests: registry integrity, deterministic seed
+// streams, --jobs invariance, closed-loop LP/evaluation/simulation
+// agreement on the disk case study, and the registry-wide smoke gate
+// (every registered scenario runs its smoke grid and passes its
+// expected-shape assertions).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cases/disk_drive.h"
+#include "dpm/evaluation.h"
+#include "dpm/optimizer.h"
+#include "scenario/registry.h"
+#include "scenario/runner.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace dpm {
+namespace {
+
+using scenario::ExperimentRunner;
+using scenario::RunnerOptions;
+using scenario::ScenarioRunResult;
+
+RunnerOptions quiet_smoke(std::size_t jobs) {
+  RunnerOptions opts;
+  opts.jobs = jobs;
+  opts.smoke = true;
+  opts.print = false;
+  opts.write_json = false;
+  return opts;
+}
+
+TEST(ScenarioRegistry, BuiltinRegistrationIsIdempotentAndComplete) {
+  scenario::register_builtin();
+  const std::size_t count = scenario::all().size();
+  scenario::register_builtin();  // second call must not duplicate
+  EXPECT_EQ(scenario::all().size(), count);
+  // The acceptance bar: every paper figure is a registered scenario.
+  EXPECT_GE(count, 12u);
+  for (const char* name :
+       {"example_a2", "fig06_pareto", "fig08_disk", "fig09a_webserver",
+        "fig09b_cpu", "fig10_nonstationary", "fig12a_sleepstates",
+        "fig12b_transition", "fig13a_burstiness", "fig13b_memory",
+        "fig14a_horizon", "fig14b_queue", "po1_duality",
+        "ablation_determinize", "adaptive", "average_cost"}) {
+    EXPECT_NE(scenario::find(name), nullptr) << name;
+  }
+  EXPECT_EQ(scenario::find("no_such_scenario"), nullptr);
+  // Names are unique and every scenario expands to at least one unit.
+  for (const auto& sc : scenario::all()) {
+    std::size_t hits = 0;
+    for (const auto& other : scenario::all()) {
+      if (other.name == sc.name) ++hits;
+    }
+    EXPECT_EQ(hits, 1u) << sc.name;
+    EXPECT_GE(sc.units(true).size(), 1u) << sc.name;
+  }
+}
+
+TEST(ScenarioRegistry, DuplicateNamesAreRejected) {
+  scenario::register_builtin();
+  scenario::Scenario dup;
+  dup.name = "example_a2";
+  dup.units = [](bool) { return std::vector<scenario::Unit>{}; };
+  EXPECT_THROW(scenario::add(std::move(dup)), std::invalid_argument);
+}
+
+TEST(SeedStreams, DerivedSeedsAreStableAndSplit) {
+  // Pure function of (scope, index, salt)...
+  EXPECT_EQ(sim::derive_seed("fig08_disk", 3), sim::derive_seed("fig08_disk", 3));
+  // ...and distinct across every argument.
+  EXPECT_NE(sim::derive_seed("fig08_disk", 3), sim::derive_seed("fig08_disk", 4));
+  EXPECT_NE(sim::derive_seed("fig08_disk", 3), sim::derive_seed("fig09b_cpu", 3));
+  EXPECT_NE(sim::derive_seed("fig08_disk", 3, 0),
+            sim::derive_seed("fig08_disk", 3, 1));
+}
+
+// --jobs N must reproduce --jobs 1 exactly: records (the JSON content)
+// and the published value store are bitwise identical.  fig09b_cpu
+// exercises both the warm-started sweep and Monte Carlo units.
+TEST(ExperimentRunner, JobsDoNotChangeResults) {
+  scenario::register_builtin();
+  const scenario::Scenario* sc = scenario::find("fig09b_cpu");
+  ASSERT_NE(sc, nullptr);
+  const ScenarioRunResult serial = ExperimentRunner(quiet_smoke(1)).run_one(*sc);
+  const ScenarioRunResult parallel =
+      ExperimentRunner(quiet_smoke(4)).run_one(*sc);
+  ASSERT_EQ(serial.records.size(), parallel.records.size());
+  for (std::size_t i = 0; i < serial.records.size(); ++i) {
+    EXPECT_EQ(serial.records[i].name, parallel.records[i].name);
+    EXPECT_EQ(serial.records[i].iterations, parallel.records[i].iterations);
+    EXPECT_EQ(serial.records[i].objective, parallel.records[i].objective)
+        << serial.records[i].name;
+  }
+  EXPECT_EQ(serial.values, parallel.values);
+  EXPECT_EQ(serial.failures, parallel.failures);
+}
+
+// Closed-loop agreement on the disk drive: the LP optimum, the exact
+// discounted evaluation of its policy, and the Monte Carlo simulation
+// must tell one consistent story.
+TEST(ClosedLoop, DiskLpPolicyMatchesEvaluationAndSimulation) {
+  const SystemModel m = cases::DiskDrive::make_model(/*seed=*/42);
+  const double gamma = 0.999;
+  const PolicyOptimizer opt(m, cases::DiskDrive::make_config(m, gamma));
+  const OptimizationResult r = opt.minimize_power(0.4, 0.05);
+  ASSERT_TRUE(r.feasible);
+
+  // Exact evaluation of the extracted policy reproduces the LP's own
+  // objective and constraint accounting (tight tolerance: both are
+  // closed-form in the same model).
+  const PolicyEvaluation ev(m, *r.policy, gamma,
+                            opt.config().initial_distribution);
+  EXPECT_NEAR(ev.per_step(metrics::power(m)), r.objective_per_step, 1e-6);
+  EXPECT_NEAR(ev.per_step(metrics::queue_length(m)), r.constraint_per_step[0],
+              1e-6);
+  EXPECT_NEAR(ev.per_step(metrics::request_loss(m)), r.constraint_per_step[1],
+              1e-6);
+
+  // Session-restart Monte Carlo converges to the same per-step values
+  // (loose tolerance: sampling noise).
+  sim::Simulator simulator(m);
+  sim::PolicyController ctl(m, *r.policy);
+  sim::SimulationConfig cfg;
+  cfg.slices = 400000;
+  cfg.initial_state = {cases::DiskDrive::kActive, 0, 0};
+  cfg.session_restart_prob = 1.0 - gamma;
+  cfg.seed = sim::derive_seed("closed_loop_disk", 0);
+  const sim::SimulationResult s = simulator.run(ctl, cfg);
+  EXPECT_NEAR(s.avg_power, r.objective_per_step,
+              0.08 * r.objective_per_step);
+  EXPECT_NEAR(s.avg_queue_length, r.constraint_per_step[0],
+              0.15 * r.constraint_per_step[0] + 0.02);
+}
+
+// The warm-started sweep and per-point cold solves agree on the curve
+// (same optima), while the warm restarts spend far fewer pivots.
+TEST(ClosedLoop, WarmStartedSweepMatchesColdSolves) {
+  const SystemModel m = cases::DiskDrive::make_model(/*seed=*/42);
+  const PolicyOptimizer opt(m, cases::DiskDrive::make_config(m, 0.999));
+  const std::vector<double> bounds{0.2, 0.3, 0.4, 0.6};
+  const auto curve = opt.sweep(metrics::power(m), metrics::queue_length(m),
+                               "queue", bounds,
+                               {{metrics::request_loss(m), 0.05, "loss"}});
+  ASSERT_EQ(curve.size(), bounds.size());
+  std::size_t warm_pivots = 0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const OptimizationResult cold = opt.minimize_power(bounds[i], 0.05);
+    ASSERT_EQ(curve[i].feasible, cold.feasible) << bounds[i];
+    if (cold.feasible) {
+      EXPECT_NEAR(curve[i].objective, cold.objective_per_step, 1e-7);
+      ASSERT_FALSE(curve[i].constraint_per_step.empty());
+      // Swept constraint is reported last; fixed (loss) first.
+      EXPECT_NEAR(curve[i].constraint_per_step.back(),
+                  cold.constraint_per_step[0], 1e-7);
+    }
+    if (i > 0) warm_pivots += curve[i].lp_iterations;
+  }
+  // Warm restarts should beat the cold first solve per point by a wide
+  // margin on this sweep (ROADMAP: ~10x fewer pivots).
+  EXPECT_LT(warm_pivots / (bounds.size() - 1.0),
+            0.5 * curve.front().lp_iterations);
+}
+
+// Registry-wide smoke gate: every registered scenario runs its smoke
+// grid on two workers and passes its expected-shape assertions.
+// This intentionally overlaps the per-scenario ctest registrations
+// (smoke_scenario_*): the ctest side exercises the bench_scenarios CLI
+// in Release, this side runs in-process so the Debug/ASan+UBSan preset
+// sweeps the whole engine too.  Smoke grids are sized to keep the
+// doubled coverage cheap (~0.15 s total in Release).
+class ScenarioSmoke : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioSmoke, SmokeGridPassesShapeAssertions) {
+  const scenario::Scenario* sc = scenario::find(GetParam());
+  ASSERT_NE(sc, nullptr);
+  const ScenarioRunResult res = ExperimentRunner(quiet_smoke(2)).run_one(*sc);
+  EXPECT_GE(res.records.size(), 1u);
+  for (const std::string& failure : res.failures) {
+    ADD_FAILURE() << sc->name << ": " << failure;
+  }
+}
+
+std::vector<std::string> registered_scenario_names() {
+  scenario::register_builtin();
+  std::vector<std::string> names;
+  for (const auto& sc : scenario::all()) names.push_back(sc.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, ScenarioSmoke,
+                         ::testing::ValuesIn(registered_scenario_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace dpm
