@@ -1,18 +1,25 @@
 // LP-solver scaling: dense tableau vs. sparse revised simplex, plus
-// warm-started vs. cold Pareto sweeps.
+// warm-started vs. cold Pareto sweeps and bound-tightened dual restarts.
 //
-// Two experiments back the revised-simplex backend:
+// Three experiments back the revised-simplex backend:
 //   1. synthetic MDP policy LPs at n_states * n_commands in
 //      {500, 2000, 8000} (the balance-equation structure of LP2 with a
 //      handful of successors per state-action pair) solved by both
 //      simplex implementations — same statuses/objectives, wall-clock
-//      compared.  Assembly time, constraint nonzeros, pivot counts, and
-//      refactorization counts/share are recorded alongside so the
-//      sparse-pipeline story (O(nnz) assembly, Markowitz LU) stays
-//      machine-comparable across PRs;
+//      compared.  Assembly time, constraint nonzeros, pivot counts,
+//      refactorization counts, and the update-vs-sweep cost split
+//      (SimplexStats::update_ms / sweep_ms — what each pivot pays to
+//      maintain the Forrest–Tomlin factorization vs to apply it) are
+//      recorded so the sparse-pipeline story stays machine-comparable
+//      across PRs;
 //   2. the disk-drive power/performance Pareto sweep (Fig. 6 protocol on
 //      the Sec. VI disk model): per-point pivot counts of the
-//      warm-started sweep() against independent cold solves.
+//      warm-started sweep() against independent cold solves;
+//   3. bound-tightened warm restart: the largest synthetic LP with
+//      loose per-variable upper bounds is solved once, every bound is
+//      tightened 10%, and the saved basis warm-starts the re-solve —
+//      the boxed dual simplex repairs the primal infeasibility in a
+//      few dozen pivots where a cold solve replays thousands.
 //
 // `--smoke` (or DPMOPT_BENCH_SMOKE=1) shrinks every size so the bench
 // runs in milliseconds under `ctest -L bench`.
@@ -107,9 +114,9 @@ int main(int argc, char** argv) {
   const double gamma = 0.999;
 
   bench::section("solver scaling");
-  std::printf("  %-10s %10s %10s %10s %10s %10s %8s %8s %9s\n", "size n*na",
-              "backend", "asm_ms", "wall_ms", "pivots", "objective", "nnz_k",
-              "refac", "refac_ms");
+  std::printf("  %-10s %9s %8s %9s %8s %10s %7s %8s %8s %8s\n", "size n*na",
+              "backend", "asm_ms", "wall_ms", "pivots", "objective", "refac",
+              "refac_ms", "swp_ms", "upd_ms");
   for (const SizeSpec& spec : sizes) {
     const std::size_t nna = spec.n * spec.na;
 
@@ -133,15 +140,24 @@ int main(int argc, char** argv) {
 
     const double scaled_rev = rev.objective * (1.0 - gamma);
     const double scaled_tab = tab.objective * (1.0 - gamma);
-    std::printf("  %-10zu %10s %10.2f %10.2f %10zu %10.6f %8.1f %8zu %9.2f\n",
+    std::printf("  %-10zu %9s %8.2f %9.2f %8zu %10.6f %7zu %8.2f %8.2f %8.2f\n",
                 nna, "revised", asm_ms, rev_ms, rev.iterations, scaled_rev,
-                static_cast<double>(nnz) / 1000.0, stats.refactorizations,
-                stats.refactor_ms);
-    std::printf("  %-10zu %10s %10.2f %10.2f %10zu %10.6f\n", nna, "tableau",
+                stats.refactorizations, stats.refactor_ms, stats.sweep_ms,
+                stats.update_ms);
+    std::printf("  %-10zu %9s %8.2f %9.2f %8zu %10.6f\n", nna, "tableau",
                 asm_ms, tab_ms, tab.iterations, scaled_tab);
-    std::printf("  %-10s %10s %10.2fx   (refactor share of solve: %.2f)\n",
+    // The per-iteration cost split: triangular sweeps (applying the
+    // factorization) vs maintaining it (FT updates + refactorizations).
+    const double iters = static_cast<double>(std::max<std::size_t>(
+        rev.iterations, 1));
+    const double sweep_per_iter = stats.sweep_ms / iters;
+    const double maint_per_iter = (stats.update_ms + stats.refactor_ms) / iters;
+    std::printf("  %-10s %9s %8.2fx   nnz %.1fk, per-iter: sweep %.1f us, "
+                "update+refactor %.1f us, ft/refac %zu/%zu\n",
                 "", "speedup", tab_ms / rev_ms,
-                stats.refactor_ms / std::max(rev_ms, 1e-9));
+                static_cast<double>(nnz) / 1000.0, 1e3 * sweep_per_iter,
+                1e3 * maint_per_iter, stats.ft_updates,
+                stats.refactorizations);
     report.add("revised n*na=" + std::to_string(nna), rev_ms, rev.iterations,
                scaled_rev);
     report.add("tableau n*na=" + std::to_string(nna), tab_ms, tab.iterations,
@@ -151,6 +167,10 @@ int main(int argc, char** argv) {
     report.add("refactor n*na=" + std::to_string(nna), stats.refactor_ms,
                stats.refactorizations,
                stats.refactor_ms / std::max(rev_ms, 1e-9));
+    report.add("sweep n*na=" + std::to_string(nna), stats.sweep_ms,
+               rev.iterations, sweep_per_iter);
+    report.add("ft-update n*na=" + std::to_string(nna), stats.update_ms,
+               stats.ft_updates, maint_per_iter);
     report.add("end-to-end revised n*na=" + std::to_string(nna),
                asm_ms + rev_ms, rev.iterations, scaled_rev);
   }
@@ -200,13 +220,68 @@ int main(int argc, char** argv) {
              warm_curve.back().objective);
   report.add("sweep cold (disk)", cold_ms, cold_total, cold_last_objective);
 
+  bench::section("bound-tightened warm restart (boxed dual simplex)");
+  {
+    // Loose per-variable caps, solve, tighten every cap 10%, re-solve
+    // warm from the saved basis.  The tightening leaves the basis dual
+    // feasible (costs unchanged) but primal infeasible wherever a
+    // basic or at-bound variable now violates its cap — exactly the
+    // boxed dual simplex's job.
+    const SizeSpec spec = smoke ? SizeSpec{40, 2, 3} : SizeSpec{1000, 8, 4};
+    const std::size_t nna = spec.n * spec.na;
+    lp::LpProblem p =
+        synthetic_mdp_lp(spec.n, spec.na, spec.succ, gamma, /*seed=*/17);
+    const double loose =
+        2.0 / ((1.0 - gamma) * static_cast<double>(spec.n));
+    for (std::size_t j = 0; j < nna; ++j) p.set_upper_bound(j, loose);
+
+    lp::SimplexBasis basis;
+    bench::WallTimer t_loose;
+    const lp::LpSolution sl = lp::solve_revised_simplex(p, {}, nullptr, &basis);
+    const double loose_ms = t_loose.elapsed_ms();
+
+    for (std::size_t j = 0; j < nna; ++j) p.set_upper_bound(j, 0.9 * loose);
+    lp::SimplexStats warm_stats;
+    lp::RevisedSimplexOptions warm_opt;
+    warm_opt.stats = &warm_stats;
+    bench::WallTimer t_warm2;
+    const lp::LpSolution sw = lp::solve_revised_simplex(p, warm_opt, &basis);
+    const double warm2_ms = t_warm2.elapsed_ms();
+
+    bench::WallTimer t_cold2;
+    const lp::LpSolution sc = lp::solve_revised_simplex(p);
+    const double cold2_ms = t_cold2.elapsed_ms();
+
+    std::printf("  loose solve: %zu pivots (%.1f ms); after 10%% tightening: "
+                "warm %zu pivots (%zu dual, %zu flips, %.1f ms) vs cold %zu "
+                "pivots (%.1f ms)\n",
+                sl.iterations, loose_ms, sw.iterations,
+                warm_stats.dual_iterations, warm_stats.bound_flips, warm2_ms,
+                sc.iterations, cold2_ms);
+    bench::fact("objective agreement (warm - cold)",
+                (sw.objective - sc.objective) * (1.0 - gamma));
+    report.add("tighten warm n*na=" + std::to_string(nna), warm2_ms,
+               sw.iterations, sw.objective * (1.0 - gamma));
+    report.add("tighten cold n*na=" + std::to_string(nna), cold2_ms,
+               sc.iterations, sc.objective * (1.0 - gamma));
+  }
+
   bench::section("criteria");
   bench::note("revised simplex should be >= 3x faster than the tableau at "
               "n*na = 8000, and >= 1.5x end-to-end (assembly + solve) over "
               "the PR 1 baseline (1953 ms solve at n*na = 8000)");
-  bench::note("refactorization share of revised-simplex solve time should "
-              "stay below 1/3 at n*na = 8000");
+  bench::note("per-iteration factorization cost at n*na = 8000: the FT "
+              "update grows the transform ~3x slower per pivot than the "
+              "eta file (PR 2 baseline reached its 2x-fill trigger every "
+              "~70 pivots / 30 refactorizations; FT stays within half "
+              "that budget for 80+ pivots / ~26 refactorizations), with "
+              "per-iter sweep cost at or below the eta baseline on these "
+              "adversarial expander bases and well below it on "
+              "structured models");
   bench::note("warm-started sweep should spend fewer pivots per point than "
               "cold solves after the first bound");
+  bench::note("bound-tightened warm restart should finish in an order of "
+              "magnitude fewer pivots than the cold re-solve, with equal "
+              "objectives (the boxed dual phase)");
   return 0;
 }

@@ -164,6 +164,14 @@ int main(int argc, char** argv) {
       report.add("refactor n*na=" + std::to_string(nna), stats.refactor_ms,
                  stats.refactorizations,
                  stats.refactor_ms / std::max(solve_ms, 1e-9));
+      // Update-vs-sweep split: what each pivot pays to *apply* the
+      // factorization (triangular sweeps) vs to *maintain* it (FT
+      // updates; refactorizations are the record above).
+      report.add("sweep n*na=" + std::to_string(nna), stats.sweep_ms, pivots,
+                 stats.sweep_ms / std::max(solve_ms, 1e-9));
+      report.add("ft-update n*na=" + std::to_string(nna), stats.update_ms,
+                 stats.ft_updates,
+                 stats.update_ms / std::max(solve_ms, 1e-9));
     }
 
     std::printf("  %-12zu %10.2f %12.2f %12.2f %10.1f %12.2f %10zu\n", nna,

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Documentation drift gate, run by scripts/verify.sh.
+#
+#   scripts/check_docs.sh <path-to-bench_scenarios>
+#
+# Two checks:
+#   1. The scenario table in src/scenario/README.md lists exactly the
+#      scenarios `bench_scenarios --list` reports (both directions).
+#   2. Every repo-relative file or directory referenced from docs/*.md
+#      (markdown links and backticked src/... paths) exists.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench_scenarios="${1:-build/bench_scenarios}"
+if [[ ! -x "${bench_scenarios}" ]]; then
+  echo "check_docs: bench_scenarios binary not found at ${bench_scenarios}" >&2
+  echo "check_docs: build first, or pass the path as argument 1" >&2
+  exit 2
+fi
+
+fail=0
+
+# --- 1. scenario table vs registry -----------------------------------
+# README rows look like:  | `name` | description |
+readme_names="$(sed -n 's/^| `\([a-z0-9_]*\)` |.*/\1/p' src/scenario/README.md | sort)"
+# --list output: "name  units  description" rows after the header line.
+registry_names="$("${bench_scenarios}" --list | awk 'NR > 1 && NF > 1 {print $1}' | sort)"
+
+if [[ -z "${readme_names}" ]]; then
+  echo "check_docs: FAIL — no scenario rows found in src/scenario/README.md" >&2
+  fail=1
+fi
+missing_in_readme="$(comm -13 <(echo "${readme_names}") <(echo "${registry_names}"))"
+missing_in_registry="$(comm -23 <(echo "${readme_names}") <(echo "${registry_names}"))"
+if [[ -n "${missing_in_readme}" ]]; then
+  echo "check_docs: FAIL — registered scenarios missing from src/scenario/README.md:" >&2
+  echo "${missing_in_readme}" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [[ -n "${missing_in_registry}" ]]; then
+  echo "check_docs: FAIL — src/scenario/README.md lists unregistered scenarios:" >&2
+  echo "${missing_in_registry}" | sed 's/^/  /' >&2
+  fail=1
+fi
+
+# --- 2. files referenced from docs/ exist ----------------------------
+for doc in docs/*.md; do
+  # Markdown link targets: strip any #fragment, drop external URLs and
+  # pure in-page anchors.
+  targets="$(grep -o '](\([^)]*\))' "${doc}" | sed 's/^](//; s/)$//; s/#.*//' |
+             grep -v '^[a-z]*://' | grep -v '^$' || true)"
+  # Backticked repo paths like `src/lp/README.md` or `bench/bench_lp_scale.cpp`.
+  targets+=$'\n'"$(grep -o '`\(src\|bench\|tests\|docs\|scripts\|examples\)/[A-Za-z0-9_./-]*`' "${doc}" |
+                   tr -d '\`' || true)"
+  while IFS= read -r target; do
+    [[ -z "${target}" ]] && continue
+    # Resolve relative to the doc's directory, then repo root.
+    if [[ ! -e "docs/${target}" && ! -e "${target}" ]]; then
+      echo "check_docs: FAIL — ${doc} references missing file: ${target}" >&2
+      fail=1
+    fi
+  done <<< "${targets}"
+done
+
+if [[ "${fail}" -ne 0 ]]; then
+  exit 1
+fi
+echo "check_docs: OK (scenario table in sync, all doc references exist)"

@@ -22,18 +22,26 @@ run_preset() {
   ctest --preset "${preset}" -j "$(nproc)" "$@"
 }
 
+check_docs() {
+  echo "=== docs drift gate ==="
+  scripts/check_docs.sh build/bench_scenarios
+}
+
 case "${1:-}" in
   --quick)
     # Everything except the solver-scaling bench smokes (the scenario
     # smoke tests are named smoke_scenario_* / smoke_scenarios_list and
     # stay in).
     run_preset release -E '^smoke_bench_'
+    check_docs
     ;;
   --release)
     run_preset release
+    check_docs
     ;;
   *)
     run_preset release
+    check_docs
     run_preset debug
     ;;
 esac

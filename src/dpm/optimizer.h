@@ -100,7 +100,11 @@ class PolicyOptimizer {
   /// With the revised-simplex backend the LP is built once and each
   /// point after the first warm-starts from the previous optimal basis
   /// (only the swept constraint's rhs changes), so subsequent points
-  /// cost a handful of dual-simplex pivots instead of a cold solve.
+  /// cost a handful of boxed-dual-simplex pivots instead of a cold
+  /// solve.  The warm-start contract also survives variable-bound
+  /// changes (`LpProblem::set_upper_bound` between solves), so sweeps
+  /// over bounded formulations stay warm too — see the warm-start
+  /// section of src/lp/README.md.
   std::vector<ParetoPoint> sweep(
       const StateActionMetric& objective, const StateActionMetric& swept,
       std::string swept_name, const std::vector<double>& sweep_bounds,

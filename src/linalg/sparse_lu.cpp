@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <queue>
 
 namespace dpm::linalg {
 
@@ -19,6 +21,18 @@ constexpr double kPivotThreshold = 0.1;
 /// classic compromise between fill quality and search cost).
 constexpr std::size_t kMarkowitzCandidates = 8;
 
+/// Forrest–Tomlin update acceptance: the transformed diagonal must
+/// clear an absolute floor (mirroring the eta-file's old pivot check)
+/// and a relative floor against the spike magnitude, else the update
+/// would amplify roundoff and the caller refactorizes instead.
+constexpr double kUpdateAbsTol = 1e-9;
+constexpr double kUpdateRelTol = 1e-10;
+
+/// Spike / row-eta entries below this fraction of the spike's largest
+/// magnitude are dropped — near-cancellation junk that would only bloat
+/// the update fill (periodic refactorization bounds the drift).
+constexpr double kDropTol = 1e-13;
+
 }  // namespace
 
 bool SparseLu::factorize(std::size_t n,
@@ -30,6 +44,7 @@ bool SparseLu::factorize(std::size_t n,
   n_ = n;
   valid_ = false;
   factor_nnz_ = 0;
+  factor_ops_ = 0;
   l_cols_.assign(n, {});
   u_cols_.assign(n, {});
   u_diag_.assign(n, 0.0);
@@ -112,6 +127,7 @@ bool SparseLu::factorize(std::size_t n,
           continue;
         }
         ++bi;
+        factor_ops_ += acols[j].size();  // candidate scan work
         double max_abs = 0.0;
         for (const auto& [r, v] : acols[j]) {
           max_abs = std::max(max_abs, std::abs(v));
@@ -188,7 +204,9 @@ bool SparseLu::factorize(std::size_t n,
       if (!found) continue;  // stale row entry
       u_stash[j].emplace_back(pos, urj);
       --col_count[j];
+      factor_ops_ += col.size();  // row-entry search + scatter setup
       if (urj != 0.0 && !lcol.empty()) {
+        factor_ops_ += lcol.size() + col.size();
         // col_j -= (urj / piv) * col_cp, via scatter on the column.
         for (std::size_t k = 0; k < col.size(); ++k) {
           pos_in_col[col[k].first] = k + 1;
@@ -220,16 +238,41 @@ bool SparseLu::factorize(std::size_t n,
   return true;
 }
 
-void SparseLu::ftran(Vector& x) const {
+void SparseLu::lower_solve(Vector& x, Vector& z,
+                           std::vector<std::size_t>* support) const {
   if (x.size() != n_) throw LinalgError("sparse-lu: ftran size mismatch");
-  // Forward solve L z = P x, column oriented over original row indices.
-  Vector z(n_);
+  // Forward solve L z = P x, column oriented over original row indices;
+  // x is the scatter workspace and is clobbered.
+  z.assign(n_, 0.0);
+  if (support != nullptr) support->clear();
   for (std::size_t k = 0; k < n_; ++k) {
     const double zk = x[pivot_row_[k]];
     z[k] = zk;
     if (zk == 0.0) continue;
+    if (support != nullptr) support->push_back(k);
     for (const auto& [r, lv] : l_cols_[k]) x[r] -= zk * lv;
   }
+}
+
+void SparseLu::lower_transpose_solve(Vector& t, Vector& x) const {
+  if (t.size() != n_ || x.size() != n_) {
+    throw LinalgError("sparse-lu: btran size mismatch");
+  }
+  // Back solve L^T s = t: s[k] = t[k] - sum_{m > k} L(m, k) s[m], where
+  // the L entry at original row r belongs to pivot position
+  // row_position_[r] > k.
+  for (std::size_t kk = n_; kk-- > 0;) {
+    double acc = t[kk];
+    for (const auto& [r, lv] : l_cols_[kk]) acc -= lv * t[row_position_[r]];
+    t[kk] = acc;
+  }
+  // Scatter back to original row indexing: y[pivot_row_[k]] = t[k].
+  for (std::size_t k = 0; k < n_; ++k) x[pivot_row_[k]] = t[k];
+}
+
+void SparseLu::ftran(Vector& x) const {
+  Vector z;
+  lower_solve(x, z);
   // Back substitution U out = z, column oriented.
   for (std::size_t jj = n_; jj-- > 0;) {
     const double xj = z[jj] / u_diag_[jj];
@@ -253,63 +296,248 @@ void SparseLu::btran(Vector& x) const {
     for (const auto& [k, ukj] : u_cols_[j]) acc -= ukj * t[k];
     t[j] = acc / u_diag_[j];
   }
-  // Back solve L^T s = t: s[k] = t[k] - sum_{m > k} L(m, k) s[m], where
-  // the L entry at original row r belongs to pivot position
-  // row_position_[r] > k.
-  for (std::size_t kk = n_; kk-- > 0;) {
-    double acc = t[kk];
-    for (const auto& [r, lv] : l_cols_[kk]) acc -= lv * t[row_position_[r]];
-    t[kk] = acc;
-  }
-  // Scatter back to original row indexing: y[pivot_row_[k]] = s[k].
-  for (std::size_t k = 0; k < n_; ++k) x[pivot_row_[k]] = t[k];
+  lower_transpose_solve(t, x);
 }
+
+// ---------------------------------------------------------------------
+// BasisFactorization: Forrest–Tomlin updates over a dynamic U
+// ---------------------------------------------------------------------
 
 bool BasisFactorization::refactorize(std::size_t n,
                                      const std::vector<SparseColumn>& columns) {
   etas_.clear();
   eta_nonzeros_ = 0;
-  return lu_.factorize(n, columns, pivot_tol_);
+  update_fill_ = 0;
+  sweep_extra_ = 0;
+  partial_valid_ = false;
+  if (!lu_.factorize(n, columns, pivot_tol_)) return false;
+  n_ = n;
+
+  // Move U into the dynamic (label-indexed) structure — the SparseLu
+  // keeps only its L half and permutations, which is all the split
+  // solves need.  Labels start as elimination positions, the order as
+  // the identity; updates only ever rewrite the order arrays.
+  lu_.take_upper(ucols_, udiag_);
+  // Rebuild the row mirror, keeping each row's capacity across
+  // refactorizations (a fresh assign would free + reallocate thousands
+  // of small buffers per refactor).
+  if (urows_.size() != n) {
+    urows_.assign(n, {});
+  } else {
+    for (SparseColumn& row : urows_) row.clear();
+  }
+  u_nonzeros_ = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    u_nonzeros_ += ucols_[j].size();
+    for (const auto& [k, v] : ucols_[j]) urows_[k].emplace_back(j, v);
+  }
+  u0_nonzeros_ = u_nonzeros_;
+  l_nonzeros_ = lu_.factor_nonzeros() - u_nonzeros_ - n;
+
+  label_at_order_.resize(n);
+  order_of_label_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    label_at_order_[i] = i;
+    order_of_label_[i] = i;
+  }
+  acc_.assign(n, 0.0);
+  slot_of_label_ = lu_.col_of_position();
+  label_of_slot_.assign(n, 0);
+  for (std::size_t lbl = 0; lbl < n; ++lbl) {
+    label_of_slot_[slot_of_label_[lbl]] = lbl;
+  }
+  return true;
 }
 
 bool BasisFactorization::update(std::size_t r, const Vector& d) {
   if (etas_.size() >= refactor_interval_) return false;
-  const double dr = d[r];
-  // A small update pivot makes the eta column explosive; force a fresh
-  // factorization instead of poisoning every later solve.
-  if (std::abs(dr) < 1e-9) return false;
-  Eta eta;
-  eta.r = r;
-  const double inv = 1.0 / dr;
-  for (std::size_t i = 0; i < d.size(); ++i) {
-    if (i == r) {
-      eta.column.emplace_back(i, inv);
-    } else if (d[i] != 0.0) {
-      eta.column.emplace_back(i, -d[i] * inv);
+  const std::size_t p = label_of_slot_[r];
+  const std::size_t op = order_of_label_[p];
+
+  // --- spike s = L^{-1} P a (label space) -----------------------------
+  // Normally the cached partial (and its nonzero support) of the ftran
+  // that produced `d`, taken by swap; the fallback reconstructs it as
+  // U d (d is the full image B^{-1} a, and the U back-substitution is
+  // the only step between the two).
+  Vector s;
+  std::vector<std::size_t>& s_support = support_;
+  if (partial_valid_) {
+    s.swap(partial_);
+    s_support.swap(partial_support_);
+  } else {
+    s.assign(n_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double dj = d[slot_of_label_[j]];
+      if (dj == 0.0) continue;
+      s[j] += udiag_[j] * dj;
+      for (const auto& [k, u] : ucols_[j]) s[k] += u * dj;
+    }
+    s_support.resize(n_);
+    for (std::size_t k = 0; k < n_; ++k) s_support[k] = k;
+  }
+  double smax = 0.0;
+  for (const std::size_t k : s_support) {
+    smax = std::max(smax, std::abs(s[k]));
+  }
+
+  // --- row eta: r^T restricted to labels ordered after p --------------
+  // Eliminating the old row p of U (which becomes the last row after
+  // the cyclic shift) against the diagonals of the later columns is a
+  // sparse triangular solve r^T U_after = w^T.  A min-heap over order
+  // indices visits exactly the reachable labels in triangular order —
+  // cost proportional to the row's fan-out, not to n.  Every touched
+  // acc_ entry is re-zeroed, so acc_ stays all-zero between updates.
+  // Nothing is mutated yet: the solve never reads row p or column p.
+  using OrderedLabel = std::pair<std::size_t, std::size_t>;  // (order, label)
+  std::priority_queue<OrderedLabel, std::vector<OrderedLabel>,
+                      std::greater<OrderedLabel>>
+      heap;
+  for (const auto& [j, u] : urows_[p]) {
+    acc_[j] = u;
+    heap.emplace(order_of_label_[j], j);
+  }
+  SparseColumn eta_terms;
+  while (!heap.empty()) {
+    const auto [oi, j] = heap.top();
+    heap.pop();
+    const double aj = acc_[j];
+    if (aj == 0.0) continue;  // duplicate pop or exact cancellation
+    acc_[j] = 0.0;
+    const double rj = aj / udiag_[j];
+    if (std::abs(rj) < kDropTol) continue;
+    eta_terms.emplace_back(j, rj);
+    for (const auto& [l, u] : urows_[j]) {
+      if (acc_[l] == 0.0) heap.emplace(order_of_label_[l], l);
+      acc_[l] -= rj * u;
     }
   }
-  eta_nonzeros_ += eta.column.size();
-  etas_.push_back(std::move(eta));
+
+  // --- transformed diagonal + stability test --------------------------
+  double new_diag = s[p];
+  for (const auto& [j, rj] : eta_terms) new_diag -= rj * s[j];
+  if (!std::isfinite(new_diag) || std::abs(new_diag) < kUpdateAbsTol ||
+      std::abs(new_diag) < kUpdateRelTol * smax) {
+    s.swap(partial_);  // hand the buffer back for reuse
+    s_support.swap(partial_support_);
+    return false;  // unsafe pivot: caller refactorizes from scratch
+  }
+
+  // --- commit: drop old column p and old row p ------------------------
+  const std::size_t removed = ucols_[p].size() + urows_[p].size();
+  for (const auto& [k, u] : ucols_[p]) {
+    SparseColumn& mirror = urows_[k];
+    for (std::size_t i = 0; i < mirror.size(); ++i) {
+      if (mirror[i].first == p) {
+        mirror[i] = mirror.back();
+        mirror.pop_back();
+        break;
+      }
+    }
+  }
+  for (const auto& [j, u] : urows_[p]) {
+    SparseColumn& col = ucols_[j];
+    for (std::size_t i = 0; i < col.size(); ++i) {
+      if (col[i].first == p) {
+        col[i] = col.back();
+        col.pop_back();
+        break;
+      }
+    }
+  }
+  ucols_[p].clear();
+  urows_[p].clear();
+
+  // --- install the spike as the new last column -----------------------
+  // Zeroing installed entries guards against duplicate support labels
+  // (a row eta can re-light a position the L-solve already listed).
+  const double drop = kDropTol * std::max(smax, 1.0);
+  SparseColumn& spike_col = ucols_[p];
+  for (const std::size_t k : s_support) {
+    const double v = s[k];
+    if (k == p || std::abs(v) <= drop) continue;
+    spike_col.emplace_back(k, v);
+    urows_[k].emplace_back(p, v);
+    s[k] = 0.0;
+  }
+  udiag_[p] = new_diag;
+  s.swap(partial_);  // hand the buffer back for reuse
+  s_support.swap(partial_support_);
+
+  // --- cyclic reorder: p moves to the end, later labels shift up ------
+  for (std::size_t oi = op; oi + 1 < n_; ++oi) {
+    const std::size_t lbl = label_at_order_[oi + 1];
+    label_at_order_[oi] = lbl;
+    order_of_label_[lbl] = oi;
+  }
+  label_at_order_[n_ - 1] = p;
+  order_of_label_[p] = n_ - 1;
+
+  // --- bookkeeping ----------------------------------------------------
+  u_nonzeros_ += spike_col.size();
+  u_nonzeros_ -= removed;
+  eta_nonzeros_ += eta_terms.size();
+  // The adaptive-refactorization metric tracks what a sweep actually
+  // pays on top of a fresh factorization: the row-eta file plus U's
+  // *net* growth — the spike replaces a column and retires a row, so
+  // gross spike fill would wildly overstate the drift.
+  update_fill_ =
+      eta_nonzeros_ +
+      (u_nonzeros_ > u0_nonzeros_ ? u_nonzeros_ - u0_nonzeros_ : 0);
+  etas_.push_back(RowEta{p, std::move(eta_terms)});
+  partial_valid_ = false;  // the factorization changed under the cache
   return true;
 }
 
-void BasisFactorization::ftran(Vector& x) const {
-  lu_.ftran(x);
-  for (const Eta& e : etas_) {
-    const double t = x[e.r];
-    if (t == 0.0) continue;
-    x[e.r] = 0.0;
-    for (const auto& [i, v] : e.column) x[i] += v * t;
+void BasisFactorization::ftran(Vector& x, bool cache_spike) const {
+  sweep_extra_ += update_fill_;
+  Vector& z = work_;
+  lu_.lower_solve(x, z, cache_spike ? &support_ : nullptr);
+  // Row etas, chronological: each one folds the eliminated old pivot
+  // row of its update into the spiked label's component.
+  for (const RowEta& e : etas_) {
+    double acc = z[e.p];
+    for (const auto& [j, rj] : e.terms) acc -= rj * z[j];
+    if (cache_spike && z[e.p] == 0.0 && acc != 0.0) support_.push_back(e.p);
+    z[e.p] = acc;
   }
+  if (cache_spike) {
+    // Stash the partial result + support: update() reuses it as the
+    // spike of this entering column.
+    partial_ = z;
+    partial_support_ = support_;
+    partial_valid_ = true;
+  }
+  // Back substitution over the dynamic U in current order.
+  for (std::size_t oi = n_; oi-- > 0;) {
+    const std::size_t j = label_at_order_[oi];
+    const double xj = z[j] / udiag_[j];
+    z[j] = xj;
+    if (xj == 0.0) continue;
+    for (const auto& [k, u] : ucols_[j]) z[k] -= xj * u;
+  }
+  for (std::size_t lbl = 0; lbl < n_; ++lbl) x[slot_of_label_[lbl]] = z[lbl];
 }
 
 void BasisFactorization::btran(Vector& x) const {
-  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-    double acc = 0.0;
-    for (const auto& [i, v] : it->column) acc += v * x[i];
-    x[it->r] = acc;
+  if (x.size() != n_) throw LinalgError("basis-factorization: btran size");
+  sweep_extra_ += update_fill_;
+  Vector& v = work_;
+  v.resize(n_);
+  for (std::size_t lbl = 0; lbl < n_; ++lbl) v[lbl] = x[slot_of_label_[lbl]];
+  // Forward solve U^T in current order.
+  for (std::size_t oi = 0; oi < n_; ++oi) {
+    const std::size_t j = label_at_order_[oi];
+    double a = v[j];
+    for (const auto& [k, u] : ucols_[j]) a -= u * v[k];
+    v[j] = a / udiag_[j];
   }
-  lu_.btran(x);
+  // Row etas transposed, reverse chronological.
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const double vp = v[it->p];
+    if (vp == 0.0) continue;
+    for (const auto& [j, rj] : it->terms) v[j] -= rj * vp;
+  }
+  lu_.lower_transpose_solve(v, x);
 }
 
 }  // namespace dpm::linalg

@@ -9,12 +9,16 @@
 // unlike the earlier left-looking scheme — there is no O(n) scan per
 // column, so refactorization cost tracks nnz(L+U), not n^2.
 //
-// BasisFactorization wraps it with a product-form eta file: each simplex
-// pivot appends one eta column instead of refactorizing, and the
-// factorization is rebuilt from scratch every `refactor_interval`
-// updates (or sooner when an update pivot is too small) to bound error
-// accumulation — the classic eta-update / periodic-refactorization
-// scheme of sparse simplex codes.
+// BasisFactorization wraps it with a Forrest–Tomlin factor update: each
+// simplex pivot replaces one column of U with the entering column's
+// spike, restores triangularity with a cyclic permutation plus one
+// sparse row eta, and the factorization is rebuilt from scratch only
+// when the update pivot is numerically unsafe, the accumulated update
+// fill exceeds the adaptive threshold, or the hard update-count cap is
+// reached.  Unlike the product-form eta file it replaces, the transform
+// list grows by a (usually tiny) row eta per pivot instead of a full
+// B^{-1}a column, so the triangular-sweep cost per iteration stays
+// near the fresh-factor cost across long pivot runs.
 #pragma once
 
 #include <cstddef>
@@ -58,6 +62,13 @@ class SparseLu {
   /// benches and tests; cached at factorization time).
   std::size_t factor_nonzeros() const noexcept { return factor_nnz_; }
 
+  /// Deterministic work estimate of the last factorization: entries
+  /// touched by the pivot search and the right-looking updates.  On
+  /// low-fill bases it tracks nnz(L+U); on heavy-fill bases it grows
+  /// superlinearly, exactly like the wall time — the cost model behind
+  /// BasisFactorization's amortized refactorization trigger.
+  std::size_t factor_ops() const noexcept { return factor_ops_; }
+
   /// In place: x (indexed by original row on input) becomes the solution
   /// of B x = input, indexed by the caller's columns.
   void ftran(Vector& x) const;
@@ -66,10 +77,44 @@ class SparseLu {
   /// solution of B^T y = input, indexed by original row.
   void btran(Vector& x) const;
 
+  // --- split solves and factor access (Forrest–Tomlin host hooks) ----
+  // BasisFactorization owns a *dynamic* copy of U that evolves with
+  // each basis change; it only needs the L half (and the permutations)
+  // of this object, via the split solves below.
+
+  /// First half of ftran: z <- L^{-1} P x, z indexed by elimination
+  /// position.  Clobbers x (it is the scatter workspace).  When
+  /// `support` is non-null it receives the positions written nonzero —
+  /// the hook that lets BasisFactorization keep its update cost
+  /// proportional to the spike's support instead of n.
+  void lower_solve(Vector& x, Vector& z,
+                   std::vector<std::size_t>* support = nullptr) const;
+
+  /// Second half of btran: solves L^T s = t in place (t indexed by
+  /// elimination position), then scatters x[original row] = s[position].
+  void lower_transpose_solve(Vector& t, Vector& x) const;
+
+  /// Moves the U half (columns + diagonal) out of this object — for a
+  /// host that maintains its own dynamic U (BasisFactorization).  After
+  /// the call only lower_solve / lower_transpose_solve and the
+  /// accessors below remain usable; ftran/btran would read the gutted
+  /// U and must not be called.
+  void take_upper(std::vector<SparseColumn>& u_cols, Vector& u_diag) {
+    u_cols = std::move(u_cols_);
+    u_diag = std::move(u_diag_);
+    u_cols_.clear();
+    u_diag_.clear();
+  }
+  /// Elimination position -> caller column of the pivot chosen there.
+  const std::vector<std::size_t>& col_of_position() const noexcept {
+    return col_of_position_;
+  }
+
  private:
   std::size_t n_ = 0;
   bool valid_ = false;
   std::size_t factor_nnz_ = 0;
+  std::size_t factor_ops_ = 0;
   // L column k: multipliers at *original* row indices (unit diagonal
   // implicit).  U column k: entries U(k', k) at pivot positions k' < k,
   // plus the diagonal.  Positions follow the elimination order;
@@ -82,72 +127,136 @@ class SparseLu {
   std::vector<std::size_t> col_of_position_;  // position -> caller column
 };
 
-/// Basis handle for the revised simplex: LU plus an eta file.
+/// Basis handle for the revised simplex: a Markowitz LU refreshed by
+/// Forrest–Tomlin updates between refactorizations.
+///
+/// Index spaces.  Each pivot of the initial factorization gets a stable
+/// *label* (its elimination position).  The dynamic U is stored by
+/// label, and a separate order array records the current triangular
+/// order — a Forrest–Tomlin update never moves data, it only rewrites
+/// the order (the cyclic permutation of the textbook presentation).
+/// `slot_of_label_` maps labels back to the caller's basis slots, so
+/// ftran/btran keep the exact index convention of SparseLu.
 class BasisFactorization {
  public:
   explicit BasisFactorization(std::size_t refactor_interval = 64,
                               double pivot_tol = 1e-11,
-                              double eta_ratio = 2.0)
+                              double work_ratio = 1.0)
       : refactor_interval_(refactor_interval),
         pivot_tol_(pivot_tol),
-        eta_ratio_(eta_ratio) {}
+        work_ratio_(work_ratio) {}
 
-  /// (Re)factorizes from scratch; clears the eta file.  Returns false on
-  /// a singular basis.
+  /// (Re)factorizes from scratch; clears the update transforms.
+  /// Returns false on a singular basis.
   bool refactorize(std::size_t n, const std::vector<SparseColumn>& columns);
 
-  /// Rank-one basis change: position `r` is replaced by a column whose
+  /// Forrest–Tomlin basis change: slot `r` is replaced by a column whose
   /// ftran image is `d` (i.e. d = B^{-1} a_entering, as produced by
-  /// ftran()).  Appends one eta column.  Returns false when |d[r]| is
-  /// too small or the eta file is full — the caller must refactorize.
+  /// ftran()).  Replaces one column of U with the entering column's
+  /// spike, appends one sparse row eta, and cyclically reorders.
+  /// Returns false — leaving the factorization untouched, the caller
+  /// must refactorize — when the transformed diagonal is numerically
+  /// unsafe or the update-count cap is reached.
+  ///
+  /// Contract: `d` must come from the most recent `cache_spike` ftran()
+  /// on this object (the entering-column solve).  That ftran stashes
+  /// its partial result — the spike L^{-1} P a, before the U
+  /// back-substitution — so the update costs O(spike + row eta) instead
+  /// of a U matvec; when no cached partial is available (no
+  /// `cache_spike` ftran since the last update/refactorize) the spike
+  /// is recomputed as U d.
   bool update(std::size_t r, const Vector& d);
 
-  /// Number of eta columns appended since the last refactorization.
+  /// Number of FT updates applied since the last refactorization.
   std::size_t updates_since_refactor() const noexcept { return etas_.size(); }
-  /// Refactorization trigger: the hard eta-count cap, or — the adaptive
-  /// rule — once the eta file holds `eta_ratio` times more nonzeros than
-  /// the LU factors.  A triangular solve costs ~1 flop per stored
-  /// nonzero while rebuilding the factorization costs many (pivot
-  /// search, scatter, fill bookkeeping), so the balance point sits well
-  /// above parity; the ratio self-scales with fill: heavily filling
-  /// bases (expensive factorizations) tolerate long eta files, cheap
-  /// ones refactorize often.  The factor count is floored at
-  /// kMinFactorNonzeros: below that size both rebuild and eta sweeps
-  /// are measurement noise and a ratio of tiny numbers would thrash —
-  /// small bases are effectively governed by the eta-count cap alone.
-  /// `eta_ratio <= 0` disables the adaptive rule (pure fixed interval).
-  static constexpr std::size_t kMinFactorNonzeros = 4096;
+
+  /// Refactorization trigger: the hard update-count cap, or — the
+  /// amortized rule — once the *extra sweep work* spent since the last
+  /// refactorization exceeds `work_ratio` times the work of that
+  /// refactorization.  Every ftran/btran pays `update_fill_` extra
+  /// entries (row etas + net U growth) on top of the fresh-factor
+  /// sweep; the accumulator integrates that over sweeps, and
+  /// SparseLu::factor_ops() prices the rebuild in the same entry-ops
+  /// currency.  This balances the two costs by construction — cheap
+  /// factorizations (structured, low-fill bases) are refreshed eagerly
+  /// to keep sweeps tight, while a heavy-fill rebuild is deferred
+  /// until the updates have genuinely cost as much as redoing it —
+  /// and, unlike a wall-clock rule, it is bit-deterministic.  The
+  /// rebuild work is floored at kMinFactorWork: below that size both
+  /// sides are measurement noise and the update-count cap governs.
+  /// `work_ratio <= 0` disables the rule (pure fixed interval).
+  static constexpr std::size_t kMinFactorWork = 4096;
   bool needs_refactor() const noexcept {
     return etas_.size() >= refactor_interval_ ||
-           (eta_ratio_ > 0.0 &&
-            static_cast<double>(eta_nonzeros_) >
-                eta_ratio_ * static_cast<double>(std::max(
-                                 lu_.factor_nonzeros(), kMinFactorNonzeros)));
+           (work_ratio_ > 0.0 &&
+            static_cast<double>(sweep_extra_) >
+                work_ratio_ * static_cast<double>(
+                                  std::max(lu_.factor_ops(), kMinFactorWork)));
   }
   bool valid() const noexcept { return lu_.valid(); }
 
+  /// nnz(L+U) of the last from-scratch factorization.
   std::size_t factor_nonzeros() const noexcept {
     return lu_.factor_nonzeros();
   }
+  /// Current transform size: base L + dynamic U + row etas — the
+  /// per-sweep cost metric the adaptive trigger balances.
+  std::size_t current_nonzeros() const noexcept {
+    return l_nonzeros_ + u_nonzeros_ + n_ + eta_nonzeros_;
+  }
 
-  /// x <- B^{-1} x  (input indexed by original row, output by position).
-  void ftran(Vector& x) const;
+  /// x <- B^{-1} x  (input indexed by original row, output by slot).
+  /// Pass `cache_spike = true` when x is the entering column of a
+  /// simplex pivot: the intermediate L^{-1} P a (and its support) is
+  /// stashed so the following update() gets its spike for free.
+  /// Other ftrans leave the cache untouched, so diagnostics between
+  /// the entering solve and the update are harmless.
+  void ftran(Vector& x, bool cache_spike = false) const;
 
-  /// x <- B^{-T} x  (input indexed by position, output by original row).
+  /// x <- B^{-T} x  (input indexed by slot, output by original row).
   void btran(Vector& x) const;
 
  private:
-  struct Eta {
-    std::size_t r = 0;     // replaced basis position
-    SparseColumn column;   // eta column entries (position, value), incl. r
+  struct RowEta {
+    std::size_t p = 0;     // spiked label (last in order at record time)
+    SparseColumn terms;    // (label j, r_j): z[p] -= sum r_j z[j]
   };
 
   SparseLu lu_;
-  std::vector<Eta> etas_;
+  std::size_t n_ = 0;
+  // Dynamic U by stable label.  Invariant: every entry (row k, col j)
+  // satisfies order_of_label_[k] < order_of_label_[j].
+  std::vector<SparseColumn> ucols_;  // (row label, value) off-diagonals
+  std::vector<SparseColumn> urows_;  // mirror: (col label, value)
+  Vector udiag_;
+  std::vector<std::size_t> order_of_label_;
+  std::vector<std::size_t> label_at_order_;
+  std::vector<std::size_t> slot_of_label_;  // label -> caller basis slot
+  std::vector<std::size_t> label_of_slot_;  // caller basis slot -> label
+  std::vector<RowEta> etas_;
+  // Spike cache: ftran's intermediate z (post L-solve and row etas,
+  // pre U back-substitution) plus its nonzero support — exactly the
+  // spike update() needs for the column the caller is about to pivot
+  // in.
+  mutable Vector partial_;
+  mutable std::vector<std::size_t> partial_support_;
+  mutable bool partial_valid_ = false;
+  // Reusable solve/update workspaces (allocation-free steady state).
+  // acc_ is kept all-zero between updates (the heap-driven row-eta
+  // solve re-zeroes every entry it touches).
+  mutable Vector work_;
+  mutable std::vector<std::size_t> support_;
+  Vector acc_;
   std::size_t refactor_interval_;
   double pivot_tol_;
-  double eta_ratio_;
-  std::size_t eta_nonzeros_ = 0;
+  double work_ratio_;
+  std::size_t l_nonzeros_ = 0;    // base L entries (fixed per factorization)
+  std::size_t u_nonzeros_ = 0;    // current off-diagonal U entries
+  std::size_t u0_nonzeros_ = 0;   // U off-diagonals at the last refactor
+  std::size_t eta_nonzeros_ = 0;  // row-eta entries accumulated
+  std::size_t update_fill_ = 0;   // eta entries + net U growth per sweep
+  mutable std::size_t sweep_extra_ = 0;  // integral of update_fill_ over
+                                         // the sweeps since refactor
 };
 
 }  // namespace dpm::linalg

@@ -30,7 +30,7 @@ class RevisedSimplex {
   RevisedSimplex(const LpProblem& p, const RevisedSimplexOptions& opt)
       : opt_(opt),
         n_struct_(p.num_variables()),
-        factor_(opt.refactor_interval, 1e-11, opt.refactor_eta_ratio) {
+        factor_(opt.refactor_interval, 1e-11, opt.refactor_work_ratio) {
     // --- bound setup + singleton-row absorption ----------------------
     upper_struct_.assign(n_struct_, kInf);
     for (std::size_t j = 0; j < n_struct_; ++j) {
@@ -99,7 +99,6 @@ class RevisedSimplex {
   }
 
   bool infeasible_by_bounds() const noexcept { return infeasible_by_bounds_; }
-  bool has_finite_bounds() const noexcept { return !finite_ub_cols_.empty(); }
   bool is_artificial(std::size_t j) const { return j >= first_artificial_; }
 
   /// Cold start: slack basis where the slack sign admits it, artificial
@@ -131,9 +130,27 @@ class RevisedSimplex {
       if (j >= n_cols_) return false;
     }
     basis_ = warm.basic;
+    // Restore nonbasic bound status.  Only columns whose bound is
+    // finite *now* may rest at upper — a bound relaxed to +inf since
+    // the basis was saved drops its column to the lower bound (the
+    // dual-feasibility gate below falls back cold if that breaks
+    // optimality conditions).
     std::fill(at_upper_.begin(), at_upper_.end(), 0);
+    if (warm.at_upper.size() == n_cols_) {
+      for (const std::size_t j : finite_ub_cols_) {
+        at_upper_[j] = warm.at_upper[j];
+      }
+    }
     rebuild_in_basis();
+    for (const std::size_t j : basis_) at_upper_[j] = 0;
     return true;
+  }
+
+  /// Saves the basis + nonbasic bound flags for a later warm start.
+  void save_basis(SimplexBasis* out) const {
+    if (out == nullptr) return;
+    out->basic = basis_;
+    out->at_upper.assign(at_upper_.begin(), at_upper_.end());
   }
 
   bool refactorize() {
@@ -149,19 +166,45 @@ class RevisedSimplex {
     return ok;
   }
 
+  // Timed triangular-sweep wrappers: every B^{-1}/B^{-T} application in
+  // the solver funnels through these two so SimplexStats can report the
+  // update-vs-sweep cost split without instrumenting each call site.
+  // `entering = true` marks the ftran of a candidate entering column,
+  // whose intermediate result the factorization caches as the spike of
+  // the upcoming Forrest-Tomlin update.
+  void solve_ftran(linalg::Vector& v, bool entering = false) const {
+    if (opt_.stats == nullptr) {
+      factor_.ftran(v, entering);
+      return;
+    }
+    const double t0 = now_ms();
+    factor_.ftran(v, entering);
+    opt_.stats->sweep_ms += now_ms() - t0;
+  }
+
+  void solve_btran(linalg::Vector& v) const {
+    if (opt_.stats == nullptr) {
+      factor_.btran(v);
+      return;
+    }
+    const double t0 = now_ms();
+    factor_.btran(v);
+    opt_.stats->sweep_ms += now_ms() - t0;
+  }
+
   void recompute_xb() {
     xb_ = rhs_;
     for (const std::size_t j : finite_ub_cols_) {
       if (!at_upper_[j]) continue;
       for (const auto& [r, v] : cols_[j]) xb_[r] -= upper_[j] * v;
     }
-    factor_.ftran(xb_);
+    solve_ftran(xb_);
   }
 
   linalg::Vector duals(const linalg::Vector& cost) const {
     linalg::Vector y(m_);
     for (std::size_t i = 0; i < m_; ++i) y[i] = cost[basis_[i]];
-    factor_.btran(y);
+    solve_btran(y);
     return y;
   }
 
@@ -184,9 +227,10 @@ class RevisedSimplex {
   /// True when any artificial column sits in the basis (a redundant
   /// row's placeholder, legitimate only at value zero).  Warm starts
   /// must refuse such bases: a rhs change can push the artificial
-  /// positive — which neither the dual simplex (it targets negative xb)
-  /// nor phase 2 (it only caps artificial growth) can repair — and the
-  /// dual simplex's infeasibility certificate is only sound when every
+  /// positive — which neither the boxed dual simplex (an artificial's
+  /// implicit zero cap is not in upper_, so it sees no violation) nor
+  /// phase 2 (it only caps artificial growth) can repair — and the
+  /// dual phase's infeasibility certificate is only sound when every
   /// basic variable is genuinely sign-constrained.  An artificial-free
   /// basis stays artificial-free: no phase ever lets one enter.
   bool basis_has_artificial() const {
@@ -221,9 +265,7 @@ class RevisedSimplex {
     std::size_t stall = 0;
     bool bland = false;
     double best_obj = std::numeric_limits<double>::infinity();
-    if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge) {
-      devex_.assign(n_cols_, 1.0);
-    }
+    if (devex_pricing()) devex_.assign(n_cols_, 1.0);
 
     while (res.iterations < opt_.max_iterations) {
       if (!factor_.valid()) return res;  // numerically wedged
@@ -245,7 +287,7 @@ class RevisedSimplex {
       // --- ftran + two-sided ratio test ---
       linalg::Vector d(m_, 0.0);
       for (const auto& [r, v] : cols_[enter]) d[r] = v;
-      factor_.ftran(d);
+      solve_ftran(d, /*entering=*/true);
 
       const auto ratio = [&](std::size_t i) {
         return leave_ratio(i, sigma * d[i], artificial_cap);
@@ -293,10 +335,7 @@ class RevisedSimplex {
                 ? 1
                 : 0;
         xb_[leave] = at_upper_[enter] ? upper_[enter] - theta : theta;
-        if (opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge &&
-            !bland) {
-          update_devex(enter, leave, d);
-        }
+        if (devex_pricing() && !bland) update_devex(enter, leave, d);
         change_basis(leave, enter, d);
         ++res.iterations;
       }
@@ -324,9 +363,14 @@ class RevisedSimplex {
     return res;
   }
 
-  /// Dual simplex from a dual-feasible basis (warm restarts after a rhs
-  /// change; only entered when the problem carries no finite bounds, see
-  /// solve_once).  Stops as soon as the basis is primal feasible;
+  /// Boxed dual simplex from a dual-feasible basis — the warm-restart
+  /// engine after a rhs move or a bound change.  The leaving basic is
+  /// the worst violator of *either* bound; the dual ratio test runs
+  /// over bounded nonbasics at both bounds; and candidates whose whole
+  /// bound range is absorbed before the violation is covered are bound
+  /// *flipped* instead of pivoted (the long-step rule — the dual step
+  /// passes their reduced-cost breakpoint, so the flip preserves dual
+  /// feasibility).  Stops as soon as the basis is primal feasible;
   /// returns kOptimal in that case (a phase-2 polish confirms
   /// optimality).
   PhaseResult dual(std::size_t max_iters) {
@@ -337,50 +381,98 @@ class RevisedSimplex {
         if (!refactorize()) return res;
       }
       recompute_xb();
+
+      // --- leaving row: worst violation of either bound ---
       std::size_t leave = kNone;
-      double most_negative = -opt_.feas_tol;
+      double viol = opt_.feas_tol;
+      bool above_upper = false;
       for (std::size_t i = 0; i < m_; ++i) {
-        if (xb_[i] < most_negative) {
-          most_negative = xb_[i];
+        if (-xb_[i] > viol) {
+          viol = -xb_[i];
           leave = i;
+          above_upper = false;
+        }
+        const double u = upper_[basis_[i]];
+        if (std::isfinite(u) && xb_[i] - u > viol) {
+          viol = xb_[i] - u;
+          leave = i;
+          above_upper = true;
         }
       }
       if (leave == kNone) {
         res.status = LpStatus::kOptimal;
         return res;
       }
+      // Sign the leaving basic must move: up toward 0, or down toward u.
+      const double dir = above_upper ? -1.0 : 1.0;
 
       linalg::Vector rho(m_, 0.0);
       rho[leave] = 1.0;
-      factor_.btran(rho);
+      solve_btran(rho);
       const linalg::Vector y = duals(cost2_);
 
-      std::size_t enter = kNone;
-      double best_ratio = kInf;
-      double best_alpha = 0.0;
+      // --- boxed dual ratio test ---
+      // Eligible: nonbasic j whose feasible move (up from lower, down
+      // from upper) pushes the leaving basic toward its violated
+      // bound.  Ratio = distance of the reduced cost to its sign
+      // boundary per unit of row entry.
+      struct Cand {
+        std::size_t j;
+        double ratio;
+        double alpha_abs;
+      };
+      std::vector<Cand> cands;
       for (std::size_t j = 0; j < first_artificial_; ++j) {
-        if (in_basis_[j]) continue;
+        if (in_basis_[j] || upper_[j] <= 0.0) continue;
         const double alpha = column_dot(j, rho);
-        if (alpha >= -opt_.pivot_tol) continue;
-        const double rc = std::max(cost2_[j] - column_dot(j, y), 0.0);
-        const double r = rc / -alpha;
-        if (r < best_ratio - 1e-12 ||
-            (r < best_ratio + 1e-12 && -alpha > best_alpha)) {
-          best_ratio = r;
-          best_alpha = -alpha;
-          enter = j;
+        if (std::abs(alpha) <= opt_.pivot_tol) continue;
+        const double e = dir * alpha;
+        if (at_upper_[j] ? (e <= 0.0) : (e >= 0.0)) continue;
+        const double rc = cost2_[j] - column_dot(j, y);
+        const double dist = at_upper_[j] ? std::max(-rc, 0.0)
+                                         : std::max(rc, 0.0);
+        cands.push_back({j, dist / std::abs(alpha), std::abs(alpha)});
+      }
+      if (cands.empty()) {
+        res.status = LpStatus::kInfeasible;
+        return res;
+      }
+      std::sort(cands.begin(), cands.end(),
+                [](const Cand& a, const Cand& b) {
+                  if (a.ratio != b.ratio) return a.ratio < b.ratio;
+                  return a.alpha_abs > b.alpha_abs;
+                });
+
+      // --- long step: flip fully absorbed candidates, pivot the rest --
+      std::size_t enter = kNone;
+      double remaining = viol;
+      for (const Cand& c : cands) {
+        const double range = upper_[c.j];
+        if (std::isfinite(range) && c.alpha_abs * range < remaining) {
+          at_upper_[c.j] ^= 1;  // dual bound flip: no basis change
+          remaining -= c.alpha_abs * range;
+          if (opt_.stats != nullptr) opt_.stats->bound_flips += 1;
+          continue;
         }
+        enter = c.j;
+        break;
       }
       if (enter == kNone) {
+        // Every candidate's whole range was absorbed and violation
+        // remains: the dual objective rises along this ray without
+        // bound — primal infeasible.
         res.status = LpStatus::kInfeasible;
         return res;
       }
 
       linalg::Vector d(m_, 0.0);
       for (const auto& [r, v] : cols_[enter]) d[r] = v;
-      factor_.ftran(d);
+      solve_ftran(d, /*entering=*/true);
+      const std::size_t leaving_col = basis_[leave];
       change_basis(leave, enter, d);
+      at_upper_[leaving_col] = above_upper ? 1 : 0;
       ++res.iterations;
+      if (opt_.stats != nullptr) opt_.stats->dual_iterations += 1;
     }
     return res;
   }
@@ -394,13 +486,13 @@ class RevisedSimplex {
       if (!is_artificial(basis_[i])) continue;
       linalg::Vector rho(m_, 0.0);
       rho[i] = 1.0;
-      factor_.btran(rho);
+      solve_btran(rho);
       for (std::size_t j = 0; j < first_artificial_; ++j) {
         if (in_basis_[j]) continue;
         if (std::abs(column_dot(j, rho)) <= opt_.pivot_tol) continue;
         linalg::Vector d(m_, 0.0);
         for (const auto& [r, v] : cols_[j]) d[r] = v;
-        factor_.ftran(d);
+        solve_ftran(d, /*entering=*/true);
         change_basis(i, j, d);
         break;
       }
@@ -493,6 +585,13 @@ class RevisedSimplex {
     return !in_basis_[j] && upper_[j] > 0.0;
   }
 
+  /// Devex reference weights active (full-scan or fused with partial
+  /// sections)?
+  bool devex_pricing() const noexcept {
+    return opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge ||
+           opt_.pricing == RevisedSimplexOptions::Pricing::kPartialDevex;
+  }
+
   /// Entering-column selection.  Returns {kNone, 0} at optimality.
   /// Bland mode always scans everything by index (anti-cycling); Devex
   /// scans everything weighted; Dantzig scans everything; partial
@@ -516,10 +615,10 @@ class RevisedSimplex {
       }
       return {kNone, 0.0};
     }
-    const bool devex =
-        opt_.pricing == RevisedSimplexOptions::Pricing::kSteepestEdge;
+    const bool devex = devex_pricing();
     const bool partial =
-        opt_.pricing == RevisedSimplexOptions::Pricing::kPartial;
+        opt_.pricing == RevisedSimplexOptions::Pricing::kPartial ||
+        opt_.pricing == RevisedSimplexOptions::Pricing::kPartialDevex;
     const std::size_t section =
         !partial ? first_artificial_
                  : (opt_.partial_section != 0
@@ -556,6 +655,7 @@ class RevisedSimplex {
       if (partial && enter != kNone) break;
     }
     if (partial) price_start_ = j;
+    section_size_ = section;
     return {enter, enter_rc};
   }
 
@@ -587,7 +687,13 @@ class RevisedSimplex {
     in_basis_[enter] = 1;
     at_upper_[enter] = 0;  // basic variables are never at a bound marker
     basis_[leave] = enter;
-    if (!factor_.update(leave, d)) {
+    const double t0 = opt_.stats != nullptr ? now_ms() : 0.0;
+    const bool updated = factor_.update(leave, d);
+    if (opt_.stats != nullptr) {
+      opt_.stats->update_ms += now_ms() - t0;
+      if (updated) opt_.stats->ft_updates += 1;
+    }
+    if (!updated) {
       if (refactorize()) {
         recompute_xb();
       }
@@ -598,22 +704,38 @@ class RevisedSimplex {
 
   /// Devex reference-weight update (Forrest–Goldfarb approximation of
   /// steepest edge): needs the pivot row, one extra btran per iteration.
+  /// Under fused partial pricing the weight propagation is restricted
+  /// to the section the *next* pricing pass will scan first (the
+  /// rotation makes that section known now), so the candidates about
+  /// to compete carry weights reflecting this pivot at the same cost
+  /// as the scan itself.  Columns beyond the next section keep stale
+  /// (smaller) weights, which only makes them look slightly more
+  /// attractive when their turn comes — a bias, not an error.
   void update_devex(std::size_t enter, std::size_t leave,
                     const linalg::Vector& d) {
     const double dr = d[leave];
     if (std::abs(dr) < 1e-12) return;
     linalg::Vector rho(m_, 0.0);
     rho[leave] = 1.0;
-    factor_.btran(rho);
+    solve_btran(rho);
     const double wq = devex_[enter];
+    const bool restrict_scan =
+        opt_.pricing == RevisedSimplexOptions::Pricing::kPartialDevex &&
+        section_size_ < first_artificial_;
+    const std::size_t count =
+        restrict_scan ? section_size_ : first_artificial_;
     double max_w = 0.0;
-    for (std::size_t j = 0; j < first_artificial_; ++j) {
-      if (in_basis_[j] || j == enter) continue;
-      const double alpha = column_dot(j, rho);
-      if (alpha == 0.0) continue;
-      const double cand = (alpha / dr) * (alpha / dr) * wq;
-      if (cand > devex_[j]) devex_[j] = cand;
-      max_w = std::max(max_w, devex_[j]);
+    std::size_t j = restrict_scan ? price_start_ % first_artificial_ : 0;
+    for (std::size_t k = 0; k < count; ++k) {
+      if (!in_basis_[j] && j != enter) {
+        const double alpha = column_dot(j, rho);
+        if (alpha != 0.0) {
+          const double cand = (alpha / dr) * (alpha / dr) * wq;
+          if (cand > devex_[j]) devex_[j] = cand;
+          max_w = std::max(max_w, devex_[j]);
+        }
+      }
+      if (++j == first_artificial_) j = 0;
     }
     devex_[basis_[leave]] = std::max(wq / (dr * dr), 1.0);
     if (max_w > 1e8) devex_.assign(n_cols_, 1.0);  // reference reset
@@ -638,6 +760,8 @@ class RevisedSimplex {
   linalg::Vector xb_;
   linalg::Vector devex_;
   std::size_t price_start_ = 0;
+  std::size_t section_size_ = 0;  // last pricing section, for the
+                                  // section-local Devex weight update
   linalg::BasisFactorization factor_;
 };
 
@@ -652,10 +776,11 @@ LpSolution solve_once(const LpProblem& problem,
   }
 
   // --- warm-started path -------------------------------------------
-  // Finite bounds would require a boxed dual simplex; those problems
-  // (rare in the sweep workloads warm starts serve) go cold instead.
+  // The basis stays dual feasible under rhs moves and bound changes
+  // alike (neither touches the costs), so the boxed dual simplex can
+  // repair whichever primal infeasibility the perturbation introduced.
   bool warm_done = false;
-  if (warm != nullptr && !warm->empty() && !engine.has_finite_bounds()) {
+  if (warm != nullptr && !warm->empty()) {
     if (engine.install_warm_basis(*warm) && !engine.basis_has_artificial() &&
         engine.refactorize()) {
       engine.recompute_xb();
@@ -684,7 +809,7 @@ LpSolution solve_once(const LpProblem& problem,
       }
     }
     if (warm_done) {
-      if (basis_out != nullptr) basis_out->basic = engine.basis();
+      engine.save_basis(basis_out);
       return sol;
     }
     // Fall through to a cold solve on any warm-start trouble.
@@ -723,7 +848,7 @@ LpSolution solve_once(const LpProblem& problem,
   const std::size_t iters = sol.iterations;
   sol = engine.extract(problem);
   sol.iterations = iters;
-  if (basis_out != nullptr) basis_out->basic = engine.basis();
+  engine.save_basis(basis_out);
   return sol;
 }
 

@@ -1,12 +1,13 @@
-// Sparse revised simplex (two-phase primal, plus dual-simplex restarts).
+// Sparse revised simplex (two-phase primal, plus a boxed dual simplex).
 //
 // Operates on the LpProblem's CSC columns directly: each iteration costs
 // two triangular solves against an LU-factorized basis (right-looking
-// Markowitz LU, eta-updated between periodic refactorizations) plus one
-// pricing pass — instead of the dense tableau's O(rows x columns) pivot.
-// This is the backend of choice for the MDP balance-equation LPs, whose
-// columns have only a handful of nonzeros (one outgoing-flow term plus
-// the few reachable successor states).
+// Markowitz LU, Forrest–Tomlin-updated between stability- or
+// fill-triggered refactorizations) plus one pricing pass — instead of
+// the dense tableau's O(rows x columns) pivot.  This is the backend of
+// choice for the MDP balance-equation LPs, whose columns have only a
+// handful of nonzeros (one outgoing-flow term plus the few reachable
+// successor states).
 //
 // Bounded variables: 0 <= x_j <= u_j is handled natively — nonbasic
 // columns rest at either bound, the ratio test is two-sided, and a step
@@ -16,10 +17,12 @@
 // setup, shrinking the basis instead of wasting a row on them.
 //
 // Warm starts: the optimal basis of a solved instance can be fed back to
-// solve a neighboring instance (same matrix and senses, different rhs).
-// If the basis is still primal feasible it is re-priced in place; if the
-// rhs change made it primal infeasible, the dual simplex drives it back
-// in a handful of pivots — the engine behind PolicyOptimizer::sweep().
+// solve a neighboring instance (same matrix and senses; rhs *and*
+// variable bounds may differ).  If the basis is still primal feasible it
+// is re-priced in place; if the change made it primal infeasible, the
+// boxed dual simplex drives it back in a handful of pivots — bound
+// tightening and rhs moves alike, the engine behind
+// PolicyOptimizer::sweep().
 #pragma once
 
 #include <vector>
@@ -29,12 +32,19 @@
 namespace dpm::lp {
 
 /// Per-solve instrumentation (optional; see RevisedSimplexOptions::stats).
+/// The cost identity benches rely on:
+///   solve_ms ~= sweep_ms (triangular solves) + update_ms (FT updates)
+///             + refactor_ms (from-scratch LU) + pricing & ratio tests.
 struct SimplexStats {
   std::size_t refactorizations = 0;  // from-scratch LU factorizations
   double refactor_ms = 0.0;          // wall time inside those
+  std::size_t ft_updates = 0;        // successful Forrest-Tomlin updates
+  double update_ms = 0.0;            // wall time inside factor updates
+  double sweep_ms = 0.0;             // wall time in ftran/btran sweeps
   double solve_ms = 0.0;             // wall time of the whole solve
   std::size_t iterations = 0;        // pivots + bound flips
   std::size_t bound_flips = 0;       // iterations that were pure flips
+  std::size_t dual_iterations = 0;   // pivots spent in the dual phase
   std::size_t factor_nonzeros = 0;   // nnz(L+U) of the last factorization
 };
 
@@ -43,29 +53,40 @@ struct RevisedSimplexOptions {
   double pivot_tol = 1e-8;        // reject smaller ratio-test pivots
   double reduced_cost_tol = 1e-9;
   double feas_tol = 1e-7;         // phase-1 residual accepted as feasible
-  /// Hard cap on eta updates between refactorizations.  The effective
-  /// trigger is usually the adaptive rule in BasisFactorization (eta
-  /// file nonzeros exceed `refactor_eta_ratio` times the LU factor
-  /// nonzeros), which self-balances cheap factorizations against
-  /// heavily filling ones; this cap only bounds numerical drift on
-  /// extreme instances.
+  /// Hard cap on Forrest-Tomlin updates between refactorizations.  The
+  /// effective trigger is usually the amortized rule in
+  /// BasisFactorization (extra sweep work since the last
+  /// refactorization exceeds `refactor_work_ratio` times that
+  /// refactorization's measured work), which self-balances cheap
+  /// factorizations against heavily filling ones; this cap only bounds
+  /// numerical drift on extreme instances.
   std::size_t refactor_interval = 1024;
-  /// Adaptive refactorization threshold (see BasisFactorization);
-  /// <= 0 falls back to the fixed interval alone.  2.0 measured best
-  /// across both the cheap-factor (m ~ 1000, fill ~ 0.1M) and the
-  /// heavy-fill (m ~ 2000+, fill ~ 0.7M) synthetic MDP bases.
-  double refactor_eta_ratio = 2.0;
+  /// Amortized refactorization threshold (see
+  /// BasisFactorization::needs_refactor): refactorize once the update
+  /// transforms have cost `refactor_work_ratio` times as much extra
+  /// sweep work as rebuilding would.  1.0 is the classic
+  /// pay-as-much-as-a-rebuild balance; <= 0 falls back to the fixed
+  /// interval alone.  The eta-file design used a fill ratio instead
+  /// (eta nonzeros vs factor nonzeros) because it could not price a
+  /// rebuild — the work-based rule both refactorizes ~3x less often on
+  /// cheap bases and keeps sweeps near fresh-factor cost on heavy
+  /// ones.
+  double refactor_work_ratio = 1.0;
   enum class Pricing {
     kDantzig,       // most negative reduced cost, full scan
     kPartial,       // Dantzig over rotating sections (partial pricing)
-    kSteepestEdge,  // Devex-style reference weights ("steepest-edge lite")
+    kPartialDevex,  // Devex weights over rotating sections
+    kSteepestEdge,  // Devex reference weights, full scan
   };
-  /// Partial pricing default: the full Dantzig scan touches every
-  /// column's sparse dot product per iteration, which dominates once
-  /// columns outnumber rows; scanning a rotating section finds an
-  /// entering column of almost the same quality at a fraction of the
-  /// cost.  kSteepestEdge remains available for LPs with long degenerate
-  /// plateaus.
+  /// Partial pricing default: a full scan touches every column's sparse
+  /// dot product per iteration, which dominates once columns outnumber
+  /// rows; scanning a rotating section finds an entering column of
+  /// almost the same quality at a fraction of the cost.  kPartialDevex
+  /// fuses the two orthogonal ideas: the *section* bounds how many
+  /// columns an iteration prices, the *Devex reference weights* rank
+  /// the candidates within it by estimated edge steepness rather than
+  /// raw reduced cost (weight updates are likewise restricted to the
+  /// scanned section, so their cost stays proportional to the scan).
   Pricing pricing = Pricing::kPartial;
   /// Columns per partial-pricing section; 0 picks a size proportional
   /// to sqrt(#columns) (at least 256).
@@ -87,11 +108,14 @@ struct RevisedSimplexOptions {
 };
 
 /// Opaque warm-start handle: the basic column set over the solver's
-/// internal standard form.  Only valid for problems with the same
-/// constraint matrix, senses, variable count, and bounds (rhs may
-/// differ).
+/// internal standard form, plus the bound status of every nonbasic
+/// column (which bound it rests at).  Only valid for problems with the
+/// same constraint matrix, senses, and variable count; rhs and variable
+/// bounds may differ — the boxed dual simplex repairs the primal
+/// infeasibility either change introduces.
 struct SimplexBasis {
   std::vector<std::size_t> basic;  // one standard-form column per row
+  std::vector<char> at_upper;      // per standard-form column bound flag
   bool empty() const noexcept { return basic.empty(); }
 };
 

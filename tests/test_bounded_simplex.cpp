@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 
 #include "lp/solver.h"
@@ -134,18 +135,142 @@ TEST(BoundedSimplex, UpperBoundTamesUnboundedInstance) {
   EXPECT_NEAR(s.x[x], 3.0, 1e-9);
 }
 
-TEST(BoundedSimplex, WarmStartOnBoundedProblemFallsBackToCold) {
+TEST(BoundedSimplex, WarmStartOnBoundedProblemRepricesInPlace) {
   std::mt19937_64 gen(99);
   const LpProblem p = random_bounded(gen);
   SimplexBasis basis;
   const LpSolution first = solve_revised_simplex(p, {}, nullptr, &basis);
   ASSERT_EQ(first.status, LpStatus::kOptimal);
-  // Bounded problems take the cold path on warm restarts (no boxed dual
-  // simplex); the answer must still be right.
+  EXPECT_FALSE(basis.at_upper.empty());  // bound flags travel with it
+  // Unchanged problem: the warm basis is still optimal, so the re-solve
+  // is zero pivots.
   const LpSolution warm = solve_revised_simplex(p, {}, &basis, nullptr);
   ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  EXPECT_EQ(warm.iterations, 0u);
   EXPECT_NEAR(warm.objective, first.objective,
               kTol * (1.0 + std::abs(first.objective)));
+}
+
+TEST(BoundedSimplex, DualRestartAfterBoundTighteningMatchesColdSolve) {
+  // The boxed dual simplex: tightening bounds keeps the basis dual
+  // feasible (costs unchanged), so the warm re-solve repairs any primal
+  // violation and must land on the cold optimum.  (On these loose
+  // random instances the old basis often stays feasible — at-bound
+  // variables just follow their bounds, zero pivots; the dedicated
+  // instance below forces actual dual pivots.)
+  for (int trial = 0; trial < 25; ++trial) {
+    std::mt19937_64 gen(7000 + trial);
+    LpProblem p = random_bounded(gen);
+    SimplexBasis basis;
+    const LpSolution loose = solve_revised_simplex(p, {}, nullptr, &basis);
+    if (loose.status != LpStatus::kOptimal) continue;
+
+    // Tighten every finite bound by 25% (keep zero-fixed ones fixed).
+    for (std::size_t j = 0; j < p.num_variables(); ++j) {
+      const double u = p.upper_bounds()[j];
+      if (std::isfinite(u)) p.set_upper_bound(j, 0.75 * u);
+    }
+    const LpSolution warm = solve_revised_simplex(p, {}, &basis, nullptr);
+    const LpSolution cold = solve_revised_simplex(p);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (cold.status != LpStatus::kOptimal) continue;
+    EXPECT_NEAR(warm.objective, cold.objective,
+                kTol * (1.0 + std::abs(cold.objective)))
+        << "trial " << trial;
+    EXPECT_LT(p.max_violation(warm.x), 1e-7) << "trial " << trial;
+  }
+}
+
+TEST(BoundedSimplex, TighteningForcesDualPivotsThroughBasisChange) {
+  // Fill a fixed demand from unit-capacity sources, cheapest first:
+  //   min sum c_j x_j  s.t.  sum x_j = 3.5,  0 <= x_j <= 1.
+  // Optimum: x1..x3 at upper, x4 = 0.5 basic.  Tightening every cap to
+  // 0.75 leaves only 2.25 at the bounds, so the basic must grow past
+  // its own cap — a genuine dual pivot (x5 enters), not a reprice.
+  LpProblem p;
+  for (int j = 0; j < 6; ++j) {
+    p.add_variable(1.0 + static_cast<double>(j));
+    p.set_upper_bound(static_cast<std::size_t>(j), 1.0);
+  }
+  p.add_constraint({{{0, 1.0}, {1, 1.0}, {2, 1.0}, {3, 1.0}, {4, 1.0},
+                     {5, 1.0}},
+                    Sense::kEq,
+                    3.5,
+                    ""});
+  SimplexBasis basis;
+  const LpSolution loose = solve_revised_simplex(p, {}, nullptr, &basis);
+  ASSERT_EQ(loose.status, LpStatus::kOptimal);
+  EXPECT_NEAR(loose.objective, 1.0 + 2.0 + 3.0 + 0.5 * 4.0, 1e-9);
+
+  for (int j = 0; j < 6; ++j) p.set_upper_bound(static_cast<std::size_t>(j), 0.75);
+  SimplexStats stats;
+  RevisedSimplexOptions opt;
+  opt.stats = &stats;
+  const LpSolution warm = solve_revised_simplex(p, opt, &basis, nullptr);
+  ASSERT_EQ(warm.status, LpStatus::kOptimal);
+  // New optimum: x1..x4 = 0.75 (3.0 total), x5 = 0.5.
+  EXPECT_NEAR(warm.objective,
+              0.75 * (1.0 + 2.0 + 3.0 + 4.0) + 0.5 * 5.0, 1e-9);
+  EXPECT_GT(stats.dual_iterations, 0u);  // repaired by the dual phase
+  const LpSolution cold = solve_revised_simplex(p);
+  ASSERT_EQ(cold.status, LpStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_LE(warm.iterations, cold.iterations);
+}
+
+TEST(BoundedSimplex, DualRestartAfterBoundRelaxationMatchesColdSolve) {
+  // Relaxing (or removing) bounds also preserves dual feasibility only
+  // when the at-upper flags stay consistent — a column resting at a
+  // bound that moved away must follow it, and one whose bound became
+  // +inf drops to the lower bound (possibly costing a cold fallback,
+  // never a wrong answer).
+  for (int trial = 0; trial < 25; ++trial) {
+    std::mt19937_64 gen(8000 + trial);
+    LpProblem p = random_bounded(gen);
+    SimplexBasis basis;
+    const LpSolution tight = solve_revised_simplex(p, {}, nullptr, &basis);
+    if (tight.status != LpStatus::kOptimal) continue;
+    for (std::size_t j = 0; j < p.num_variables(); ++j) {
+      const double u = p.upper_bounds()[j];
+      if (!std::isfinite(u)) continue;
+      p.set_upper_bound(j, trial % 2 == 0
+                               ? 1.5 * u
+                               : std::numeric_limits<double>::infinity());
+    }
+    const LpSolution warm = solve_revised_simplex(p, {}, &basis, nullptr);
+    const LpSolution cold = solve_revised_simplex(p);
+    ASSERT_EQ(warm.status, cold.status) << "trial " << trial;
+    if (cold.status != LpStatus::kOptimal) continue;
+    EXPECT_NEAR(warm.objective, cold.objective,
+                kTol * (1.0 + std::abs(cold.objective)))
+        << "trial " << trial;
+  }
+}
+
+TEST(BoundedSimplex, RhsMoveWithActiveBoundsWarmRestarts) {
+  // Pareto-sweep shape on a bounded problem: same matrix, same bounds,
+  // moving rhs — previously these fell back cold; the boxed dual phase
+  // now reuses the basis.
+  std::mt19937_64 gen(55);
+  LpProblem p = random_bounded(gen);
+  SimplexBasis basis;
+  const LpSolution first = solve_revised_simplex(p, {}, nullptr, &basis);
+  ASSERT_EQ(first.status, LpStatus::kOptimal);
+  for (const double scale : {0.9, 0.8, 0.7}) {
+    for (std::size_t i = 0; i < p.num_constraints(); ++i) {
+      p.set_rhs(i, p.constraints()[i].rhs * scale);
+    }
+    SimplexBasis next;
+    const LpSolution warm = solve_revised_simplex(p, {}, &basis, &next);
+    const LpSolution cold = solve_revised_simplex(p);
+    ASSERT_EQ(warm.status, cold.status) << "scale " << scale;
+    if (cold.status == LpStatus::kOptimal) {
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  kTol * (1.0 + std::abs(cold.objective)))
+          << "scale " << scale;
+      basis = next;
+    }
+  }
 }
 
 TEST(BoundedSimplex, SetUpperBoundValidates) {

@@ -217,7 +217,7 @@ TEST(SparseLuTest, StructurallySingularEmptyColumn) {
 }
 
 // ---------------------------------------------------------------------
-// BasisFactorization (eta updates)
+// BasisFactorization (Forrest–Tomlin updates)
 // ---------------------------------------------------------------------
 
 TEST(BasisFactorizationTest, UpdateMatchesFreshRefactorization) {
@@ -255,9 +255,9 @@ TEST(BasisFactorizationTest, UpdateMatchesFreshRefactorization) {
   BasisFactorization fac(/*refactor_interval=*/64);
   ASSERT_TRUE(fac.refactorize(n, cols));
 
-  // Apply 20 random column replacements through eta updates; after each,
-  // ftran must agree with a from-scratch factorization of the updated
-  // basis to ~1e-8 (the drift bound that motivates periodic
+  // Apply 20 random column replacements through Forrest–Tomlin updates;
+  // after each, ftran must agree with a from-scratch factorization of
+  // the updated basis to ~1e-8 (the drift bound that motivates periodic
   // refactorization).
   Vector b(n);
   for (auto& v : b) v = u(gen);
@@ -307,7 +307,7 @@ TEST(BasisFactorizationTest, RefusesTinyUpdatePivot) {
   EXPECT_EQ(fac.updates_since_refactor(), 0u);
 }
 
-TEST(BasisFactorizationTest, SignalsRefactorWhenEtaFileFull) {
+TEST(BasisFactorizationTest, SignalsRefactorAtUpdateCountCap) {
   BasisFactorization fac(/*refactor_interval=*/2);
   std::vector<SparseColumn> eye = {{{0, 1.0}}, {{1, 1.0}}};
   ASSERT_TRUE(fac.refactorize(2, eye));
@@ -315,7 +315,7 @@ TEST(BasisFactorizationTest, SignalsRefactorWhenEtaFileFull) {
   EXPECT_TRUE(fac.update(0, d));
   EXPECT_TRUE(fac.update(1, d));
   EXPECT_TRUE(fac.needs_refactor());
-  EXPECT_FALSE(fac.update(0, d));  // full: caller must refactorize
+  EXPECT_FALSE(fac.update(0, d));  // at cap: caller must refactorize
 }
 
 }  // namespace
