@@ -3,11 +3,14 @@
 #
 #   scripts/check_docs.sh <path-to-bench_scenarios>
 #
-# Two checks:
+# Three checks:
 #   1. The scenario table in src/scenario/README.md lists exactly the
 #      scenarios `bench_scenarios --list` reports (both directions).
 #   2. Every repo-relative file or directory referenced from docs/*.md
 #      (markdown links and backticked src/... paths) exists.
+#   3. The golden-baseline list in docs/bench-format.md matches the
+#      files present under tests/golden/ (both directions), so the
+#      documented regeneration procedure always names the real set.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -62,7 +65,34 @@ for doc in docs/*.md; do
   done <<< "${targets}"
 done
 
+# --- 3. golden-scenario list vs tests/golden/ ------------------------
+# `|| true` keeps set -e from killing the script before the FAIL
+# diagnostics below can explain what drifted.
+documented_golden="$(grep -o 'tests/golden/[A-Za-z0-9_]*\.json' \
+                       docs/bench-format.md 2>/dev/null |
+                     sed 's#tests/golden/##' | sort -u || true)"
+present_golden="$( (cd tests/golden 2>/dev/null && ls -- *.json 2>/dev/null) |
+                  sort -u || true)"
+if [[ -z "${documented_golden}" ]]; then
+  echo "check_docs: FAIL — docs/bench-format.md lists no golden baselines" >&2
+  fail=1
+fi
+missing_in_docs="$(comm -13 <(echo "${documented_golden}") \
+                            <(echo "${present_golden}"))"
+missing_on_disk="$(comm -23 <(echo "${documented_golden}") \
+                            <(echo "${present_golden}"))"
+if [[ -n "${missing_in_docs}" ]]; then
+  echo "check_docs: FAIL — golden files missing from docs/bench-format.md:" >&2
+  echo "${missing_in_docs}" | sed 's/^/  /' >&2
+  fail=1
+fi
+if [[ -n "${missing_on_disk}" ]]; then
+  echo "check_docs: FAIL — docs/bench-format.md lists absent golden files:" >&2
+  echo "${missing_on_disk}" | sed 's/^/  /' >&2
+  fail=1
+fi
+
 if [[ "${fail}" -ne 0 ]]; then
   exit 1
 fi
-echo "check_docs: OK (scenario table in sync, all doc references exist)"
+echo "check_docs: OK (scenario table in sync, doc references exist, golden list in sync)"

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# CLI contract tests for bench_scenarios, run as a ctest entry
+# (cli_bench_scenarios).  Everything here is observable only at the
+# process boundary — exit codes, stderr wording, on-disk artifacts — so
+# it lives in a script instead of gtest:
+#
+#   1. unknown --exact name exits 2 and suggests near misses;
+#   2. a valid run exits 0;
+#   3. --cache: a second run replays every unit and the emitted
+#      BENCH_<scenario>.json is byte-identical;
+#   4. --compare is green against a baseline written from its own
+#      output and exits nonzero on an injected objective drift.
+#
+#   scripts/test_cli.sh <path-to-bench_scenarios>
+set -euo pipefail
+
+bench="${1:?usage: test_cli.sh <path-to-bench_scenarios>}"
+bench="$(readlink -f "${bench}")"
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+cd "${workdir}"
+
+fail() {
+  echo "test_cli: FAIL — $*" >&2
+  exit 1
+}
+
+# --- 1. unknown --exact: exit 2 plus near-miss suggestions ------------
+set +e
+out="$("${bench}" --exact fig08_dsk 2>&1)"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]] || fail "--exact with a typo exited ${code}, want 2"
+grep -q "did you mean: fig08_disk" <<<"${out}" ||
+  fail "typo'd --exact did not suggest fig08_disk: ${out}"
+
+set +e
+out="$("${bench}" --exact totally_bogus --list 2>&1)"
+code=$?
+set -e
+[[ "${code}" -eq 2 ]] || fail "--list --exact unknown exited ${code}, want 2"
+
+# --- 2. a valid selection runs green ----------------------------------
+"${bench}" --exact example_a2 --smoke --quiet >/dev/null ||
+  fail "valid --exact smoke run failed"
+
+# --- 3. cache round trip: byte-identical JSON, all units replayed -----
+"${bench}" --exact example_a2 --quiet --cache --cache-dir cachedir \
+  >first.out || fail "first cached run failed"
+cp BENCH_example_a2.json first.json
+"${bench}" --exact example_a2 --quiet --cache --cache-dir cachedir \
+  >second.out || fail "second cached run failed"
+cmp -s BENCH_example_a2.json first.json ||
+  fail "cached replay changed BENCH_example_a2.json"
+units="$(awk '/^example_a2 /{print $2}' second.out)"
+cached="$(awk '/^example_a2 /{print $3}' second.out)"
+[[ -n "${units}" && "${units}" == "${cached}" ]] ||
+  fail "second run cached ${cached:-?}/${units:-?} units, want all"
+# --no-cache wins over --cache.
+"${bench}" --exact example_a2 --quiet --cache --no-cache --cache-dir x \
+  >nocache.out || fail "--no-cache run failed"
+grep -q "result cache on" nocache.out &&
+  fail "--no-cache did not disable the cache"
+
+# --- 4. --compare: green on own output, red on injected drift ---------
+"${bench}" --exact example_a2 --quiet --baseline-out base >/dev/null ||
+  fail "--baseline-out run failed"
+"${bench}" --exact example_a2 --quiet --compare base >/dev/null ||
+  fail "--compare against own baseline failed"
+# Inject an objective drift far beyond every declared tolerance.
+python3 - <<'EOF' 2>/dev/null || sed -i 's/"objective": /"objective": 1/' base/example_a2.json
+import json, io
+path = "base/example_a2.json"
+doc = json.load(open(path))
+doc["results"][0]["objective"] += 1.0
+json.dump(doc, open(path, "w"))
+EOF
+set +e
+"${bench}" --exact example_a2 --quiet --compare base >/dev/null 2>compare.err
+code=$?
+set -e
+[[ "${code}" -ne 0 ]] || fail "--compare accepted an injected drift"
+grep -q "drifted from the baseline" compare.err ||
+  fail "--compare drift did not report: $(cat compare.err)"
+
+echo "test_cli: OK"

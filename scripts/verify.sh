@@ -6,10 +6,15 @@
 #   scripts/verify.sh --quick    # Release only: unit tests + scenario
 #                                # smokes (skips the solver-scaling bench
 #                                # smokes and the sanitizer pass)
+#   scripts/verify.sh --golden   # Release build, then only the golden-
+#                                # baseline regression gate (smoke-run
+#                                # the baselined scenarios and --compare
+#                                # against tests/golden/)
 #
 # Full mode is the tier-1 gate plus the sanitizer sweep; --quick is the
 # edit-compile-check loop (every gtest suite plus one smoke run of every
-# registered scenario with shape assertions on).
+# registered scenario with shape assertions on).  Every mode ends with
+# the docs drift gate and the golden-baseline comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +32,22 @@ check_docs() {
   scripts/check_docs.sh build/bench_scenarios
 }
 
+check_golden() {
+  echo "=== golden baselines (tests/golden vs a fresh smoke run) ==="
+  # One scenario per baseline file; --compare fails on any drift.
+  local args=()
+  for f in tests/golden/*.json; do
+    args+=(--exact "$(basename "${f}" .json)")
+  done
+  build/bench_scenarios --smoke --quiet "${args[@]}" --compare tests/golden
+}
+
+build_release() {
+  echo "=== configure/build: preset 'release' ==="
+  cmake --preset release
+  cmake --build --preset release -j "$(nproc)"
+}
+
 case "${1:-}" in
   --quick)
     # Everything except the solver-scaling bench smokes (the scenario
@@ -34,14 +55,21 @@ case "${1:-}" in
     # stay in).
     run_preset release -E '^smoke_bench_'
     check_docs
+    check_golden
     ;;
   --release)
     run_preset release
     check_docs
+    check_golden
+    ;;
+  --golden)
+    build_release
+    check_golden
     ;;
   *)
     run_preset release
     check_docs
+    check_golden
     run_preset debug
     ;;
 esac

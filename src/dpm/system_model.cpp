@@ -168,4 +168,20 @@ linalg::Vector SystemModel::uniform_distribution() const {
   return linalg::Vector(num_states(), 1.0 / static_cast<double>(num_states()));
 }
 
+void SystemModel::hash_into(sim::Fnv1a& h) const {
+  h.add_string("SystemModel");
+  chain_->sparse().hash_into(h);
+  h.add_size(capacity_);
+  const std::size_t n = num_states();
+  const std::size_t na = num_commands();
+  for (std::size_t s = 0; s < n; ++s) {
+    h.add_double(queue_length(s));
+    h.add_byte(is_loss_state(s) ? 1 : 0);
+    for (std::size_t a = 0; a < na; ++a) {
+      h.add_double(power(s, a));
+      h.add_double(service_rate(s, a));
+    }
+  }
+}
+
 }  // namespace dpm

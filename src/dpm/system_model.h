@@ -22,6 +22,7 @@
 #include "dpm/service_provider.h"
 #include "dpm/service_requester.h"
 #include "markov/controlled_chain.h"
+#include "sim/hash.h"
 
 namespace dpm {
 
@@ -101,6 +102,14 @@ class SystemModel {
   linalg::Vector point_distribution(const SystemState& s) const;
   /// Uniform initial distribution.
   linalg::Vector uniform_distribution() const;
+
+  /// Streams the model's canonical content into `h`: the composed CSR
+  /// chain plus every cost ingredient the optimizer and simulator
+  /// consume (power, queue length, loss states, service rates) over the
+  /// full (state, command) grid.  Two models hash equal iff they are
+  /// observationally identical to every consumer — the content-address
+  /// contract of the scenario result cache (src/scenario/cache.h).
+  void hash_into(sim::Fnv1a& h) const;
 
  private:
   SystemModel(ServiceProvider sp, ServiceRequester sr, std::size_t capacity,

@@ -120,6 +120,25 @@ double LpProblem::max_violation(const linalg::Vector& x) const {
   return worst;
 }
 
+void LpProblem::hash_into(sim::Fnv1a& h) const {
+  h.add_string("LpProblem");
+  h.add_size(costs_.size());
+  for (const double c : costs_) h.add_double(c);
+  // +inf (the default bound) hashes by its bit pattern like any value.
+  for (const double u : upper_) h.add_double(u);
+  h.add_size(constraints_.size());
+  for (const Constraint& c : constraints_) {
+    h.add_byte(static_cast<unsigned char>(c.sense));
+    h.add_double(c.rhs);
+    h.add_size(c.terms.size());
+    // add_constraint canonicalized terms (sorted unique columns).
+    for (const auto& [col, coeff] : c.terms) {
+      h.add_size(col);
+      h.add_double(coeff);
+    }
+  }
+}
+
 LpProblem bounds_as_rows(const LpProblem& problem) {
   LpProblem copy;
   for (std::size_t j = 0; j < problem.num_variables(); ++j) {

@@ -13,6 +13,7 @@
 
 #include "linalg/matrix.h"
 #include "linalg/sparse.h"
+#include "sim/hash.h"
 
 namespace dpm::lp {
 
@@ -88,6 +89,13 @@ class LpProblem {
   /// Max constraint violation of a point (equality residual or one-sided
   /// surplus), useful for tests and post-solve verification.
   double max_violation(const linalg::Vector& x) const;
+
+  /// Streams the LP's canonical content into `h`: costs, upper bounds,
+  /// and every constraint's terms/sense/rhs.  Variable and constraint
+  /// names are cosmetic and excluded; duplicate in-constraint columns
+  /// were summed at add_constraint time, so structurally equal problems
+  /// hash equal regardless of how their terms were assembled.
+  void hash_into(sim::Fnv1a& h) const;
 
  private:
   linalg::Vector costs_;

@@ -1,8 +1,10 @@
 #include "lp/revised_simplex.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "linalg/sparse_lu.h"
@@ -852,7 +854,16 @@ LpSolution solve_once(const LpProblem& problem,
   return sol;
 }
 
+// Process-wide pivot odometer (monotone, never reset): lets tests
+// assert that a cached scenario replay executed *zero* simplex work,
+// not merely that it produced the same numbers.
+std::atomic<std::uint64_t> g_pivots_executed{0};
+
 }  // namespace
+
+std::uint64_t pivots_executed() noexcept {
+  return g_pivots_executed.load(std::memory_order_relaxed);
+}
 
 LpSolution solve_revised_simplex(const LpProblem& problem,
                                  const RevisedSimplexOptions& options,
@@ -869,6 +880,7 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
       options.stats->solve_ms = now_ms() - t0;
       options.stats->iterations = sol.iterations;
     }
+    g_pivots_executed.fetch_add(sol.iterations, std::memory_order_relaxed);
     return sol;
   }
 
@@ -887,6 +899,7 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
         options.stats->solve_ms = now_ms() - t0;
         options.stats->iterations = out.iterations;
       }
+      g_pivots_executed.fetch_add(out.iterations, std::memory_order_relaxed);
       return out;
     }
   }
@@ -894,6 +907,7 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
     options.stats->solve_ms = now_ms() - t0;
     options.stats->iterations = sol.iterations;
   }
+  g_pivots_executed.fetch_add(sol.iterations, std::memory_order_relaxed);
   return sol;
 }
 

@@ -25,6 +25,7 @@
 // PolicyOptimizer::sweep().
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "lp/problem.h"
@@ -129,5 +130,12 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
                                  const RevisedSimplexOptions& options = {},
                                  const SimplexBasis* warm = nullptr,
                                  SimplexBasis* basis_out = nullptr);
+
+/// Process-wide pivot odometer: total iterations (pivots + bound flips)
+/// executed by every solve_revised_simplex call since process start.
+/// Monotone and thread-safe; read it before and after an operation to
+/// measure the simplex work it triggered.  The scenario result cache's
+/// round-trip test uses it to prove a cache replay ran zero pivots.
+std::uint64_t pivots_executed() noexcept;
 
 }  // namespace dpm::lp

@@ -185,6 +185,25 @@ MarkovChain SparseControlledChain::under_policy(
   return MarkovChain(std::move(mixed), 1e-6);
 }
 
+void SparseControlledChain::hash_into(sim::Fnv1a& h) const {
+  h.add_string("SparseControlledChain");
+  h.add_size(n_);
+  h.add_size(commands_.size());
+  for (const Csr& csr : commands_) {
+    // The row_ptr array is implied by per-row entry counts; hashing the
+    // counts plus the sorted unique entries is the canonical form.
+    for (std::size_t s = 0; s < n_; ++s) {
+      const std::size_t begin = csr.row_ptr[s];
+      const std::size_t end = csr.row_ptr[s + 1];
+      h.add_size(end - begin);
+      for (std::size_t k = begin; k < end; ++k) {
+        h.add_size(csr.entries[k].first);
+        h.add_double(csr.entries[k].second);
+      }
+    }
+  }
+}
+
 std::vector<linalg::SparseColumn> discounted_transposed_columns(
     std::size_t n, double gamma,
     const std::function<TransitionRowView(std::size_t)>& row_of) {

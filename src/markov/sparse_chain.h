@@ -18,6 +18,7 @@
 
 #include "linalg/sparse_lu.h"
 #include "markov/markov_chain.h"
+#include "sim/hash.h"
 
 namespace dpm::markov {
 
@@ -78,6 +79,13 @@ class SparseControlledChain {
   /// Convenience wrapper returning a dense validated MarkovChain (the
   /// historical contract; reference paths only).
   MarkovChain under_policy(const linalg::Matrix& policy) const;
+
+  /// Streams the canonical content of the chain into `h`: order, command
+  /// count, and every CSR row as (successor, probability) entries.
+  /// Construction sorts entries and sums duplicates, so two chains
+  /// assembled from the same transitions in any insertion order hash
+  /// equal — the content-address contract of the scenario result cache.
+  void hash_into(sim::Fnv1a& h) const;
 
  private:
   struct Csr {

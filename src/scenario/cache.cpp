@@ -1,0 +1,231 @@
+#include "scenario/cache.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "scenario/json.h"
+#include "sim/hash.h"
+
+namespace dpm::scenario {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Parses a 16-digit hex key; returns false on malformed input.
+bool parse_hex(const std::string& s, std::uint64_t& out) {
+  if (s.size() != 16) return false;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else return false;
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_unit_output(const UnitOutput& out) {
+  JsonValue payload = JsonValue::object();
+  JsonValue records = JsonValue::array();
+  for (const Record& r : out.records) {
+    JsonValue rec = JsonValue::object();
+    rec.set("name", JsonValue::string(r.name));
+    rec.set("iterations",
+            JsonValue::number(static_cast<double>(r.iterations)));
+    rec.set("objective", JsonValue::number(r.objective));
+    records.push_back(std::move(rec));
+  }
+  payload.set("records", std::move(records));
+  JsonValue lines = JsonValue::array();
+  for (const std::string& l : out.lines) {
+    lines.push_back(JsonValue::string(l));
+  }
+  payload.set("lines", std::move(lines));
+  JsonValue values = JsonValue::array();
+  for (const auto& [k, v] : out.values) {
+    JsonValue pair = JsonValue::array();
+    pair.push_back(JsonValue::string(k));
+    pair.push_back(JsonValue::number(v));
+    values.push_back(std::move(pair));
+  }
+  payload.set("values", std::move(values));
+  return payload.dump();
+}
+
+UnitOutput deserialize_unit_output(const std::string& payload) {
+  const JsonValue v = JsonValue::parse(payload);
+  UnitOutput out;
+  const JsonValue* records = v.get("records");
+  const JsonValue* lines = v.get("lines");
+  const JsonValue* values = v.get("values");
+  if (records == nullptr || !records->is_array() || lines == nullptr ||
+      !lines->is_array() || values == nullptr || !values->is_array()) {
+    throw JsonError("cache payload: missing records/lines/values");
+  }
+  for (const JsonValue& rec : records->items()) {
+    Record r;
+    r.name = rec.string_at("name");
+    const double iters = rec.number_at("iterations");
+    if (iters < 0.0 || iters != static_cast<double>(
+                                    static_cast<std::size_t>(iters))) {
+      throw JsonError("cache payload: non-integral iteration count");
+    }
+    r.iterations = static_cast<std::size_t>(iters);
+    r.objective = rec.number_at("objective");
+    r.wall_ms = 0.0;  // the determinism contract: cached == deterministic
+    out.records.push_back(std::move(r));
+  }
+  for (const JsonValue& l : lines->items()) {
+    out.lines.push_back(l.as_string());
+  }
+  for (const JsonValue& pair : values->items()) {
+    if (!pair.is_array() || pair.items().size() != 2) {
+      throw JsonError("cache payload: malformed value pair");
+    }
+    out.values.emplace_back(pair.items()[0].as_string(),
+                            pair.items()[1].as_number());
+  }
+  return out;
+}
+
+ResultCache::ResultCache(std::string dir, std::size_t max_entries)
+    : dir_(std::move(dir)),
+      file_((std::filesystem::path(dir_) / "cache.jsonl").string()),
+      max_entries_(max_entries == 0 ? 1 : max_entries) {}
+
+void ResultCache::load() {
+  std::ifstream in(file_);
+  if (!in) return;  // no cache yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      const JsonValue v = JsonValue::parse(line);
+      std::uint64_t key = 0;
+      if (!parse_hex(v.string_at("key"), key)) {
+        ++stats_.rejected;
+        continue;
+      }
+      std::uint64_t sum = 0;
+      if (!parse_hex(v.string_at("sum"), sum)) {
+        ++stats_.rejected;
+        continue;
+      }
+      const JsonValue* payload = v.get("payload");
+      if (payload == nullptr || !payload->is_object()) {
+        ++stats_.rejected;
+        continue;
+      }
+      // Canonical re-serialization, then checksum: a poisoned number,
+      // renamed field, or truncated entry fails here and the unit
+      // recomputes instead of replaying garbage.
+      const std::string serialized = payload->dump();
+      if (sim::fnv1a(serialized) != sum) {
+        ++stats_.rejected;
+        continue;
+      }
+      deserialize_unit_output(serialized);  // structural validation
+      Entry e;
+      e.key = key;
+      e.scenario = v.string_at("scenario");
+      e.label = v.string_at("unit");
+      e.payload = serialized;
+      e.touch = ++clock_;
+      const auto [it, inserted] = index_.emplace(key, entries_.size());
+      if (inserted) {
+        entries_.push_back(std::move(e));
+      } else {
+        entries_[it->second] = std::move(e);  // later line wins
+      }
+    } catch (const JsonError&) {
+      ++stats_.rejected;
+    }
+  }
+}
+
+bool ResultCache::lookup(std::uint64_t key, UnitOutput& out) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  Entry& e = entries_[it->second];
+  try {
+    out = deserialize_unit_output(e.payload);
+  } catch (const JsonError&) {
+    // Cannot happen for entries validated at load/store time; treat a
+    // surprise as a miss rather than aborting the run.
+    ++stats_.misses;
+    ++stats_.rejected;
+    index_.erase(it);
+    return false;
+  }
+  e.touch = ++clock_;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::store(std::uint64_t key, const std::string& scenario,
+                        const std::string& label, const UnitOutput& out) {
+  assert(out.failures.empty() && "failed units must not be cached");
+  Entry e;
+  e.key = key;
+  e.scenario = scenario;
+  e.label = label;
+  e.payload = serialize_unit_output(out);
+  e.touch = ++clock_;
+  const auto [it, inserted] = index_.emplace(key, entries_.size());
+  if (inserted) {
+    entries_.push_back(std::move(e));
+  } else {
+    entries_[it->second] = std::move(e);
+  }
+}
+
+bool ResultCache::flush() {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return false;
+
+  // Oldest-touched first, so load order doubles as LRU order and the
+  // trim below drops the least recently used entries.
+  std::vector<const Entry*> order;
+  order.reserve(entries_.size());
+  for (const Entry& e : entries_) order.push_back(&e);
+  std::sort(order.begin(), order.end(),
+            [](const Entry* a, const Entry* b) { return a->touch < b->touch; });
+  if (order.size() > max_entries_) {
+    stats_.evicted += order.size() - max_entries_;
+    order.erase(order.begin(),
+                order.begin() + static_cast<std::ptrdiff_t>(order.size() -
+                                                            max_entries_));
+  }
+
+  std::ostringstream body;
+  for (const Entry* e : order) {
+    body << "{\"key\":\"" << hex16(e->key) << "\",\"scenario\":\""
+         << json_escape(e->scenario) << "\",\"unit\":\""
+         << json_escape(e->label) << "\",\"sum\":\""
+         << hex16(sim::fnv1a(e->payload)) << "\",\"payload\":" << e->payload
+         << "}\n";
+  }
+  std::ofstream outf(file_, std::ios::trunc);
+  if (!outf) return false;
+  outf << body.str();
+  return static_cast<bool>(outf);
+}
+
+}  // namespace dpm::scenario

@@ -1,0 +1,103 @@
+// Content-addressed scenario result cache.
+//
+// The scenario engine's determinism contract (all randomness a pure
+// function of (scenario name, unit index); results independent of
+// --jobs) makes unit results *pure functions of their inputs* — so a
+// second run of an unchanged scenario can skip every LP solve and
+// simulation and replay the recorded results bit-identically.  This
+// module is that cache:
+//
+//  * key — `scenario::unit_key()`: an FNV-1a content address over the
+//    result schema version, scenario name, unit index/label, smoke
+//    flag, and the unit's input fingerprint (composed CSR model, LP
+//    content, grid points — see Unit::fingerprint);
+//  * value — the unit's full buffered output (records, stdout lines,
+//    cross-unit values), excluding wall time and excluding failed
+//    units (failures are never cached);
+//  * store — one JSONL file `<dir>/cache.jsonl`, one self-checksummed
+//    entry per line, LRU-bounded: the file is rewritten least-recently-
+//    used-first on flush and trimmed to `max_entries`, so the cache
+//    cannot grow without bound;
+//  * integrity — every line carries an FNV-1a checksum of its payload;
+//    a poisoned or truncated line fails the checksum (or the parse) and
+//    is dropped, turning corruption into a recompute instead of a wrong
+//    replay.
+//
+// Threading: the ExperimentRunner performs lookups before the worker
+// pool starts and stores after it joins, so the cache itself is
+// single-threaded by construction.  Concurrent *processes* sharing one
+// cache dir follow last-writer-wins on flush — acceptable for a local
+// accelerator whose worst case is a recompute.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace dpm::scenario {
+
+struct CacheStats {
+  std::size_t hits = 0;      // lookups replayed from the store
+  std::size_t misses = 0;    // lookups that fell through to execution
+  std::size_t rejected = 0;  // lines dropped: bad parse/checksum/schema
+  std::size_t evicted = 0;   // entries trimmed by the LRU bound
+};
+
+class ResultCache {
+ public:
+  static constexpr std::size_t kDefaultMaxEntries = 4096;
+
+  explicit ResultCache(std::string dir,
+                       std::size_t max_entries = kDefaultMaxEntries);
+
+  /// Reads `<dir>/cache.jsonl` if present.  Unreadable lines are
+  /// counted in stats().rejected and dropped; a missing file is an
+  /// empty cache, not an error.
+  void load();
+
+  /// On hit, fills `out` with the recorded records/lines/values
+  /// (wall_ms = 0) and marks the entry most-recently-used.
+  bool lookup(std::uint64_t key, UnitOutput& out);
+
+  /// Records a freshly computed unit result.  Callers must not store
+  /// failed units (asserted): a failure must recompute every run until
+  /// fixed.  Storing an existing key overwrites it.
+  void store(std::uint64_t key, const std::string& scenario,
+             const std::string& label, const UnitOutput& out);
+
+  /// Writes the store back as JSONL, oldest-touched first, trimmed to
+  /// `max_entries` (evictions counted).  Creates the directory if
+  /// needed.  Returns false when the file cannot be written.
+  bool flush();
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  const std::string& path() const noexcept { return file_; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::string scenario;
+    std::string label;
+    std::string payload;     // serialized UnitOutput (JSON object)
+    std::uint64_t touch = 0; // LRU clock
+  };
+
+  std::string dir_;
+  std::string file_;
+  std::size_t max_entries_;
+  std::uint64_t clock_ = 0;
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;  // key -> slot
+  CacheStats stats_;
+};
+
+/// Payload (de)serialization, exposed for the poisoning tests:
+/// records/lines/values of a unit's output as a compact JSON object.
+std::string serialize_unit_output(const UnitOutput& out);
+/// Throws JsonError on malformed payloads.
+UnitOutput deserialize_unit_output(const std::string& payload);
+
+}  // namespace dpm::scenario

@@ -1,0 +1,144 @@
+#include "scenario/compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "scenario/json.h"
+
+namespace dpm::scenario {
+
+namespace {
+
+std::string fmt(const char* format, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, format, a, b);
+  return buf;
+}
+
+bool within(double fresh, double base, double abs_tol, double rel_tol) {
+  return std::abs(fresh - base) <= abs_tol + rel_tol * std::abs(base);
+}
+
+}  // namespace
+
+std::vector<Record> parse_baseline(const std::string& json_text,
+                                   std::string* bench_name_out) {
+  const JsonValue doc = JsonValue::parse(json_text);
+  if (bench_name_out != nullptr) *bench_name_out = doc.string_at("bench");
+  const JsonValue* results = doc.get("results");
+  if (results == nullptr || !results->is_array()) {
+    throw JsonError("baseline: missing 'results' array");
+  }
+  std::vector<Record> records;
+  records.reserve(results->items().size());
+  for (const JsonValue& item : results->items()) {
+    Record r;
+    r.name = item.string_at("name");
+    r.wall_ms = item.number_at("wall_ms");
+    const double iters = item.number_at("iterations");
+    if (iters < 0.0) throw JsonError("baseline: negative iteration count");
+    r.iterations = static_cast<std::size_t>(iters);
+    r.objective = item.number_at("objective");
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+ToleranceRule tolerance_for(const Scenario& sc,
+                            const std::string& record_name) {
+  for (const ToleranceRule& rule : sc.tolerances) {
+    if (rule.name_contains.empty() ||
+        record_name.find(rule.name_contains) != std::string::npos) {
+      return rule;
+    }
+  }
+  return ToleranceRule{};
+}
+
+CompareReport compare_records(const Scenario& sc,
+                              const std::vector<Record>& baseline,
+                              const std::vector<Record>& fresh) {
+  CompareReport report;
+  report.scenario = sc.name;
+
+  // Key by (name, occurrence index): names are unique in practice, but
+  // a duplicate must pair with its same-ranked twin, not collide.
+  using Key = std::pair<std::string, std::size_t>;
+  std::map<Key, const Record*> base_map;
+  std::map<std::string, std::size_t> base_seen;
+  for (const Record& r : baseline) {
+    base_map.emplace(Key{r.name, base_seen[r.name]++}, &r);
+  }
+
+  std::map<std::string, std::size_t> fresh_seen;
+  for (const Record& r : fresh) {
+    const Key key{r.name, fresh_seen[r.name]++};
+    const auto it = base_map.find(key);
+    if (it == base_map.end()) {
+      report.issues.push_back(
+          {r.name, "extra record (not in the baseline) — regenerate the "
+                   "baseline if the scenario legitimately grew"});
+      continue;
+    }
+    const Record& base = *it->second;
+    base_map.erase(it);
+    ++report.compared;
+
+    const ToleranceRule tol = tolerance_for(sc, r.name);
+    if (!within(r.objective, base.objective, tol.objective_abs,
+                tol.objective_rel)) {
+      report.issues.push_back(
+          {r.name,
+           fmt("objective drifted: baseline %.12g, got %.12g", base.objective,
+               r.objective) +
+               fmt(" (tolerance abs %.3g + rel %.3g)", tol.objective_abs,
+                   tol.objective_rel)});
+    }
+    if (!within(static_cast<double>(r.iterations),
+                static_cast<double>(base.iterations), tol.iterations_abs,
+                tol.iterations_rel)) {
+      report.issues.push_back(
+          {r.name,
+           fmt("iterations blew up: baseline %.0f, got %.0f",
+               static_cast<double>(base.iterations),
+               static_cast<double>(r.iterations)) +
+               fmt(" (tolerance abs %.3g + rel %.3g)", tol.iterations_abs,
+                   tol.iterations_rel)});
+    }
+    // wall_ms is deliberately not compared: scenario records carry 0 by
+    // the determinism contract, and bench-grade wall times are trends.
+  }
+
+  for (const auto& [key, rec] : base_map) {
+    report.issues.push_back(
+        {rec->name, "missing record (present in the baseline, absent from "
+                    "this run)"});
+  }
+  return report;
+}
+
+std::string format_report(const CompareReport& report) {
+  char head[160];
+  if (report.ok()) {
+    std::snprintf(head, sizeof head,
+                  "compare %-22s %4zu records vs baseline — OK",
+                  report.scenario.c_str(), report.compared);
+    return head;
+  }
+  std::snprintf(head, sizeof head,
+                "compare %-22s %4zu records vs baseline — %zu MISMATCH(ES)",
+                report.scenario.c_str(), report.compared,
+                report.issues.size());
+  std::string out = head;
+  for (const CompareIssue& issue : report.issues) {
+    out += "\n  FAIL ";
+    if (!issue.record.empty()) {
+      out += "'" + issue.record + "': ";
+    }
+    out += issue.what;
+  }
+  return out;
+}
+
+}  // namespace dpm::scenario

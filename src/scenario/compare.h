@@ -1,0 +1,58 @@
+// Record-aware regression comparator: the machinery behind
+// `bench_scenarios --compare` and the golden-baseline test tier
+// (tests/test_golden.cpp).
+//
+// A comparison takes a *baseline* record list (a checked-in golden file
+// or a previous run's BENCH_<scenario>.json) and a *fresh* record list
+// (the scenario just executed) and diffs them structurally:
+//
+//  * records are keyed by (name, occurrence index) — a missing or extra
+//    record is a hard failure, never skipped silently;
+//  * matched records compare per field under the scenario's declared
+//    ToleranceRule set (scenario/scenario.h): |fresh - base| <=
+//    abs + rel * |base|, independently for `objective` and
+//    `iterations`; `wall_ms` is ignored (scenario records carry 0 by
+//    the determinism contract);
+//  * the report is human-readable and machine-decidable: ok() gates a
+//    nonzero CLI exit for CI.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+namespace dpm::scenario {
+
+struct CompareIssue {
+  std::string record;  // record name ("" for file-level problems)
+  std::string what;    // human-readable description
+};
+
+struct CompareReport {
+  std::string scenario;
+  std::size_t compared = 0;  // records matched and checked
+  std::vector<CompareIssue> issues;
+  bool ok() const noexcept { return issues.empty(); }
+};
+
+/// Parses a baseline file in the BENCH schema ({"bench": ..,
+/// "results": [..]}).  Throws JsonError on malformed input; the bench
+/// name is returned through `bench_name_out` when non-null.
+std::vector<Record> parse_baseline(const std::string& json_text,
+                                   std::string* bench_name_out = nullptr);
+
+/// The first rule in `sc.tolerances` whose `name_contains` is a
+/// substring of `record_name`; defaults when none matches.
+ToleranceRule tolerance_for(const Scenario& sc,
+                            const std::string& record_name);
+
+/// Diffs `fresh` against `baseline` under the scenario's tolerances.
+CompareReport compare_records(const Scenario& sc,
+                              const std::vector<Record>& baseline,
+                              const std::vector<Record>& fresh);
+
+/// Multi-line human-readable rendering (one line when ok).
+std::string format_report(const CompareReport& report);
+
+}  // namespace dpm::scenario

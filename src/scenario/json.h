@@ -1,0 +1,95 @@
+// Minimal JSON value / parser / writer for the scenario toolchain.
+//
+// Two consumers, both introduced with the result cache PR:
+//  * scenario/cache — serializes cached unit results as JSONL lines and
+//    must re-read them *bit-exactly* (a replayed run's BENCH JSON has to
+//    be byte-identical to the cold run's);
+//  * scenario/compare — parses baseline BENCH_<scenario>.json files for
+//    the --compare regression mode and the golden test tier.
+//
+// Scope is deliberately the JSON subset those producers emit: objects,
+// arrays, strings (with \uXXXX escapes accepted, BMP only), finite
+// numbers, booleans, null.  Numbers are written with %.17g, which
+// round-trips every finite IEEE-754 double through strtod, so
+// serialize → parse → serialize is the identity on cached payloads.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dpm::scenario {
+
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One parsed JSON value.  Objects keep insertion order (lookup is
+/// linear — scenario payloads are small and order stability matters for
+/// byte-identical re-serialization).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+
+  /// Typed accessors; throw JsonError on a kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;              // array
+  const std::vector<std::pair<std::string, JsonValue>>& members()
+      const;                                                // object
+
+  /// Object field lookup; nullptr when absent (or not an object).
+  const JsonValue* get(std::string_view key) const;
+  /// Typed field conveniences that throw JsonError with the field name
+  /// when the member is missing or mistyped.
+  double number_at(std::string_view key) const;
+  const std::string& string_at(std::string_view key) const;
+
+  /// Mutators (building payloads).
+  void push_back(JsonValue v);                          // array
+  void set(std::string key, JsonValue v);               // object (append)
+
+  /// Parses one JSON document; trailing non-space input is an error.
+  static JsonValue parse(std::string_view text);
+
+  /// Compact serialization (no whitespace); numbers use %.17g so every
+  /// finite double round-trips exactly.
+  std::string dump() const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+
+  void dump_to(std::string& out) const;
+};
+
+/// JSON string escaping for ", \, and control characters.
+std::string json_escape(std::string_view s);
+
+/// Canonical %.17g rendering of a finite double (round-trips exactly).
+std::string json_number(double v);
+
+}  // namespace dpm::scenario

@@ -28,25 +28,45 @@ struct JsonRecord {
   double objective = 0.0;  // headline numeric result (0 when n/a)
 };
 
+/// Renders the shared BENCH schema to a string — the exact bytes
+/// `write_json_report` puts on disk.  Exposed so tests can assert
+/// byte-identity (cache replays, --jobs invariance) without touching
+/// the filesystem, and so --baseline-out can write to arbitrary paths.
+inline std::string json_report_string(const std::string& name,
+                                      const std::vector<JsonRecord>& records) {
+  std::string out = "{\n  \"bench\": \"" + name + "\",\n  \"results\": [";
+  char buf[160];
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{\"name\": \"" + r.name + "\", ";
+    std::snprintf(buf, sizeof buf,
+                  "\"wall_ms\": %.6f, \"iterations\": %zu, "
+                  "\"objective\": %.12g}",
+                  r.wall_ms, r.iterations, r.objective);
+    out += buf;
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+/// Writes the shared schema to an explicit path (baseline files).
+/// Returns false when the file cannot be opened or written.
+inline bool write_json_report_to(const std::string& path,
+                                 const std::string& name,
+                                 const std::vector<JsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string body = json_report_string(name, records);
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
 /// Writes `BENCH_<name>.json` in the shared schema.  Returns false when
 /// the file cannot be opened.
 inline bool write_json_report(const std::string& name,
                               const std::vector<JsonRecord>& records) {
-  const std::string path = "BENCH_" + name + ".json";
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [", name.c_str());
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const JsonRecord& r = records[i];
-    std::fprintf(f,
-                 "%s\n    {\"name\": \"%s\", \"wall_ms\": %.6f, "
-                 "\"iterations\": %zu, \"objective\": %.12g}",
-                 i == 0 ? "" : ",", r.name.c_str(), r.wall_ms, r.iterations,
-                 r.objective);
-  }
-  std::fprintf(f, "\n  ]\n}\n");
-  std::fclose(f);
-  return true;
+  return write_json_report_to("BENCH_" + name + ".json", name, records);
 }
 
 /// Collects records and writes `BENCH_<name>.json` on destruction.

@@ -4,7 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <exception>
+#include <memory>
 #include <thread>
+
+#include "scenario/cache.h"
 
 namespace dpm::scenario {
 
@@ -41,17 +44,59 @@ std::vector<ScenarioRunResult> ExperimentRunner::run(
   // Expand every scenario's grid up front so the pool sees one flat
   // task list (units of different scenarios interleave freely).
   std::vector<std::vector<Unit>> units(scenarios.size());
-  std::vector<UnitTask> tasks;
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     units[i] = scenarios[i]->units(smoke);
-    for (std::size_t u = 0; u < units[i].size(); ++u) {
-      tasks.push_back({i, u});
-    }
   }
 
   std::vector<std::vector<UnitOutput>> outputs(scenarios.size());
+  std::vector<std::vector<char>> cached(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     outputs[i].resize(units[i].size());
+    cached[i].assign(units[i].size(), 0);
+  }
+
+  // Content-addressed result cache: resolve hits before the pool starts
+  // (lookups and stores are single-threaded by construction; workers
+  // never touch the cache).  Keys are computed up front too — model
+  // hashing is cheap next to a solve, and a key is needed either way to
+  // store a miss.  The fingerprint does re-compose the unit's model on
+  // this thread (the body composes its own copy again on a miss); that
+  // duplicate work is accepted while composition stays far below solve
+  // cost — revisit if scenarios ever carry bench_mdp_scale-sized
+  // models.
+  std::unique_ptr<ResultCache> cache;
+  std::vector<std::vector<std::uint64_t>> keys(scenarios.size());
+  std::vector<std::vector<char>> keyed(scenarios.size());
+  std::vector<UnitTask> tasks;
+  if (options_.cache) {
+    cache = std::make_unique<ResultCache>(options_.cache_dir,
+                                          options_.cache_max_entries);
+    cache->load();
+  }
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (cache != nullptr) {
+      keys[i].resize(units[i].size(), 0);
+      keyed[i].assign(units[i].size(), 0);
+    }
+    for (std::size_t u = 0; u < units[i].size(); ++u) {
+      if (cache != nullptr) {
+        // Fingerprints compose the unit's model (and assemble its LP),
+        // so they can throw the same way the unit body would.  A
+        // throwing fingerprint makes the unit uncacheable — it falls
+        // through to the pool, whose try/catch reports the real error
+        // as a shape failure instead of aborting the process here.
+        try {
+          keys[i][u] = unit_key(*scenarios[i], units[i][u], u, smoke);
+          keyed[i][u] = 1;
+          if (cache->lookup(keys[i][u], outputs[i][u])) {
+            cached[i][u] = 1;
+            continue;  // replayed — nothing to execute
+          }
+        } catch (...) {
+        }
+      }
+      tasks.push_back({i, u});
+    }
   }
 
   // Work-stealing-by-counter pool.  Units write only into their own
@@ -92,6 +137,25 @@ std::vector<ScenarioRunResult> ExperimentRunner::run(
     for (std::thread& th : pool) th.join();
   }
 
+  // Record the fresh (clean) results and persist the store; failed
+  // units are never cached — they must recompute every run until fixed.
+  if (cache != nullptr) {
+    for (const UnitTask& task : tasks) {
+      const UnitOutput& out = outputs[task.scenario][task.unit];
+      if (!out.failures.empty()) continue;
+      if (keyed[task.scenario][task.unit] == 0) continue;  // no key
+      cache->store(keys[task.scenario][task.unit],
+                   scenarios[task.scenario]->name,
+                   units[task.scenario][task.unit].label, out);
+    }
+    if (!cache->flush() && options_.print) {
+      std::fprintf(stderr,
+                   "scenario cache: could not write %s (results are "
+                   "unaffected; caching skipped)\n",
+                   cache->path().c_str());
+    }
+  }
+
   // Deterministic assembly: scenario order, then unit order.
   std::vector<ScenarioRunResult> results;
   results.reserve(scenarios.size());
@@ -103,9 +167,14 @@ std::vector<ScenarioRunResult> ExperimentRunner::run(
     if (options_.print) print_banner(sc, smoke);
     for (std::size_t u = 0; u < units[i].size(); ++u) {
       UnitOutput& out = outputs[i][u];
+      if (cached[i][u] != 0) ++res.units_cached;
       if (options_.print) {
-        std::printf("\n--- %s ---   (%.1f ms)\n", units[i][u].label.c_str(),
-                    out.wall_ms);
+        if (cached[i][u] != 0) {
+          std::printf("\n--- %s ---   (cached)\n", units[i][u].label.c_str());
+        } else {
+          std::printf("\n--- %s ---   (%.1f ms)\n", units[i][u].label.c_str(),
+                      out.wall_ms);
+        }
         for (const std::string& line : out.lines) {
           std::printf("%s\n", line.c_str());
         }
@@ -138,10 +207,10 @@ std::vector<ScenarioRunResult> ExperimentRunner::run(
 
     if (options_.print) {
       if (res.failures.empty()) {
-        std::printf("\n  shape checks: OK   (%zu units, %zu records, "
-                    "%zu iterations, %.1f ms)\n",
-                    res.units, res.records.size(), res.iterations,
-                    res.wall_ms);
+        std::printf("\n  shape checks: OK   (%zu units, %zu cached, "
+                    "%zu records, %zu iterations, %.1f ms)\n",
+                    res.units, res.units_cached, res.records.size(),
+                    res.iterations, res.wall_ms);
       } else {
         std::printf("\n  shape checks: %zu FAILURE(S)\n",
                     res.failures.size());

@@ -26,13 +26,23 @@ struct RunnerOptions {
   bool smoke = false;         // reduced grids, short simulations
   bool print = true;          // banner + buffered unit tables on stdout
   bool write_json = true;     // one BENCH_<scenario>.json per scenario
+  /// Content-addressed result cache (scenario/cache.h): look every
+  /// unit's unit_key() up before executing it, replay hits
+  /// bit-identically, store clean misses, and LRU-trim the store on
+  /// flush.  Off by default — an explicit accelerator, not a default
+  /// behavior change.
+  bool cache = false;
+  std::string cache_dir = ".scenario_cache";
+  std::size_t cache_max_entries = 4096;
 };
 
 struct ScenarioRunResult {
   std::string name;
   std::size_t units = 0;
+  std::size_t units_cached = 0;  // units replayed from the result cache
   std::size_t iterations = 0;  // sum of record iterations (pivots/slices)
-  double wall_ms = 0.0;        // sum of unit wall times (real)
+  double wall_ms = 0.0;        // sum of unit wall times (real; 0 for
+                               // cached units — nothing executed)
   std::vector<Record> records;            // unit order
   std::vector<std::string> failures;      // shape-assertion failures
   std::map<std::string, double> values;   // merged cross-unit facts

@@ -3,8 +3,55 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <memory>
+#include <stdexcept>
 
 namespace dpm::scenario {
+
+namespace {
+
+/// Canonical hash of an optimizer configuration: everything that
+/// changes the LP or the policy extraction.
+void hash_config(sim::Fnv1a& h, const OptimizerConfig& cfg) {
+  h.add_string("OptimizerConfig");
+  h.add_double(cfg.discount);
+  h.add_size(cfg.initial_distribution.size());
+  for (const double p : cfg.initial_distribution) h.add_double(p);
+  h.add_byte(static_cast<unsigned char>(cfg.backend));
+}
+
+}  // namespace
+
+std::uint64_t unit_key(const Scenario& sc, const Unit& unit,
+                       std::size_t index, bool smoke,
+                       std::uint64_t schema_version) {
+  sim::Fnv1a h;
+  h.add_string("dpmopt-unit-key");
+  h.add_u64(schema_version);
+  h.add_string(sc.name);
+  h.add_size(index);
+  h.add_string(unit.label);
+  h.add_byte(smoke ? 1 : 0);
+  if (unit.fingerprint) {
+    h.add_byte(1);
+    unit.fingerprint(h, smoke);
+  } else {
+    h.add_byte(0);
+  }
+  return h.digest();
+}
+
+std::uint64_t Scenario::unit_key(std::size_t index, bool smoke,
+                                 std::uint64_t schema_version) const {
+  const std::vector<Unit> expanded = units(smoke);
+  if (index >= expanded.size()) {
+    throw std::out_of_range("Scenario::unit_key: unit index " +
+                            std::to_string(index) + " out of range for '" +
+                            name + "'");
+  }
+  return scenario::unit_key(*this, expanded[index], index, smoke,
+                            schema_version);
+}
 
 void UnitContext::linef(const char* fmt, ...) {
   char buf[512];
@@ -74,10 +121,37 @@ std::string default_bound_label(const std::string& swept_name, double bound) {
 
 }  // namespace
 
-Unit sweep_unit(SweepSpec spec) {
+Unit sweep_unit(SweepSpec sweep_spec) {
+  // The run body and the cache fingerprint share one immutable spec.
+  const auto sp = std::make_shared<const SweepSpec>(std::move(sweep_spec));
   Unit unit;
-  unit.label = spec.series;
-  unit.run = [spec = std::move(spec)](UnitContext& ctx) {
+  unit.label = sp->series;
+  // Content address of the series: the composed model, the optimizer
+  // config, the LP the first grid point assembles (which canonically
+  // covers objective, fixed constraints, and the swept metric via their
+  // coefficients), and the grid itself.  One series is one unit, so a
+  // warm-started sweep caches and replays as a whole — a replayed run
+  // stays byte-identical to a cold one.
+  unit.fingerprint = [sp](sim::Fnv1a& h, bool smoke) {
+    const SystemModel model = sp->model();
+    model.hash_into(h);
+    const OptimizerConfig cfg = sp->config(model);
+    hash_config(h, cfg);
+    const std::vector<double> bounds =
+        smoke ? smoke_subset(sp->bounds, sp->smoke_points) : sp->bounds;
+    std::vector<OptimizationConstraint> constraints =
+        sp->fixed ? sp->fixed(model) : std::vector<OptimizationConstraint>{};
+    constraints.push_back({sp->swept(model),
+                           bounds.empty() ? 0.0 : bounds.front(),
+                           sp->swept_name});
+    const PolicyOptimizer opt(model, cfg);
+    opt.build_lp(sp->objective(model), constraints).hash_into(h);
+    h.add_string(sp->swept_name);
+    h.add_size(bounds.size());
+    for (const double b : bounds) h.add_double(b);  // the grid points
+  };
+  unit.run = [sp](UnitContext& ctx) {
+    const SweepSpec& spec = *sp;
     const SystemModel model = spec.model();
     const PolicyOptimizer opt(model, spec.config(model));
     const std::vector<OptimizationConstraint> fixed =
@@ -170,10 +244,25 @@ Unit sweep_unit(SweepSpec spec) {
   return unit;
 }
 
-Unit point_unit(PointSpec spec) {
+Unit point_unit(PointSpec point_spec) {
+  const auto sp = std::make_shared<const PointSpec>(std::move(point_spec));
   Unit unit;
-  unit.label = spec.name;
-  unit.run = [spec = std::move(spec)](UnitContext& ctx) {
+  unit.label = sp->name;
+  // Content address of the cell: its own model, config, and the exact
+  // LP it solves (objective + constraint coefficients + scaled rhs).
+  unit.fingerprint = [sp](sim::Fnv1a& h, bool /*smoke*/) {
+    const SystemModel model = sp->model();
+    model.hash_into(h);
+    const OptimizerConfig cfg = sp->config(model);
+    hash_config(h, cfg);
+    const PolicyOptimizer opt(model, cfg);
+    opt.build_lp(sp->objective(model),
+                 sp->constraints ? sp->constraints(model)
+                                 : std::vector<OptimizationConstraint>{})
+        .hash_into(h);
+  };
+  unit.run = [sp](UnitContext& ctx) {
+    const PointSpec& spec = *sp;
     const SystemModel model = spec.model();
     const PolicyOptimizer opt(model, spec.config(model));
     const std::vector<OptimizationConstraint> constraints =

@@ -38,11 +38,21 @@
 
 #include "dpm/optimizer.h"
 #include "scenario/report.h"
+#include "sim/hash.h"
 #include "sim/rng.h"
 
 namespace dpm::scenario {
 
 using Record = JsonRecord;
+
+/// Version of the result semantics: what a record's fields *mean* and
+/// which algorithms produce them.  It is folded into every unit's cache
+/// key, so bumping it invalidates the whole on-disk result cache —
+/// required whenever a change legitimately moves results (solver
+/// behavior, record naming, simulation semantics).  The golden-baseline
+/// update procedure in docs/bench-format.md pairs such a bump with
+/// regenerated baselines.
+inline constexpr std::uint64_t kResultSchemaVersion = 1;
 
 /// Everything a unit body may produce; assembled by the runner in unit
 /// order, so output and JSON are independent of scheduling.
@@ -119,8 +129,25 @@ class UnitContext {
 /// The parallel quantum: a labelled body the runner executes on one
 /// worker thread.
 struct Unit {
+  Unit() = default;
+  Unit(std::string label_, std::function<void(UnitContext&)> run_,
+       std::function<void(sim::Fnv1a&, bool)> fingerprint_ = nullptr)
+      : label(std::move(label_)),
+        run(std::move(run_)),
+        fingerprint(std::move(fingerprint_)) {}
+
   std::string label;
   std::function<void(UnitContext&)> run;
+  /// Optional content fingerprint: streams the unit's *inputs* — the
+  /// composed model, optimizer config, LP content, grid points — into
+  /// `h`, making the unit's cache key a content address (see
+  /// Scenario::unit_key and scenario/cache.h).  sweep_unit and
+  /// point_unit install one automatically.  Hand-written units may
+  /// leave it empty; their key then degrades to (schema version,
+  /// scenario, unit index, label, smoke flag), which still replays
+  /// correctly across reruns of one build and is invalidated by
+  /// kResultSchemaVersion bumps on semantic changes.
+  std::function<void(sim::Fnv1a& h, bool smoke)> fingerprint;
 };
 
 /// Read-side of the cross-unit value store for Scenario::check.
@@ -165,6 +192,25 @@ class ShapeChecker {
   std::vector<std::string> failures_;
 };
 
+/// One comparator tolerance rule (scenario/compare.h): how far a
+/// record's fields may drift from a baseline before --compare fails.
+/// Declared per scenario next to its expected-shape assertions; the
+/// first rule whose `name_contains` is a substring of the record name
+/// wins, and records matching no rule use the defaults below.
+///
+/// Defaults suit deterministic LP records: objectives near-exact (the
+/// 1e-7 relative slack absorbs refactor-level FP reassociation),
+/// iteration counts loose (pivot counts legitimately move with solver
+/// tuning; only order-of-magnitude blowups — a lost warm start — should
+/// fail).  Monte-Carlo records need scenario-declared looser rules.
+struct ToleranceRule {
+  std::string name_contains;  // "" matches every record
+  double objective_abs = 1e-9;
+  double objective_rel = 1e-7;
+  double iterations_abs = 50.0;
+  double iterations_rel = 1.0;
+};
+
 /// One declarative experiment.  `units(smoke)` expands the grid; the
 /// optional `check` runs after every unit finished, over the merged
 /// value store.
@@ -174,7 +220,24 @@ struct Scenario {
   std::string what;   // one-line description for --list
   std::function<std::vector<Unit>(bool smoke)> units;
   std::function<void(ShapeChecker&)> check;  // may be empty
+  /// --compare tolerance rules, searched in declaration order (see
+  /// ToleranceRule); empty means every record uses the defaults.
+  std::vector<ToleranceRule> tolerances;
+
+  /// Content-address of one unit: H(schema version, scenario name, unit
+  /// index, label, smoke flag, unit fingerprint).  Expands `units(smoke)`
+  /// to reach the unit; the runner, which already holds the expansion,
+  /// uses the free `unit_key()` below.  `schema_version` is exposed for
+  /// the property tests; production callers keep the default.
+  std::uint64_t unit_key(
+      std::size_t index, bool smoke,
+      std::uint64_t schema_version = kResultSchemaVersion) const;
 };
+
+/// unit_key for an already-expanded unit (same value as the member).
+std::uint64_t unit_key(const Scenario& sc, const Unit& unit,
+                       std::size_t index, bool smoke,
+                       std::uint64_t schema_version = kResultSchemaVersion);
 
 // ---------------------------------------------------------------------
 // Declarative builders

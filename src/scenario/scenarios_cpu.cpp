@@ -92,6 +92,16 @@ Scenario make_fig09b() {
                             "timeout heuristic " + std::to_string(k));
     }
   };
+  // --compare tolerances: simulated timeout points carry Monte-Carlo
+  // noise; pivot summaries track solver tuning; LP curve points are
+  // near-exact.
+  sc.tolerances = {
+      {.name_contains = "timeout", .objective_abs = 0.01,
+       .objective_rel = 0.05},
+      {.name_contains = "pivots", .objective_abs = 50.0,
+       .objective_rel = 1.0},
+      {.name_contains = "", .objective_abs = 1e-6, .objective_rel = 1e-5},
+  };
   return sc;
 }
 

@@ -257,6 +257,21 @@ Scenario make_fig08_disk() {
                             "heuristic '" + h + "'");
     }
   };
+  // --compare tolerances (first match wins).  Monte-Carlo records move
+  // when simulation internals legitimately change (5% + 20 mW); pivot
+  // summaries move with any solver tuning (only blowups should fail);
+  // LP curve points and exact evaluations are near-exact.
+  sc.tolerances = {
+      {.name_contains = "trace-driven", .objective_abs = 0.02,
+       .objective_rel = 0.05},
+      {.name_contains = "timeout", .objective_abs = 0.02,
+       .objective_rel = 0.05},
+      {.name_contains = "randomized mix", .objective_abs = 0.02,
+       .objective_rel = 0.05},
+      {.name_contains = "pivots", .objective_abs = 50.0,
+       .objective_rel = 1.0},
+      {.name_contains = "", .objective_abs = 1e-6, .objective_rel = 1e-5},
+  };
   return sc;
 }
 

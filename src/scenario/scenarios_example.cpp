@@ -116,6 +116,14 @@ Scenario make_example_a2() {
         }});
     return units;
   };
+  // --compare tolerances: the Monte-Carlo record may move when
+  // simulation internals change; the LP and closed-form records are
+  // near-exact.
+  sc.tolerances = {
+      {.name_contains = "simulated power", .objective_abs = 0.05,
+       .objective_rel = 0.05},
+      {.name_contains = "", .objective_abs = 1e-6, .objective_rel = 1e-5},
+  };
   return sc;
 }
 

@@ -1,0 +1,93 @@
+// Canonical streaming content hash (FNV-1a, 64-bit).
+//
+// The scenario result cache (src/scenario/cache.h) keys cached unit
+// results on a content address: a hash of everything that determines a
+// unit's output — the composed model's CSR rows, cost ingredients, LP
+// costs/bounds/constraints, the grid point, and a schema version.  This
+// header is the one hashing primitive all layers share, so two models
+// hash equal exactly when their *canonical* forms agree:
+//
+//  * doubles are hashed by IEEE-754 bit pattern after collapsing -0.0
+//    to +0.0 (the two compare equal and must key equally); every NaN
+//    payload collapses to one canonical NaN;
+//  * container entries are hashed in canonical (sorted CSR / row) order
+//    with length prefixes, so concatenation ambiguities cannot collide
+//    ("ab","c" vs "a","bc");
+//  * integers are hashed as fixed-width little-endian 64-bit values, so
+//    the key is independent of host size_t width.
+//
+// FNV-1a is not cryptographic; the cache stores the full inputs' result
+// records, not the inputs, and a collision merely replays the colliding
+// record (the comparator tier exists to catch semantic drift).  The
+// same polynomial is used by sim::derive_seed, keeping one hashing
+// idiom across the repository.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace dpm::sim {
+
+/// Streaming FNV-1a hasher with canonical encodings for the value
+/// kinds the model layers contain.
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ull;
+  static constexpr std::uint64_t kPrime = 0x100000001B3ull;
+
+  constexpr Fnv1a() = default;
+  constexpr explicit Fnv1a(std::uint64_t state) : h_(state) {}
+
+  constexpr void add_byte(unsigned char b) noexcept {
+    h_ ^= b;
+    h_ *= kPrime;
+  }
+
+  constexpr void add_bytes(std::string_view bytes) noexcept {
+    for (const char c : bytes) add_byte(static_cast<unsigned char>(c));
+  }
+
+  /// Fixed-width little-endian encoding: the key is independent of the
+  /// host's size_t width and endianness.
+  constexpr void add_u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      add_byte(static_cast<unsigned char>(v & 0xFFu));
+      v >>= 8;
+    }
+  }
+
+  void add_size(std::size_t v) noexcept {
+    add_u64(static_cast<std::uint64_t>(v));
+  }
+
+  /// Canonical double: -0.0 hashes as +0.0 (they compare equal), every
+  /// NaN hashes as one canonical NaN (payloads are not semantic).
+  void add_double(double v) noexcept {
+    if (v == 0.0) v = 0.0;  // collapses -0.0
+    if (std::isnan(v)) v = std::numeric_limits<double>::quiet_NaN();
+    add_u64(std::bit_cast<std::uint64_t>(v));
+  }
+
+  /// Length-prefixed string: unambiguous under concatenation.
+  void add_string(std::string_view s) noexcept {
+    add_size(s.size());
+    add_bytes(s);
+  }
+
+  std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kOffsetBasis;
+};
+
+/// One-shot convenience for short byte strings (cache checksums).
+inline std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  Fnv1a h;
+  h.add_bytes(bytes);
+  return h.digest();
+}
+
+}  // namespace dpm::sim

@@ -1,19 +1,31 @@
 // Scenario-engine tests: registry integrity, deterministic seed
 // streams, --jobs invariance, closed-loop LP/evaluation/simulation
-// agreement on the disk case study, and the registry-wide smoke gate
+// agreement on the disk case study, the registry-wide smoke gate
 // (every registered scenario runs its smoke grid and passes its
-// expected-shape assertions).
+// expected-shape assertions), content-hash properties of the result
+// cache keys, and the cache round-trip/poisoning contract.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "cases/disk_drive.h"
+#include "cases/example_system.h"
 #include "dpm/evaluation.h"
 #include "dpm/optimizer.h"
+#include "lp/problem.h"
+#include "lp/revised_simplex.h"
+#include "markov/sparse_chain.h"
+#include "scenario/cache.h"
 #include "scenario/registry.h"
+#include "scenario/report.h"
 #include "scenario/runner.h"
+#include "sim/hash.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -194,6 +206,233 @@ std::vector<std::string> registered_scenario_names() {
 INSTANTIATE_TEST_SUITE_P(Registry, ScenarioSmoke,
                          ::testing::ValuesIn(registered_scenario_names()),
                          [](const auto& info) { return info.param; });
+
+// ---------------------------------------------------------------------
+// Content-hash properties (the result cache's key contract)
+// ---------------------------------------------------------------------
+
+// A two-state, one-command chain assembled three ways: sorted entries,
+// reversed insertion order, and duplicated entries that sum to the same
+// probabilities.  Construction canonicalizes, so all three must hash
+// equal; a fourth chain moving one probability by 1e-4 must not.
+TEST(ContentHash, CsrRowsHashCanonicallyAcrossInsertionOrder) {
+  using markov::SparseControlledChain;
+  using markov::TransitionRow;
+  const auto digest_of = [](const SparseControlledChain& c) {
+    sim::Fnv1a h;
+    c.hash_into(h);
+    return h.digest();
+  };
+  const auto make = [](TransitionRow row0) {
+    std::vector<std::vector<TransitionRow>> rows(1);
+    rows[0].push_back(std::move(row0));
+    rows[0].push_back({{1, 1.0}});
+    return SparseControlledChain(2, std::move(rows));
+  };
+  // Dyadic probabilities so the duplicate sum is bit-exact (the hash
+  // canonicalizes *structure*, not floating-point roundoff).
+  const std::uint64_t sorted = digest_of(make({{0, 0.25}, {1, 0.75}}));
+  const std::uint64_t reversed = digest_of(make({{1, 0.75}, {0, 0.25}}));
+  const std::uint64_t duplicated =
+      digest_of(make({{1, 0.75}, {0, 0.125}, {0, 0.125}}));
+  EXPECT_EQ(sorted, reversed);
+  EXPECT_EQ(sorted, duplicated);
+  const std::uint64_t perturbed =
+      digest_of(make({{0, 0.2501}, {1, 0.7499}}));
+  EXPECT_NE(sorted, perturbed);
+}
+
+// Every LP ingredient must reach the hash: a cost, an upper bound, a
+// constraint coefficient, the rhs, and the sense each produce a
+// distinct digest.
+TEST(ContentHash, LpProblemPerturbationsChangeTheDigest) {
+  const auto build = [](double cost0, double upper1, double coeff,
+                        double rhs, lp::Sense sense) {
+    lp::LpProblem p;
+    p.add_variable(cost0);
+    p.add_variable(2.0);
+    p.set_upper_bound(1, upper1);
+    p.add_constraint({{{0, coeff}, {1, 1.0}}, sense, rhs, ""});
+    sim::Fnv1a h;
+    p.hash_into(h);
+    return h.digest();
+  };
+  std::set<std::uint64_t> digests;
+  digests.insert(build(1.0, 5.0, 1.0, 1.0, lp::Sense::kEq));  // base
+  digests.insert(build(1.5, 5.0, 1.0, 1.0, lp::Sense::kEq));  // cost
+  digests.insert(build(1.0, 4.0, 1.0, 1.0, lp::Sense::kEq));  // bound
+  digests.insert(build(1.0, 5.0, 2.0, 1.0, lp::Sense::kEq));  // coefficient
+  digests.insert(build(1.0, 5.0, 1.0, 2.0, lp::Sense::kEq));  // rhs
+  digests.insert(build(1.0, 5.0, 1.0, 1.0, lp::Sense::kLe));  // sense
+  EXPECT_EQ(digests.size(), 6u);
+}
+
+// A minimal perturbable system model for unit_key probes: `wake_prob`
+// moves one transition probability, `on_power` one cost entry.
+SystemModel tiny_model(double wake_prob, double on_power) {
+  ServiceProvider::Builder b(2, CommandSet({"s_on", "s_off"}));
+  b.transition(0, 0, 0, 1.0);
+  b.transition(0, 1, 0, wake_prob);
+  b.transition(0, 1, 1, 1.0 - wake_prob);
+  b.transition(1, 0, 1, 0.8);
+  b.transition(1, 0, 0, 0.2);
+  b.transition(1, 1, 1, 1.0);
+  b.service_rate(0, 0, 0.8);
+  b.power(0, 0, on_power);
+  b.power(0, 1, 4.0);
+  b.power(1, 0, 4.0);
+  return SystemModel::compose(std::move(b).build(),
+                              ServiceRequester::two_state(0.05, 0.15),
+                              /*queue_capacity=*/1);
+}
+
+scenario::Scenario tiny_scenario(double wake_prob, double on_power,
+                                 std::vector<double> bounds) {
+  scenario::Scenario sc;
+  sc.name = "__unit_key_probe";
+  sc.title = "hash probe";
+  sc.what = "content-hash property probe (never registered)";
+  sc.units = [wake_prob, on_power, bounds](bool) {
+    scenario::SweepSpec spec;
+    spec.series = "probe";
+    spec.model = [wake_prob, on_power] {
+      return tiny_model(wake_prob, on_power);
+    };
+    spec.config = [](const SystemModel& m) {
+      OptimizerConfig cfg;
+      cfg.discount = 0.999;
+      cfg.initial_distribution = m.point_distribution({0, 0, 0});
+      return cfg;
+    };
+    spec.objective = [](const SystemModel& m) { return metrics::power(m); };
+    spec.swept = [](const SystemModel& m) { return metrics::queue_length(m); };
+    spec.swept_name = "queue";
+    spec.bounds = bounds;
+    spec.smoke_points = 0;
+    std::vector<scenario::Unit> units;
+    units.push_back(scenario::sweep_unit(std::move(spec)));
+    return units;
+  };
+  return sc;
+}
+
+// The acceptance property of the tentpole: identical inputs key equal;
+// any single perturbation — one transition probability, one power
+// cost, one grid point, the schema version, the smoke flag — changes
+// unit_key().
+TEST(ContentHash, UnitKeySeparatesEveryInput) {
+  const std::vector<double> grid{0.2, 0.4};
+  const std::uint64_t base =
+      tiny_scenario(0.1, 3.0, grid).unit_key(0, /*smoke=*/false);
+  // Deterministic and reproducible across expansions.
+  EXPECT_EQ(base, tiny_scenario(0.1, 3.0, grid).unit_key(0, false));
+
+  std::set<std::uint64_t> keys;
+  keys.insert(base);
+  keys.insert(tiny_scenario(0.1001, 3.0, grid).unit_key(0, false));  // prob
+  keys.insert(tiny_scenario(0.1, 3.0001, grid).unit_key(0, false));  // cost
+  keys.insert(
+      tiny_scenario(0.1, 3.0, {0.2, 0.41}).unit_key(0, false));  // grid point
+  keys.insert(tiny_scenario(0.1, 3.0, grid).unit_key(0, true));  // smoke grid
+  keys.insert(tiny_scenario(0.1, 3.0, grid)
+                  .unit_key(0, false, scenario::kResultSchemaVersion + 1));
+  EXPECT_EQ(keys.size(), 6u);
+}
+
+// ---------------------------------------------------------------------
+// Result cache round trip
+// ---------------------------------------------------------------------
+
+RunnerOptions cached_smoke(const std::string& dir) {
+  RunnerOptions opts;
+  opts.jobs = 2;
+  opts.smoke = true;
+  opts.print = false;
+  opts.write_json = false;
+  opts.cache = true;
+  opts.cache_dir = dir;
+  return opts;
+}
+
+// Second run replays from the cache: byte-identical JSON, every unit
+// cached, zero simplex pivots executed.
+TEST(ResultCache, ReplayIsByteIdenticalAndRunsZeroPivots) {
+  scenario::register_builtin();
+  const scenario::Scenario* sc = scenario::find("example_a2");
+  ASSERT_NE(sc, nullptr);
+  const std::string dir =
+      testing::TempDir() + "/dpmopt_cache_roundtrip";
+  std::filesystem::remove_all(dir);
+
+  const ScenarioRunResult cold =
+      ExperimentRunner(cached_smoke(dir)).run_one(*sc);
+  ASSERT_TRUE(cold.failures.empty());
+  EXPECT_EQ(cold.units_cached, 0u);
+  const std::string cold_json =
+      scenario::json_report_string(sc->name, cold.records);
+
+  const std::uint64_t pivots_before = lp::pivots_executed();
+  const ScenarioRunResult warm =
+      ExperimentRunner(cached_smoke(dir)).run_one(*sc);
+  EXPECT_EQ(lp::pivots_executed(), pivots_before)
+      << "a cached replay must execute zero simplex pivots";
+  EXPECT_EQ(warm.units_cached, warm.units);
+  EXPECT_TRUE(warm.failures.empty());
+  EXPECT_EQ(scenario::json_report_string(sc->name, warm.records), cold_json);
+  EXPECT_EQ(warm.values, cold.values);
+}
+
+// Poisoning one cached record must be detected (payload checksum) and
+// answered with a recompute of exactly that unit — results stay
+// correct either way.
+TEST(ResultCache, PoisonedRecordIsDetectedAndRecomputed) {
+  scenario::register_builtin();
+  const scenario::Scenario* sc = scenario::find("example_a2");
+  ASSERT_NE(sc, nullptr);
+  const std::string dir = testing::TempDir() + "/dpmopt_cache_poison";
+  std::filesystem::remove_all(dir);
+
+  const ScenarioRunResult cold =
+      ExperimentRunner(cached_smoke(dir)).run_one(*sc);
+  ASSERT_TRUE(cold.failures.empty());
+  ASSERT_GE(cold.units, 2u);
+  const std::string cold_json =
+      scenario::json_report_string(sc->name, cold.records);
+
+  // Flip one digit of the first cached objective value in place.
+  const std::string cache_file = dir + "/cache.jsonl";
+  std::ifstream in(cache_file);
+  ASSERT_TRUE(in);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+  const std::size_t pos = text.find("\"objective\":");
+  ASSERT_NE(pos, std::string::npos);
+  std::size_t digit = text.find_first_of("0123456789", pos);
+  ASSERT_NE(digit, std::string::npos);
+  text[digit] = text[digit] == '9' ? '1' : '9';
+  {
+    std::ofstream out(cache_file, std::ios::trunc);
+    out << text;
+  }
+
+  const std::uint64_t pivots_before = lp::pivots_executed();
+  const ScenarioRunResult warm =
+      ExperimentRunner(cached_smoke(dir)).run_one(*sc);
+  // Exactly the poisoned unit recomputed; every clean unit replayed.
+  EXPECT_EQ(warm.units_cached, warm.units - 1);
+  EXPECT_TRUE(warm.failures.empty());
+  EXPECT_EQ(scenario::json_report_string(sc->name, warm.records), cold_json)
+      << "recomputation must reproduce the cold results exactly";
+  // The recompute may or may not touch the LP (the poisoned line could
+  // be a simulation unit); what matters is that a *full* replay did
+  // not happen when the poisoned unit was the LP one.  Either way the
+  // next run is fully cached again (the store healed itself).
+  (void)pivots_before;
+  const ScenarioRunResult healed =
+      ExperimentRunner(cached_smoke(dir)).run_one(*sc);
+  EXPECT_EQ(healed.units_cached, healed.units);
+}
 
 }  // namespace
 }  // namespace dpm
