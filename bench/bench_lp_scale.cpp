@@ -3,7 +3,7 @@
 //
 // Three experiments back the revised-simplex backend:
 //   1. synthetic MDP policy LPs at n_states * n_commands in
-//      {500, 2000, 8000} (the balance-equation structure of LP2 with a
+//      {500, 2000, 8000, 20000, 50000} (the balance-equation structure of LP2 with a
 //      handful of successors per state-action pair) solved by both
 //      simplex implementations — same statuses/objectives, wall-clock
 //      compared.  Assembly time, constraint nonzeros, pivot counts,
@@ -110,7 +110,15 @@ int main(int argc, char** argv) {
 
   const std::vector<SizeSpec> sizes =
       smoke ? std::vector<SizeSpec>{{40, 2, 3}}
-            : std::vector<SizeSpec>{{125, 4, 4}, {500, 4, 4}, {1000, 8, 4}};
+            : std::vector<SizeSpec>{{125, 4, 4},
+                                    {500, 4, 4},
+                                    {1000, 8, 4},
+                                    {2500, 8, 4},
+                                    {6250, 8, 4}};
+  // The dense tableau is O(rows x cols) per pivot: past this size it
+  // contributes hours, not a comparison — the revised backend still
+  // runs and reports its own cost split + hypersparsity telemetry.
+  const std::size_t tableau_cap = 8000;
   const double gamma = 0.999;
 
   bench::section("solver scaling");
@@ -134,8 +142,10 @@ int main(int argc, char** argv) {
     const lp::LpSolution rev = lp::solve_revised_simplex(p, rev_opt);
     const double rev_ms = t_rev.elapsed_ms();
 
+    const bool run_tableau = nna <= tableau_cap;
     bench::WallTimer t_tab;
-    const lp::LpSolution tab = lp::solve_simplex(p);
+    const lp::LpSolution tab =
+        run_tableau ? lp::solve_simplex(p) : lp::LpSolution{};
     const double tab_ms = t_tab.elapsed_ms();
 
     const double scaled_rev = rev.objective * (1.0 - gamma);
@@ -144,20 +154,46 @@ int main(int argc, char** argv) {
                 nna, "revised", asm_ms, rev_ms, rev.iterations, scaled_rev,
                 stats.refactorizations, stats.refactor_ms, stats.sweep_ms,
                 stats.update_ms);
-    std::printf("  %-10zu %9s %8.2f %9.2f %8zu %10.6f\n", nna, "tableau",
-                asm_ms, tab_ms, tab.iterations, scaled_tab);
+    if (run_tableau) {
+      std::printf("  %-10zu %9s %8.2f %9.2f %8zu %10.6f\n", nna, "tableau",
+                  asm_ms, tab_ms, tab.iterations, scaled_tab);
+    } else {
+      std::printf("  %-10zu %9s   (skipped above n*na=%zu)\n", nna, "tableau",
+                  tableau_cap);
+    }
     // The per-iteration cost split: triangular sweeps (applying the
     // factorization) vs maintaining it (FT updates + refactorizations).
     const double iters = static_cast<double>(std::max<std::size_t>(
         rev.iterations, 1));
     const double sweep_per_iter = stats.sweep_ms / iters;
     const double maint_per_iter = (stats.update_ms + stats.refactor_ms) / iters;
-    std::printf("  %-10s %9s %8.2fx   nnz %.1fk, per-iter: sweep %.1f us, "
-                "update+refactor %.1f us, ft/refac %zu/%zu\n",
-                "", "speedup", tab_ms / rev_ms,
-                static_cast<double>(nnz) / 1000.0, 1e3 * sweep_per_iter,
-                1e3 * maint_per_iter, stats.ft_updates,
-                stats.refactorizations);
+    if (run_tableau) {
+      std::printf("  %-10s %9s %8.2fx   nnz %.1fk, per-iter: sweep %.1f us, "
+                  "update+refactor %.1f us, ft/refac %zu/%zu\n",
+                  "", "speedup", tab_ms / rev_ms,
+                  static_cast<double>(nnz) / 1000.0, 1e3 * sweep_per_iter,
+                  1e3 * maint_per_iter, stats.ft_updates,
+                  stats.refactorizations);
+    }
+    // Hypersparsity telemetry: what fraction of the triangular sweeps
+    // stayed on the Gilbert-Peierls reachability path, and the mean
+    // vector entries touched per sweep (a dense sweep touches the full
+    // basis dimension; sparse sweeps only their reach).
+    const double total_sweeps = static_cast<double>(
+        stats.sparse_sweeps + stats.dense_sweeps);
+    const double sparse_frac =
+        total_sweeps > 0.0 ? static_cast<double>(stats.sparse_sweeps) /
+                                 total_sweeps
+                           : 0.0;
+    const double touched_per_sweep =
+        total_sweeps > 0.0 ? static_cast<double>(stats.touched_entries) /
+                                 total_sweeps
+                           : 0.0;
+    std::printf("  %-10s %9s   sparse %zu / dense %zu sweeps (%.1f%% sparse), "
+                "%.1f entries touched/sweep\n",
+                "", "hypersp", static_cast<std::size_t>(stats.sparse_sweeps),
+                static_cast<std::size_t>(stats.dense_sweeps),
+                100.0 * sparse_frac, touched_per_sweep);
     report.add("revised n*na=" + std::to_string(nna), rev_ms, rev.iterations,
                scaled_rev);
     report.add("tableau n*na=" + std::to_string(nna), tab_ms, tab.iterations,
@@ -171,6 +207,18 @@ int main(int argc, char** argv) {
                rev.iterations, sweep_per_iter);
     report.add("ft-update n*na=" + std::to_string(nna), stats.update_ms,
                stats.ft_updates, maint_per_iter);
+    std::printf("  %-10s %9s   %zu rows / %zu cols removed before the solve\n",
+                "", "presolve", stats.presolve_rows_removed,
+                stats.presolve_cols_removed);
+    report.add("hypersparse n*na=" + std::to_string(nna),
+               100.0 * sparse_frac,
+               static_cast<std::size_t>(stats.sparse_sweeps),
+               touched_per_sweep);
+    report.add("presolve n*na=" + std::to_string(nna),
+               static_cast<double>(stats.presolve_rows_removed),
+               stats.presolve_cols_removed,
+               static_cast<double>(stats.presolve_rows_removed +
+                                   stats.presolve_cols_removed));
     report.add("end-to-end revised n*na=" + std::to_string(nna),
                asm_ms + rev_ms, rev.iterations, scaled_rev);
   }

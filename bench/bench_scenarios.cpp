@@ -11,6 +11,7 @@
 //   bench_scenarios --filter fig1          # substring selection
 //   bench_scenarios --exact fig08_disk     # exact-name selection
 //   bench_scenarios --smoke                # tiny grids (ctest smoke)
+//   bench_scenarios --telemetry            # + hypersparsity odometer line
 //   bench_scenarios --list --expect a,b,c  # registry drift gate (ctest)
 //   bench_scenarios --cache                # content-addressed result
 //                                          # cache: replay unchanged
@@ -52,6 +53,7 @@
 #include "bench_util.h"
 #include "scenario/compare.h"
 #include "scenario/json.h"
+#include "lp/revised_simplex.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
 
@@ -72,6 +74,7 @@ struct CliOptions {
   std::string cache_dir = ".scenario_cache";
   std::string compare_path;          // --compare PATH (empty = off)
   std::string baseline_out;          // --baseline-out DIR (empty = off)
+  bool telemetry = false;            // print the hypersparsity odometer
 };
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
@@ -90,6 +93,8 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       opt.smoke = true;
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg == "--telemetry") {
+      opt.telemetry = true;
     } else if (arg == "--cache") {
       opt.cache = true;
     } else if (arg == "--no-cache") {
@@ -436,6 +441,24 @@ int main(int argc, char** argv) {
               std::thread::hardware_concurrency(), results.size(),
               opt.cache ? "  [result cache on]" : "",
               opt.smoke ? "  [smoke — no JSON written]" : "");
+
+  if (opt.telemetry) {
+    // Machine-parseable hypersparsity odometer (process-wide, so it
+    // covers exactly the scenarios this invocation ran).  verify.sh's
+    // --perf-smoke gate greps sparse_pct to assert the Gilbert-Peierls
+    // path stays the common case on the case-study LPs.
+    const dpm::lp::SweepTelemetry t = dpm::lp::sweep_telemetry();
+    const std::uintmax_t total =
+        static_cast<std::uintmax_t>(t.sparse_sweeps + t.dense_sweeps);
+    std::printf("telemetry: sparse_sweeps=%ju dense_sweeps=%ju "
+                "touched_entries=%ju sparse_pct=%.1f\n",
+                static_cast<std::uintmax_t>(t.sparse_sweeps),
+                static_cast<std::uintmax_t>(t.dense_sweeps),
+                static_cast<std::uintmax_t>(t.touched_entries),
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(t.sparse_sweeps) /
+                                 static_cast<double>(total));
+  }
 
   bool bad = false;
   if (!opt.baseline_out.empty() && !write_baselines(results, opt.baseline_out)) {

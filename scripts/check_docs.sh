@@ -3,14 +3,17 @@
 #
 #   scripts/check_docs.sh <path-to-bench_scenarios>
 #
-# Three checks:
+# Four checks:
 #   1. The scenario table in src/scenario/README.md lists exactly the
 #      scenarios `bench_scenarios --list` reports (both directions).
 #   2. Every repo-relative file or directory referenced from docs/*.md
-#      (markdown links and backticked src/... paths) exists.
+#      and the per-subsystem src/*/README.md files (markdown links and
+#      backticked src/... paths) exists.
 #   3. The golden-baseline list in docs/bench-format.md matches the
 #      files present under tests/golden/ (both directions), so the
 #      documented regeneration procedure always names the real set.
+#   4. The solver README documents every SimplexStats counter by name,
+#      so instrumentation added to the solver cannot ship undocumented.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,8 +49,8 @@ if [[ -n "${missing_in_registry}" ]]; then
   fail=1
 fi
 
-# --- 2. files referenced from docs/ exist ----------------------------
-for doc in docs/*.md; do
+# --- 2. files referenced from docs/ and src/*/README.md exist --------
+for doc in docs/*.md src/*/README.md; do
   # Markdown link targets: strip any #fragment, drop external URLs and
   # pure in-page anchors.
   targets="$(grep -o '](\([^)]*\))' "${doc}" | sed 's/^](//; s/)$//; s/#.*//' |
@@ -92,7 +95,25 @@ if [[ -n "${missing_on_disk}" ]]; then
   fail=1
 fi
 
+# --- 4. SimplexStats counters are documented -------------------------
+# Field names straight from the struct; each must appear in the solver
+# README (plain or inside a backticked group like `sweep_ms`).
+stats_fields="$(sed -n '/^struct SimplexStats/,/^};/p' src/lp/revised_simplex.h |
+                grep -o '^  [a-z:]*[a-z_0-9<> ]* [a-z_0-9]* =' |
+                awk '{print $(NF-1)}' || true)"
+if [[ -z "${stats_fields}" ]]; then
+  echo "check_docs: FAIL — could not parse SimplexStats fields from src/lp/revised_simplex.h" >&2
+  fail=1
+fi
+while IFS= read -r field; do
+  [[ -z "${field}" ]] && continue
+  if ! grep -q "${field}" src/lp/README.md; then
+    echo "check_docs: FAIL — SimplexStats::${field} is not documented in src/lp/README.md" >&2
+    fail=1
+  fi
+done <<< "${stats_fields}"
+
 if [[ "${fail}" -ne 0 ]]; then
   exit 1
 fi
-echo "check_docs: OK (scenario table in sync, doc references exist, golden list in sync)"
+echo "check_docs: OK (scenario table in sync, doc references exist, golden list in sync, SimplexStats documented)"

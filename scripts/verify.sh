@@ -10,6 +10,11 @@
 #                                # baseline regression gate (smoke-run
 #                                # the baselined scenarios and --compare
 #                                # against tests/golden/)
+#   scripts/verify.sh --perf-smoke
+#                                # Release build, then assert the
+#                                # hypersparse sweep path stays the
+#                                # common case (>50% of triangular
+#                                # sweeps) on the fig08 disk scenario
 #
 # Full mode is the tier-1 gate plus the sanitizer sweep; --quick is the
 # edit-compile-check loop (every gtest suite plus one smoke run of every
@@ -48,6 +53,28 @@ build_release() {
   cmake --build --preset release -j "$(nproc)"
 }
 
+check_perf_smoke() {
+  echo "=== perf smoke: hypersparse sweep share on fig08_disk ==="
+  # The Gilbert-Peierls reachability path must carry the majority of
+  # triangular sweeps on the case-study LPs — if it stops firing (a
+  # probe-gate or reach regression), sweeps silently fall back to dense
+  # scans and the hypersparse machinery is dead weight.
+  local out pct
+  out="$(build/bench_scenarios --smoke --quiet --no-cache --telemetry \
+           --exact fig08_disk)"
+  echo "${out}" | grep '^telemetry:'
+  pct="$(echo "${out}" | sed -n 's/.*sparse_pct=\([0-9.]*\).*/\1/p')"
+  if [[ -z "${pct}" ]]; then
+    echo "perf smoke: FAILED (no telemetry line in bench_scenarios output)"
+    return 1
+  fi
+  if ! awk -v p="${pct}" 'BEGIN { exit !(p > 50.0) }'; then
+    echo "perf smoke: FAILED (sparse sweep share ${pct}% <= 50%)"
+    return 1
+  fi
+  echo "perf smoke: ok (sparse sweep share ${pct}%)"
+}
+
 case "${1:-}" in
   --quick)
     # Everything except the solver-scaling bench smokes (the scenario
@@ -61,15 +88,21 @@ case "${1:-}" in
     run_preset release
     check_docs
     check_golden
+    check_perf_smoke
     ;;
   --golden)
     build_release
     check_golden
     ;;
+  --perf-smoke)
+    build_release
+    check_perf_smoke
+    ;;
   *)
     run_preset release
     check_docs
     check_golden
+    check_perf_smoke
     run_preset debug
     ;;
 esac

@@ -1,0 +1,103 @@
+// Indexed sparse work vector for hypersparse triangular solves.
+//
+// The revised simplex's right-hand sides are almost always sparse: an
+// entering column has a handful of nonzeros, a pricing btran starts
+// from one unit entry.  The Gilbert–Peierls solves in sparse_lu.{h,cpp}
+// and the pivot loop in lp/revised_simplex.cpp pass their vectors in
+// this representation — dense values for O(1) random access, plus an
+// explicit nonzero pattern so loops cost O(entries touched), not O(n).
+//
+// Invariants:
+//  * `values[i] == 0.0` for every i not in `pattern` (clear() restores
+//    this by zeroing only the listed entries);
+//  * `pattern` lists each index at most once (`marked` is the presence
+//    mask that enforces it);
+//  * an index MAY appear in `pattern` with value exactly 0.0 (numerical
+//    cancellation) — consumers treat the pattern as a superset of the
+//    true support, exactly like the positions a dense sweep writes.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace dpm::linalg {
+
+class IndexedVector {
+ public:
+  IndexedVector() = default;
+  explicit IndexedVector(std::size_t n) { resize(n); }
+
+  /// Grows/shrinks to dimension n and clears to the all-zero state.
+  void resize(std::size_t n) {
+    values.assign(n, 0.0);
+    marked.assign(n, 0);
+    pattern.clear();
+  }
+
+  std::size_t size() const noexcept { return values.size(); }
+  std::size_t entries() const noexcept { return pattern.size(); }
+  bool empty_pattern() const noexcept { return pattern.empty(); }
+
+  /// Back to all-zero in O(entries): zeroes exactly the touched
+  /// positions and forgets the pattern.
+  void clear() {
+    for (const std::size_t i : pattern) {
+      values[i] = 0.0;
+      marked[i] = 0;
+    }
+    pattern.clear();
+  }
+
+  double operator[](std::size_t i) const { return values[i]; }
+  bool in_pattern(std::size_t i) const { return marked[i] != 0; }
+
+  /// values[i] = v, entering i into the pattern if absent.
+  void set(std::size_t i, double v) {
+    if (!marked[i]) {
+      marked[i] = 1;
+      pattern.push_back(i);
+    }
+    values[i] = v;
+  }
+
+  /// values[i] += v, entering i into the pattern if absent.
+  void add(std::size_t i, double v) {
+    if (!marked[i]) {
+      marked[i] = 1;
+      pattern.push_back(i);
+    }
+    values[i] += v;
+  }
+
+  /// Records i in the pattern without touching the value (the value is
+  /// zero by invariant; triangular replays write it later).
+  void touch(std::size_t i) {
+    if (!marked[i]) {
+      marked[i] = 1;
+      pattern.push_back(i);
+    }
+  }
+
+  /// Declares every index nonzero-capable: the dense-fallback state.
+  /// After this, loops over `pattern` cost O(n) — exactly the dense
+  /// sweep the caller decided to pay.
+  void densify() {
+    pattern.resize(values.size());
+    for (std::size_t i = 0; i < pattern.size(); ++i) pattern[i] = i;
+    marked.assign(values.size(), 1);
+  }
+
+  /// True once densify() ran (pattern covers every index).
+  bool dense() const noexcept { return pattern.size() == values.size(); }
+
+  // Open members: the triangular solvers and the simplex pivot loop
+  // manipulate all three in concert; accessor indirection would only
+  // obscure the invariants documented above.
+  Vector values;                     // dense storage, zero off-pattern
+  std::vector<std::size_t> pattern;  // touched indices, unordered
+  std::vector<char> marked;          // presence mask over values
+};
+
+}  // namespace dpm::linalg

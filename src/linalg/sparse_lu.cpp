@@ -45,6 +45,8 @@ bool SparseLu::factorize(std::size_t n,
   valid_ = false;
   factor_nnz_ = 0;
   factor_ops_ = 0;
+  lower_gate_.reset();
+  ltrans_gate_.reset();
   l_cols_.assign(n, {});
   u_cols_.assign(n, {});
   u_diag_.assign(n, 0.0);
@@ -95,6 +97,28 @@ bool SparseLu::factorize(std::size_t n,
   std::vector<SparseColumn> u_stash(n);
 
   for (std::size_t pos = 0; pos < n; ++pos) {
+    // --- dense-tail switch --------------------------------------------
+    // Simplex bases of well-connected chains fill toward the end of the
+    // elimination: the trailing few-hundred-square block routinely
+    // reaches 80%+ density, where the scatter-based sparse update pays
+    // hundreds of ns per entry against the ~1 flop/cycle of a
+    // contiguous kernel.  Once the active submatrix crosses the density
+    // threshold, finish it with dense partial-pivoted elimination.
+    if (n - pos >= kDenseTailMin && n - pos <= kDenseTailMax &&
+        pos % kDenseTailCheck == 0) {
+      const std::size_t r = n - pos;
+      std::size_t act = 0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (col_active[j]) act += acols[j].size();
+      }
+      if (static_cast<double>(act) >=
+          kDenseTailDensity * static_cast<double>(r) * static_cast<double>(r)) {
+        if (!dense_tail(pos, acols, col_active, u_stash, pivot_tol)) {
+          return false;
+        }
+        break;
+      }
+    }
     // --- Markowitz pivot search ---------------------------------------
     std::size_t best_col = kNoPosition, best_row = kNoPosition;
     double best_val = 0.0;
@@ -234,7 +258,276 @@ bool SparseLu::factorize(std::size_t n,
   factor_nnz_ = n;  // U diagonal
   for (const SparseColumn& c : l_cols_) factor_nnz_ += c.size();
   for (const SparseColumn& c : u_cols_) factor_nnz_ += c.size();
+
+  // Row adjacency of L for the sparse L^T reachability (the permutation
+  // is only final here, hence the second pass).  Row buffers keep their
+  // capacity across refactorizations.
+  if (l_rows_.size() != n) {
+    l_rows_.assign(n, {});
+  } else {
+    for (std::vector<std::size_t>& row : l_rows_) row.clear();
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    for (const auto& [r, lv] : l_cols_[k]) l_rows_[row_position_[r]].push_back(k);
+  }
+  reach_mark_.assign(n, 0);
+  reach_stack_.clear();
+  reach_edge_.clear();
+  reach_.clear();
   valid_ = true;
+  return true;
+}
+
+bool SparseLu::dense_tail(std::size_t pos0, std::vector<SparseColumn>& acols,
+                          std::vector<char>& col_active,
+                          std::vector<SparseColumn>& u_stash,
+                          double pivot_tol) {
+  const std::size_t n = n_;
+  const std::size_t r = n - pos0;
+  // Remaining (unpivoted) rows and active columns, ascending.
+  std::vector<std::size_t> rrow;  // dense row slot -> original row
+  rrow.reserve(r);
+  std::vector<std::size_t> rof(n, kNoPosition);  // original row -> slot
+  for (std::size_t i = 0; i < n; ++i) {
+    if (row_position_[i] == kNoPosition) {
+      rof[i] = rrow.size();
+      rrow.push_back(i);
+    }
+  }
+  std::vector<std::size_t> rcol;  // dense col slot -> caller column
+  rcol.reserve(r);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (col_active[j]) rcol.push_back(j);
+  }
+  if (rrow.size() != r || rcol.size() != r) {
+    throw LinalgError("sparse-lu: dense-tail bookkeeping mismatch");
+  }
+
+  // Column-major scatter; the sparse working columns are consumed.
+  Vector d(r * r, 0.0);
+  for (std::size_t cs = 0; cs < r; ++cs) {
+    double* col = d.data() + cs * r;
+    for (const auto& [row, v] : acols[rcol[cs]]) col[rof[row]] = v;
+    acols[rcol[cs]].clear();
+    acols[rcol[cs]].shrink_to_fit();
+  }
+
+  // Right-looking elimination, row partial pivoting (strongest-in-column
+  // — stricter than the sparse phase's threshold rule; the tail has no
+  // sparsity left to preserve).  Row swaps are physical so the trailing
+  // update stays a contiguous axpy.
+  for (std::size_t s = 0; s < r; ++s) {
+    double* cs = d.data() + s * r;
+    std::size_t pr = s;
+    double best = std::abs(cs[s]);
+    for (std::size_t i = s + 1; i < r; ++i) {
+      const double a = std::abs(cs[i]);
+      if (a > best) {
+        best = a;
+        pr = i;
+      }
+    }
+    if (best <= pivot_tol) return false;  // numerically singular
+    if (pr != s) {
+      for (std::size_t cj = 0; cj < r; ++cj) {
+        std::swap(d[cj * r + s], d[cj * r + pr]);
+      }
+      std::swap(rrow[s], rrow[pr]);
+    }
+    const double inv = 1.0 / cs[s];
+    for (std::size_t i = s + 1; i < r; ++i) cs[i] *= inv;
+    for (std::size_t cj = s + 1; cj < r; ++cj) {
+      double* c = d.data() + cj * r;
+      const double u = c[s];
+      if (u == 0.0) continue;
+      for (std::size_t i = s + 1; i < r; ++i) c[i] -= u * cs[i];
+    }
+  }
+  // Count the tail in the factorization's work estimate at a fraction
+  // of its raw flops: the contiguous kernel retires several ops per
+  // cycle where the sparse phase's scatter update pays a cache miss per
+  // entry, and the estimate feeds the amortized refactorization trigger
+  // — overpricing rebuilds would starve the sweeps of fresh factors.
+  factor_ops_ += r * r * r / 10;
+
+  // Emit into the factor's sparse structures (exact zeros dropped).
+  for (std::size_t s = 0; s < r; ++s) {
+    const std::size_t p = pos0 + s;
+    const std::size_t cj = rcol[s];
+    const double* cs = d.data() + s * r;
+    u_diag_[p] = cs[s];
+    pivot_row_[p] = rrow[s];
+    row_position_[rrow[s]] = p;
+    col_of_position_[p] = cj;
+    u_cols_[p] = std::move(u_stash[cj]);
+    for (std::size_t t = 0; t < s; ++t) {
+      if (cs[t] != 0.0) u_cols_[p].emplace_back(pos0 + t, cs[t]);
+    }
+    SparseColumn& lcol = l_cols_[p];
+    lcol.reserve(r - s - 1);
+    for (std::size_t i = s + 1; i < r; ++i) {
+      if (cs[i] != 0.0) lcol.emplace_back(rrow[i], cs[i]);
+    }
+    col_active[cj] = 0;
+  }
+  return true;
+}
+
+namespace {
+
+/// Iterative DFS from `seeds` over the directed graph described by
+/// `succ_count`/`succ_at`: collects every visited node into `reach`
+/// (pre-order, unsorted) and clears its marks again before returning.
+/// Returns false — reach emptied, marks cleared — once more than `cap`
+/// nodes are visited; past that point the caller's dense sweep is the
+/// cheaper plan.
+template <class SuccCount, class SuccAt>
+bool reach_from(const std::vector<std::size_t>& seeds, std::size_t cap,
+                std::size_t edge_budget, SuccCount succ_count, SuccAt succ_at,
+                std::vector<char>& mark, std::vector<std::size_t>& node_stack,
+                std::vector<std::size_t>& edge_stack,
+                std::vector<std::size_t>& reach) {
+  reach.clear();
+  node_stack.clear();
+  edge_stack.clear();
+  std::size_t edges = 0;
+  const auto bail = [&]() {
+    for (const std::size_t v : reach) mark[v] = 0;
+    reach.clear();
+    node_stack.clear();
+    edge_stack.clear();
+    return false;
+  };
+  const auto visit = [&](std::size_t v) {
+    mark[v] = 1;
+    reach.push_back(v);
+    node_stack.push_back(v);
+    edge_stack.push_back(0);
+  };
+  for (const std::size_t seed : seeds) {
+    if (mark[seed]) continue;
+    if (reach.size() >= cap) return bail();
+    visit(seed);
+    while (!node_stack.empty()) {
+      const std::size_t v = node_stack.back();
+      const std::size_t ei = edge_stack.back();
+      if (ei == succ_count(v)) {
+        node_stack.pop_back();
+        edge_stack.pop_back();
+        continue;
+      }
+      edge_stack.back() = ei + 1;
+      // The edge budget bounds the cost of a *doomed* DFS on a filled
+      // factor: enumerating successors is the dominant DFS expense, so
+      // bailing once it exceeds a fraction of the dense sweep's work
+      // keeps the failed-attempt overhead a bounded tax instead of a
+      // 2x sweep regression on dense-ish bases.
+      if (++edges > edge_budget) return bail();
+      const std::size_t w = succ_at(v, ei);
+      if (mark[w]) continue;
+      if (reach.size() >= cap) return bail();
+      visit(w);
+    }
+  }
+  for (const std::size_t v : reach) mark[v] = 0;
+  return true;
+}
+
+}  // namespace
+
+bool SparseLu::lower_solve_sparse(IndexedVector& x, IndexedVector& z) const {
+  if (x.size() != n_ || z.size() != n_) {
+    throw LinalgError("sparse-lu: sparse ftran size mismatch");
+  }
+  // x's pattern lives in original-row space; the DFS walks positions.
+  reach_seeds_.clear();
+  for (const std::size_t r : x.pattern) reach_seeds_.push_back(row_position_[r]);
+  // Position k is lit when x has support in pivot row k, or when a lit
+  // position's L column scatters into k's pivot row.
+  bool sparse = false;
+  if (lower_gate_.allowed()) {
+    sparse = reach_from(
+        reach_seeds_, sparse_reach_cap(), sparse_edge_budget(),
+        [&](std::size_t k) { return l_cols_[k].size(); },
+        [&](std::size_t k, std::size_t i) {
+          return row_position_[l_cols_[k][i].first];
+        },
+        reach_mark_, reach_stack_, reach_edge_, reach_);
+    lower_gate_.report(sparse);
+  }
+  if (!sparse) {
+    // Dense fallback: the exact loop of lower_solve over the raw values.
+    x.densify();
+    z.densify();
+    for (std::size_t k = 0; k < n_; ++k) {
+      const double zk = x.values[pivot_row_[k]];
+      if (zk == 0.0) continue;
+      z.values[k] = zk;
+      for (const auto& [r, lv] : l_cols_[k]) x.values[r] -= zk * lv;
+    }
+    return false;
+  }
+  // Topological replay in the dense sweep's ascending-position order —
+  // every scatter target's position is itself reachable, so x's pattern
+  // stays a superset of its support.
+  std::sort(reach_.begin(), reach_.end());
+  for (const std::size_t k : reach_) {
+    const double zk = x.values[pivot_row_[k]];
+    if (zk == 0.0) continue;
+    z.set(k, zk);
+    for (const auto& [r, lv] : l_cols_[k]) {
+      x.touch(r);
+      x.values[r] -= zk * lv;
+    }
+  }
+  return true;
+}
+
+bool SparseLu::lower_transpose_solve_sparse(IndexedVector& t,
+                                            IndexedVector& x) const {
+  if (t.size() != n_ || x.size() != n_) {
+    throw LinalgError("sparse-lu: sparse btran size mismatch");
+  }
+  // t's pattern is already in position space; position k is lit when an
+  // L entry in a lit pivot row belongs to column k (the l_rows_ edges).
+  bool sparse = false;
+  if (ltrans_gate_.allowed()) {
+    sparse = reach_from(
+        t.pattern, sparse_reach_cap(), sparse_edge_budget(),
+        [&](std::size_t m) { return l_rows_[m].size(); },
+        [&](std::size_t m, std::size_t i) { return l_rows_[m][i]; },
+        reach_mark_, reach_stack_, reach_edge_, reach_);
+    ltrans_gate_.report(sparse);
+  }
+  if (!sparse) {
+    t.densify();
+    x.densify();
+    for (std::size_t kk = n_; kk-- > 0;) {
+      double acc = t.values[kk];
+      for (const auto& [r, lv] : l_cols_[kk]) {
+        acc -= lv * t.values[row_position_[r]];
+      }
+      t.values[kk] = acc;
+    }
+    for (std::size_t k = 0; k < n_; ++k) x.values[pivot_row_[k]] = t.values[k];
+    return false;
+  }
+  // Descending-position replay: position kk gathers from positions
+  // > kk, all of which are reachable whenever their value is nonzero
+  // (edge m -> kk exists exactly when the gather at kk reads m).
+  std::sort(reach_.begin(), reach_.end(), std::greater<std::size_t>());
+  for (const std::size_t kk : reach_) {
+    t.touch(kk);
+    double acc = t.values[kk];
+    for (const auto& [r, lv] : l_cols_[kk]) {
+      acc -= lv * t.values[row_position_[r]];
+    }
+    t.values[kk] = acc;
+  }
+  // Scatter back to original-row indexing, values verbatim (the dense
+  // sweep writes computed zeros too; unreached positions hold the same
+  // exact +0.0 either way).
+  for (const std::size_t kk : reach_) x.set(pivot_row_[kk], t.values[kk]);
   return true;
 }
 
@@ -247,8 +540,9 @@ void SparseLu::lower_solve(Vector& x, Vector& z,
   if (support != nullptr) support->clear();
   for (std::size_t k = 0; k < n_; ++k) {
     const double zk = x[pivot_row_[k]];
+    if (zk == 0.0) continue;  // z[k] stays the exact +0.0 of the assign —
+                              // the invariant the sparse replay matches
     z[k] = zk;
-    if (zk == 0.0) continue;
     if (support != nullptr) support->push_back(k);
     for (const auto& [r, lv] : l_cols_[k]) x[r] -= zk * lv;
   }
@@ -310,6 +604,8 @@ bool BasisFactorization::refactorize(std::size_t n,
   update_fill_ = 0;
   sweep_extra_ = 0;
   partial_valid_ = false;
+  uftran_gate_.reset();
+  ubtran_gate_.reset();
   if (!lu_.factorize(n, columns, pivot_tol_)) return false;
   n_ = n;
 
@@ -341,6 +637,8 @@ bool BasisFactorization::refactorize(std::size_t n,
     order_of_label_[i] = i;
   }
   acc_.assign(n, 0.0);
+  zvec_.resize(n);
+  umark_.assign(n, 0);
   slot_of_label_ = lu_.col_of_position();
   label_of_slot_.assign(n, 0);
   for (std::size_t lbl = 0; lbl < n; ++lbl) {
@@ -450,6 +748,12 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
   // --- install the spike as the new last column -----------------------
   // Zeroing installed entries guards against duplicate support labels
   // (a row eta can re-light a position the L-solve already listed).
+  // The support is sorted first so the installed entry order — and with
+  // it the rounding of every later gather over this column — is a
+  // canonical function of the spike's value set, not of which path
+  // (dense sweep, hypersparse replay, or the U d fallback) produced the
+  // support list.
+  std::sort(s_support.begin(), s_support.end());
   const double drop = kDropTol * std::max(smax, 1.0);
   SparseColumn& spike_col = ucols_[p];
   for (const std::size_t k : s_support) {
@@ -507,15 +811,21 @@ void BasisFactorization::ftran(Vector& x, bool cache_spike) const {
     partial_support_ = support_;
     partial_valid_ = true;
   }
-  // Back substitution over the dynamic U in current order.
+  // Back substitution over the dynamic U in current order.  Zero
+  // entries are skipped *before* the divide so untouched positions keep
+  // an exact +0.0 — the form the hypersparse replay reproduces.
   for (std::size_t oi = n_; oi-- > 0;) {
     const std::size_t j = label_at_order_[oi];
-    const double xj = z[j] / udiag_[j];
+    const double zj = z[j];
+    if (zj == 0.0) continue;
+    const double xj = zj / udiag_[j];
     z[j] = xj;
     if (xj == 0.0) continue;
     for (const auto& [k, u] : ucols_[j]) z[k] -= xj * u;
   }
   for (std::size_t lbl = 0; lbl < n_; ++lbl) x[slot_of_label_[lbl]] = z[lbl];
+  ++dense_sweeps_;
+  touched_entries_ += n_;
 }
 
 void BasisFactorization::btran(Vector& x) const {
@@ -524,12 +834,14 @@ void BasisFactorization::btran(Vector& x) const {
   Vector& v = work_;
   v.resize(n_);
   for (std::size_t lbl = 0; lbl < n_; ++lbl) v[lbl] = x[slot_of_label_[lbl]];
-  // Forward solve U^T in current order.
+  // Forward solve U^T in current order.  Zero accumulations are
+  // normalized to exact +0.0 instead of divided — same reason as the
+  // ftran back substitution: the hypersparse replay never visits them.
   for (std::size_t oi = 0; oi < n_; ++oi) {
     const std::size_t j = label_at_order_[oi];
     double a = v[j];
     for (const auto& [k, u] : ucols_[j]) a -= u * v[k];
-    v[j] = a / udiag_[j];
+    v[j] = (a == 0.0) ? 0.0 : a / udiag_[j];
   }
   // Row etas transposed, reverse chronological.
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
@@ -538,6 +850,198 @@ void BasisFactorization::btran(Vector& x) const {
     for (const auto& [j, rj] : it->terms) v[j] -= rj * vp;
   }
   lu_.lower_transpose_solve(v, x);
+  ++dense_sweeps_;
+  touched_entries_ += n_;
+}
+
+// ---------------------------------------------------------------------
+// Hypersparse sweeps: Gilbert–Peierls reachability + order-sorted replay
+// over the dynamic U, bitwise-identical to the dense loops above.
+// ---------------------------------------------------------------------
+
+void BasisFactorization::ftran_sparse(IndexedVector& x, bool cache_spike) const {
+  if (x.size() != n_) throw LinalgError("basis-factorization: ftran size");
+  sweep_extra_ += update_fill_;
+  IndexedVector& z = zvec_;
+  z.clear();
+  lu_.lower_solve_sparse(x, z);
+
+  // Row etas, chronological — same full gather as the dense sweep (an
+  // eta's cost is its term count either way), with pattern upkeep on
+  // the one written entry.
+  if (z.dense()) {
+    for (const RowEta& e : etas_) {
+      double acc = z.values[e.p];
+      for (const auto& [j, rj] : e.terms) acc -= rj * z.values[j];
+      z.values[e.p] = acc;
+    }
+  } else {
+    for (const RowEta& e : etas_) {
+      double acc = z.values[e.p];
+      for (const auto& [j, rj] : e.terms) acc -= rj * z.values[j];
+      if (acc != 0.0 || z.in_pattern(e.p)) z.set(e.p, acc);
+    }
+  }
+
+  if (cache_spike) {
+    if (z.dense()) {
+      partial_ = z.values;
+      partial_support_.resize(n_);
+      for (std::size_t k = 0; k < n_; ++k) partial_support_[k] = k;
+    } else {
+      partial_.assign(n_, 0.0);
+      for (const std::size_t k : z.pattern) partial_[k] = z.values[k];
+      partial_support_ = z.pattern;
+    }
+    partial_valid_ = true;
+  }
+
+  // Dynamic-U back substitution: DFS over the column graph from z's
+  // pattern, replayed in descending current order — the dense loop's
+  // exact visit order restricted to the reachable labels.  The replay
+  // and the dense sweep are strict alternatives: touching the reach can
+  // fill z's pattern (dense() turns true), so gating the dense sweep on
+  // dense() afterwards would run the substitution twice.
+  bool u_replayed = false;
+  if (!z.dense()) {
+    bool usparse = false;
+    if (uftran_gate_.allowed()) {
+      usparse = reach_from(
+          z.pattern, lu_.sparse_reach_cap(), u_edge_budget(),
+          [&](std::size_t j) { return ucols_[j].size(); },
+          [&](std::size_t j, std::size_t i) { return ucols_[j][i].first; },
+          umark_, ustack_, uedge_, ureach_);
+      uftran_gate_.report(usparse);
+    }
+    if (usparse) {
+      std::sort(ureach_.begin(), ureach_.end(),
+                [&](std::size_t a, std::size_t b) {
+                  return order_of_label_[a] > order_of_label_[b];
+                });
+      for (const std::size_t lbl : ureach_) z.touch(lbl);
+      for (const std::size_t lbl : ureach_) {
+        const double zj = z.values[lbl];
+        if (zj == 0.0) continue;
+        const double xj = zj / udiag_[lbl];
+        z.values[lbl] = xj;
+        if (xj == 0.0) continue;
+        for (const auto& [k, u] : ucols_[lbl]) z.values[k] -= xj * u;
+      }
+      u_replayed = true;
+    } else {
+      z.densify();
+    }
+  }
+  if (!u_replayed) {
+    for (std::size_t oi = n_; oi-- > 0;) {
+      const std::size_t j = label_at_order_[oi];
+      const double zj = z.values[j];
+      if (zj == 0.0) continue;
+      const double xj = zj / udiag_[j];
+      z.values[j] = xj;
+      if (xj == 0.0) continue;
+      for (const auto& [k, u] : ucols_[j]) z.values[k] -= xj * u;
+    }
+  }
+
+  // Scatter to caller slots, values verbatim (zeros included, so even a
+  // cancelled or underflowed entry lands bit-for-bit like the dense
+  // copy loop).
+  x.clear();
+  if (z.dense()) {
+    x.densify();
+    for (std::size_t lbl = 0; lbl < n_; ++lbl) {
+      x.values[slot_of_label_[lbl]] = z.values[lbl];
+    }
+    ++dense_sweeps_;
+    touched_entries_ += n_;
+  } else {
+    for (const std::size_t lbl : z.pattern) {
+      x.set(slot_of_label_[lbl], z.values[lbl]);
+    }
+    ++sparse_sweeps_;
+    touched_entries_ += z.entries();
+  }
+}
+
+void BasisFactorization::btran_sparse(IndexedVector& x) const {
+  if (x.size() != n_) throw LinalgError("basis-factorization: btran size");
+  sweep_extra_ += update_fill_;
+  IndexedVector& v = zvec_;
+  v.clear();
+  // Slot -> label remap of the rhs support (zero-valued pattern slots
+  // contribute nothing, exactly like the dense copy of a zero).
+  for (const std::size_t slot : x.pattern) {
+    const double val = x.values[slot];
+    if (val == 0.0) continue;
+    v.set(label_of_slot_[slot], val);
+  }
+
+  // U^T forward solve: DFS over the row graph, ascending-order replay.
+  bool usparse = false;
+  if (ubtran_gate_.allowed()) {
+    usparse = reach_from(
+        v.pattern, lu_.sparse_reach_cap(), u_edge_budget(),
+        [&](std::size_t k) { return urows_[k].size(); },
+        [&](std::size_t k, std::size_t i) { return urows_[k][i].first; },
+        umark_, ustack_, uedge_, ureach_);
+    ubtran_gate_.report(usparse);
+  }
+  if (usparse) {
+    std::sort(ureach_.begin(), ureach_.end(),
+              [&](std::size_t a, std::size_t b) {
+                return order_of_label_[a] < order_of_label_[b];
+              });
+    for (const std::size_t lbl : ureach_) v.touch(lbl);
+    for (const std::size_t lbl : ureach_) {
+      double a = v.values[lbl];
+      for (const auto& [k, u] : ucols_[lbl]) a -= u * v.values[k];
+      v.values[lbl] = (a == 0.0) ? 0.0 : a / udiag_[lbl];
+    }
+  } else {
+    v.densify();
+    for (std::size_t oi = 0; oi < n_; ++oi) {
+      const std::size_t j = label_at_order_[oi];
+      double a = v.values[j];
+      for (const auto& [k, u] : ucols_[j]) a -= u * v.values[k];
+      v.values[j] = (a == 0.0) ? 0.0 : a / udiag_[j];
+    }
+  }
+
+  // Row etas transposed, reverse chronological (scatter form).
+  if (v.dense()) {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const double vp = v.values[it->p];
+      if (vp == 0.0) continue;
+      for (const auto& [j, rj] : it->terms) v.values[j] -= rj * vp;
+    }
+  } else {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const double vp = v.values[it->p];  // off-pattern reads exact +0.0
+      if (vp == 0.0) continue;
+      for (const auto& [j, rj] : it->terms) {
+        v.touch(j);
+        v.values[j] -= rj * vp;
+      }
+    }
+  }
+
+  // L^T tail back to original-row indexing.
+  x.clear();
+  bool tail_sparse = false;
+  if (v.dense()) {
+    x.densify();
+    lu_.lower_transpose_solve(v.values, x.values);
+  } else {
+    tail_sparse = lu_.lower_transpose_solve_sparse(v, x);
+  }
+  if (tail_sparse) {
+    ++sparse_sweeps_;
+    touched_entries_ += v.entries();
+  } else {
+    ++dense_sweeps_;
+    touched_entries_ += n_;
+  }
 }
 
 }  // namespace dpm::linalg

@@ -22,15 +22,47 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
+#include "linalg/indexed_vector.h"
 #include "linalg/matrix.h"
 
 namespace dpm::linalg {
 
 /// A sparse column: (row, value) pairs, unique rows.
 using SparseColumn = std::vector<std::pair<std::size_t, double>>;
+
+/// Adaptive reachability-probe gate.  A hypersparse solve starts with a
+/// DFS probe whose only product, when the factor graph is well
+/// connected, is the discovery that the dense sweep is cheaper — a pure
+/// tax of up to the edge budget per sweep.  On expander-like bases every
+/// probe is doomed, so after `kStrikeLimit` consecutive aborts the gate
+/// sends sweeps straight to the dense path, re-arming a probe every
+/// `kRetryPeriod` skipped sweeps (and on refactorization, when the
+/// factor's structure changes wholesale) so a basis that turns sparse
+/// again is noticed within a bounded delay.
+struct ProbeGate {
+  static constexpr std::size_t kStrikeLimit = 4;
+  static constexpr std::size_t kRetryPeriod = 128;
+  std::size_t strikes = 0;
+  std::size_t skipped = 0;
+  bool allowed() noexcept {
+    if (strikes < kStrikeLimit) return true;
+    if (++skipped >= kRetryPeriod) {
+      skipped = 0;
+      strikes = kStrikeLimit - 1;  // one retry; a failure re-arms the skip
+      return true;
+    }
+    return false;
+  }
+  void report(bool sparse) noexcept { strikes = sparse ? 0 : strikes + 1; }
+  void reset() noexcept {
+    strikes = 0;
+    skipped = 0;
+  }
+};
 
 /// P A Q = LU of a square sparse matrix with dynamic Markowitz
 /// pivoting: candidate columns are examined sparsest-first (count
@@ -94,6 +126,54 @@ class SparseLu {
   /// elimination position), then scatters x[original row] = s[position].
   void lower_transpose_solve(Vector& t, Vector& x) const;
 
+  // --- hypersparse (Gilbert–Peierls) right-hand-side paths ------------
+  // Reachability-driven variants of the split solves: a DFS over the
+  // factor's nonzero graph from the rhs support finds the exact set of
+  // positions the triangular solve can light up, and the replay visits
+  // only that set — in the *same index order and loop form* as the
+  // dense sweep, so results are bitwise identical.  When the reachable
+  // set exceeds kSparseReachCap the call falls back to the dense sweep
+  // internally (densifying the vectors) and returns false.
+
+  /// Reachable-set cap as a fraction of n: above it, DFS + sorted
+  /// replay costs more than the dense sweep it replaces.  The absolute
+  /// floor keeps small bases (the case-study MDPs) on the sparse path
+  /// unconditionally, where either sweep is cheap but telemetry and
+  /// test coverage want the hypersparse code exercised.
+  static constexpr double kSparseReachFraction = 0.3;
+  static constexpr std::size_t kSparseReachFloor = 64;
+  std::size_t sparse_reach_cap() const noexcept {
+    const auto frac =
+        static_cast<std::size_t>(kSparseReachFraction * static_cast<double>(n_));
+    return frac < kSparseReachFloor ? kSparseReachFloor : frac;
+  }
+
+  /// DFS edge budget: successor enumeration is the dominant cost of a
+  /// reachability attempt, and on a heavily filled factor a DFS can
+  /// enumerate far more edges than the dense sweep it hoped to replace
+  /// before its node count ever hits the reach cap.  Bounding the edges
+  /// at a fraction of the dense sweep's work (n + factor nonzeros)
+  /// turns the worst case into a ~1/6 tax instead of a 2x regression.
+  static constexpr std::size_t kSparseEdgeFloor = 4096;
+  std::size_t sparse_edge_budget() const noexcept {
+    const std::size_t budget = (n_ + factor_nnz_) / 6;
+    return budget < kSparseEdgeFloor ? kSparseEdgeFloor : budget;
+  }
+
+  /// Sparse lower_solve: z <- L^{-1} P x restricted to the positions
+  /// reachable from x's pattern through L's nonzero graph.  Clobbers x
+  /// (scatter workspace, pattern-maintained).  z must be clear() on
+  /// entry.  Returns false when it fell back to the dense sweep (both
+  /// vectors densified).
+  bool lower_solve_sparse(IndexedVector& x, IndexedVector& z) const;
+
+  /// Sparse lower_transpose_solve: solves L^T s = t over the positions
+  /// reachable from t's pattern through L^T's nonzero graph (the row
+  /// adjacency built at factorization), then scatters x[original row] =
+  /// s[position].  x must be clear() on entry; t is clobbered.  Returns
+  /// false on dense fallback.
+  bool lower_transpose_solve_sparse(IndexedVector& t, IndexedVector& x) const;
+
   /// Moves the U half (columns + diagonal) out of this object — for a
   /// host that maintains its own dynamic U (BasisFactorization).  After
   /// the call only lower_solve / lower_transpose_solve and the
@@ -111,6 +191,21 @@ class SparseLu {
   }
 
  private:
+  // Dense-tail elimination: once the active submatrix of a
+  // factorization crosses this density, scatter it into a contiguous
+  // column-major block and finish with dense partial-pivoted Gaussian
+  // elimination — the sparse update's per-entry scatter overhead loses
+  // to contiguous axpy loops long before 15% fill.  The bounds keep
+  // tiny tails on the sparse path (switch overhead) and cap the dense
+  // buffer (kDenseTailMax^2 doubles).
+  static constexpr std::size_t kDenseTailMin = 96;
+  static constexpr std::size_t kDenseTailMax = 2048;
+  static constexpr std::size_t kDenseTailCheck = 32;
+  static constexpr double kDenseTailDensity = 0.15;
+  bool dense_tail(std::size_t pos0, std::vector<SparseColumn>& acols,
+                  std::vector<char>& col_active,
+                  std::vector<SparseColumn>& u_stash, double pivot_tol);
+
   std::size_t n_ = 0;
   bool valid_ = false;
   std::size_t factor_nnz_ = 0;
@@ -125,6 +220,21 @@ class SparseLu {
   std::vector<std::size_t> pivot_row_;     // pivot position -> original row
   std::vector<std::size_t> row_position_;  // original row -> pivot position
   std::vector<std::size_t> col_of_position_;  // position -> caller column
+  // Row adjacency of L in position space: l_rows_[m] lists the columns
+  // k whose l_cols_[k] holds an entry in pivot row m — the reverse
+  // edges the sparse L^T solve's reachability walks.  Built once per
+  // factorization (second pass, after the permutation is final).
+  std::vector<std::vector<std::size_t>> l_rows_;
+  // Reachability-DFS scratch (per-object, like the other mutable
+  // workspaces: one thread per factorization object).
+  mutable std::vector<char> reach_mark_;
+  mutable std::vector<std::size_t> reach_stack_;
+  mutable std::vector<std::size_t> reach_edge_;
+  mutable std::vector<std::size_t> reach_;
+  mutable std::vector<std::size_t> reach_seeds_;
+  // Per-direction probe gates (the L and L^T graphs fill differently).
+  mutable ProbeGate lower_gate_;
+  mutable ProbeGate ltrans_gate_;
 };
 
 /// Basis handle for the revised simplex: a Markowitz LU refreshed by
@@ -205,6 +315,15 @@ class BasisFactorization {
     return l_nonzeros_ + u_nonzeros_ + n_ + eta_nonzeros_;
   }
 
+  /// DFS edge budget over the dynamic U's graph — same rationale as
+  /// SparseLu::sparse_edge_budget(), measured against the dynamic U +
+  /// eta file a dense U sweep would scan.
+  std::size_t u_edge_budget() const noexcept {
+    const std::size_t budget = (n_ + u_nonzeros_ + eta_nonzeros_) / 6;
+    return budget < SparseLu::kSparseEdgeFloor ? SparseLu::kSparseEdgeFloor
+                                               : budget;
+  }
+
   /// x <- B^{-1} x  (input indexed by original row, output by slot).
   /// Pass `cache_spike = true` when x is the entering column of a
   /// simplex pivot: the intermediate L^{-1} P a (and its support) is
@@ -215,6 +334,34 @@ class BasisFactorization {
 
   /// x <- B^{-T} x  (input indexed by slot, output by original row).
   void btran(Vector& x) const;
+
+  // --- hypersparse sweeps ---------------------------------------------
+  // Sparse-rhs ftran/btran: the L (or L^T) half runs the Gilbert–
+  // Peierls solve in SparseLu, the row etas are applied in O(eta
+  // terms), and the dynamic-U half runs its own reachability DFS over
+  // ucols_/urows_ with an order-sorted replay.  Results are bitwise
+  // identical to the dense ftran()/btran() on the same factorization
+  // state; when any stage's reachable set blows past the density cap
+  // the vector is densified and the remaining stages run the dense
+  // loops.  The sparse/dense split and total touched entries are
+  // recorded for the hypersparsity telemetry.
+
+  /// Sparse x <- B^{-1} x.  x's pattern is the rhs support on entry and
+  /// the solution's (superset) support on exit.  `cache_spike` as in
+  /// the dense ftran.
+  void ftran_sparse(IndexedVector& x, bool cache_spike = false) const;
+
+  /// Sparse x <- B^{-T} x (input pattern indexed by slot, output by
+  /// original row).
+  void btran_sparse(IndexedVector& x) const;
+
+  // Hypersparsity telemetry, cumulative over the object's life: sweeps
+  // that stayed on the sparse path end-to-end, sweeps that fell dense
+  // (including every dense ftran()/btran() call), and total entries
+  // touched by sparse-path sweeps (dense sweeps count n each).
+  std::uint64_t sparse_sweeps() const noexcept { return sparse_sweeps_; }
+  std::uint64_t dense_sweeps() const noexcept { return dense_sweeps_; }
+  std::uint64_t touched_entries() const noexcept { return touched_entries_; }
 
  private:
   struct RowEta {
@@ -257,6 +404,18 @@ class BasisFactorization {
   std::size_t update_fill_ = 0;   // eta entries + net U growth per sweep
   mutable std::size_t sweep_extra_ = 0;  // integral of update_fill_ over
                                          // the sweeps since refactor
+  // Hypersparse sweep state: the label-space work vector, the DFS
+  // scratch for the dynamic-U reachability, and the telemetry counters.
+  mutable IndexedVector zvec_;
+  mutable std::vector<char> umark_;
+  mutable std::vector<std::size_t> ustack_;
+  mutable std::vector<std::size_t> uedge_;
+  mutable std::vector<std::size_t> ureach_;
+  mutable ProbeGate uftran_gate_;
+  mutable ProbeGate ubtran_gate_;
+  mutable std::uint64_t sparse_sweeps_ = 0;
+  mutable std::uint64_t dense_sweeps_ = 0;
+  mutable std::uint64_t touched_entries_ = 0;
 };
 
 }  // namespace dpm::linalg

@@ -1,0 +1,745 @@
+#include "lp/presolve.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <unordered_map>
+
+namespace dpm::lp {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Mirrors RevisedSimplex::absorb_row's keep/absorb decision (not its
+/// feasibility checks — postsolve only runs on solvable problems): the
+/// engine folds empty rows, singleton upper-bound rows, and singleton
+/// lower bounds implied by x >= 0 into the bound set.
+bool engine_keeps_row(const Constraint& c, double tol) {
+  std::size_t nz = 0;
+  double coeff = 0.0;
+  for (const auto& [j, v] : c.terms) {
+    if (v != 0.0) {
+      ++nz;
+      coeff = v;
+    }
+  }
+  if (nz == 0) return false;
+  if (nz != 1 || c.sense == Sense::kEq) return true;
+  const double bound = c.rhs / coeff;
+  const bool is_upper = (c.sense == Sense::kLe) == (coeff > 0.0);
+  if (is_upper) return false;
+  return bound > tol;
+}
+
+}  // namespace
+
+void Presolve::fix_column(std::size_t j, double v, Action::Kind kind,
+                          std::size_t row, double coeff) {
+  col_alive_[j] = 0;
+  ++cols_removed_;
+  for (const auto& [r, a] : cols_[j]) {
+    if (row_alive_[r]) rhs_[r] -= a * v;
+  }
+  Action act;
+  act.kind = kind;
+  act.col = j;
+  act.row = row;
+  act.coeff = coeff;
+  act.value = v;
+  stack_.push_back(std::move(act));
+}
+
+bool Presolve::row_pass() {
+  bool changed = false;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (!row_alive_[i]) continue;
+    const Sense sense = orig_.constraints()[i].sense;
+    const double b = rhs_[i];
+
+    std::size_t nz = 0;
+    std::size_t var = 0;
+    double coeff = 0.0;
+    double lmin = 0.0, lmax = 0.0;  // row activity range over 0 <= x <= ub
+    for (const auto& [j, a] : rows_[i]) {
+      if (!col_alive_[j]) continue;
+      ++nz;
+      var = j;
+      coeff = a;
+      if (a > 0.0) {
+        lmax += a * ub_[j];
+      } else {
+        lmin += a * ub_[j];
+      }
+    }
+
+    auto kill_row = [&](Action::Kind kind) {
+      row_alive_[i] = 0;
+      ++rows_removed_;
+      Action act;
+      act.kind = kind;
+      act.row = i;
+      stack_.push_back(std::move(act));
+      changed = true;
+    };
+
+    if (nz == 0) {
+      const bool ok = sense == Sense::kEq   ? std::abs(b) <= tol_
+                      : sense == Sense::kLe ? b >= -tol_
+                                            : b <= tol_;
+      if (!ok) {
+        status_ = PresolveStatus::kInfeasible;
+        return changed;
+      }
+      kill_row(Action::kRowRedundant);
+      continue;
+    }
+
+    if (nz == 1) {
+      if (sense == Sense::kEq) {
+        // a x = b: fixes the variable outright.
+        double v = b / coeff;
+        if (v < -tol_ || v > ub_[var] + tol_) {
+          status_ = PresolveStatus::kInfeasible;
+          return changed;
+        }
+        v = std::min(std::max(v, 0.0), ub_[var]);
+        row_alive_[i] = 0;
+        ++rows_removed_;
+        changed = true;
+        fix_column(var, v, Action::kRowSingletonFix, i, coeff);
+        continue;
+      }
+      const double bound = b / coeff;
+      const bool is_upper = (sense == Sense::kLe) == (coeff > 0.0);
+      if (is_upper) {
+        if (bound < -tol_) {
+          status_ = PresolveStatus::kInfeasible;
+          return changed;
+        }
+        const double nb = std::max(bound, 0.0);
+        if (nb < ub_[var]) {
+          ub_[var] = nb;
+          row_alive_[i] = 0;
+          ++rows_removed_;
+          Action act;
+          act.kind = Action::kRowSingletonUb;
+          act.row = i;
+          act.col = var;
+          act.coeff = coeff;
+          act.value = nb;
+          stack_.push_back(std::move(act));
+          changed = true;
+        } else {
+          kill_row(Action::kRowRedundant);  // an existing bound dominates
+        }
+        continue;
+      }
+      // Lower bound `x >= bound` (bound = b/coeff).
+      if (bound > ub_[var] + tol_) {
+        status_ = PresolveStatus::kInfeasible;
+        return changed;
+      }
+      if (bound <= tol_) {
+        kill_row(Action::kRowRedundant);  // implied by x >= 0
+      } else if (std::isfinite(ub_[var]) && bound >= ub_[var] - tol_) {
+        // The box collapses: x is forced to its upper bound.
+        row_alive_[i] = 0;
+        ++rows_removed_;
+        changed = true;
+        fix_column(var, ub_[var], Action::kRowSingletonFix, i, coeff);
+      }
+      // else: positive lower bounds are not representable in the
+      // 0 <= x <= u form — the row stays.
+      continue;
+    }
+
+    // Multi-term rows: redundant / forcing by the activity interval.
+    const bool lo_inf = std::isinf(lmin);
+    const bool hi_inf = std::isinf(lmax);
+    if (sense == Sense::kLe) {
+      if (!lo_inf && lmin > b + tol_) {
+        status_ = PresolveStatus::kInfeasible;
+        return changed;
+      }
+      if (!hi_inf && lmax <= b) {
+        kill_row(Action::kRowRedundant);
+        continue;
+      }
+      if (!lo_inf && lmin >= b) {
+        // Binding at the minimum: every member sits at its attaining
+        // bound (a > 0 -> 0, a < 0 -> ub, finite since lmin is).
+        force_row(i, /*at_min=*/true);
+        changed = true;
+      }
+      continue;
+    }
+    if (sense == Sense::kGe) {
+      if (!hi_inf && lmax < b - tol_) {
+        status_ = PresolveStatus::kInfeasible;
+        return changed;
+      }
+      if (!lo_inf && lmin >= b) {
+        kill_row(Action::kRowRedundant);
+        continue;
+      }
+      if (!hi_inf && lmax <= b) {
+        force_row(i, /*at_min=*/false);
+        changed = true;
+      }
+      continue;
+    }
+    // Equality.
+    if ((!lo_inf && lmin > b + tol_) || (!hi_inf && lmax < b - tol_)) {
+      status_ = PresolveStatus::kInfeasible;
+      return changed;
+    }
+    if ((!lo_inf && lmin >= b) || (!hi_inf && lmax <= b)) {
+      force_row(i, /*at_min=*/!lo_inf && lmin >= b);
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+void Presolve::force_row(std::size_t i, bool at_min) {
+  // The attaining bound per member: at the activity minimum a positive
+  // coefficient sits at 0 and a negative one at its (finite) upper
+  // bound; the maximum mirrors.
+  std::vector<std::pair<std::size_t, char>> forced;
+  for (const auto& [j, a] : rows_[i]) {
+    if (col_alive_[j]) forced.emplace_back(j, (a < 0.0) == at_min ? 1 : 0);
+  }
+  Action act;
+  act.kind = Action::kRowForcing;
+  act.row = i;
+  act.forced = forced;
+  stack_.push_back(std::move(act));
+  row_alive_[i] = 0;
+  ++rows_removed_;
+  for (const auto& [j, up] : forced) {
+    fix_column(j, up ? ub_[j] : 0.0, Action::kColFixed);
+  }
+}
+
+bool Presolve::column_pass() {
+  bool changed = false;
+  const std::size_t n = cols_.size();
+
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!col_alive_[j]) continue;
+    if (ub_[j] <= tol_) {  // zero-width box
+      fix_column(j, 0.0, Action::kColFixed);
+      changed = true;
+      continue;
+    }
+    bool empty = true;
+    for (const auto& [r, a] : cols_[j]) {
+      if (row_alive_[r]) {
+        empty = false;
+        break;
+      }
+    }
+    if (empty) {
+      const double c = orig_.costs()[j];
+      if (c >= 0.0) {
+        fix_column(j, 0.0, Action::kColFixed);
+        changed = true;
+      } else if (std::isfinite(ub_[j])) {
+        fix_column(j, ub_[j], Action::kColFixed);
+        changed = true;
+      }
+      // else: a constraint-free negative-cost ray — left for reduce()'s
+      // final verdict (or the solver's unboundedness proof).
+      continue;
+    }
+  }
+
+  // Duplicate / dominated columns: group by an exact hash of the alive
+  // support, verify exactly within groups.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> groups;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!col_alive_[j]) continue;
+    std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ull;
+    };
+    for (const auto& [r, a] : cols_[j]) {
+      if (!row_alive_[r]) continue;
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &a, sizeof(bits));
+      mix(r);
+      mix(bits);
+    }
+    groups[h].push_back(j);
+  }
+  auto same_support = [&](std::size_t a, std::size_t b) {
+    std::size_t ia = 0, ib = 0;
+    const auto& ca = cols_[a];
+    const auto& cb = cols_[b];
+    for (;;) {
+      while (ia < ca.size() && !row_alive_[ca[ia].first]) ++ia;
+      while (ib < cb.size() && !row_alive_[cb[ib].first]) ++ib;
+      if (ia == ca.size() || ib == cb.size()) {
+        return ia == ca.size() && ib == cb.size();
+      }
+      if (ca[ia].first != cb[ib].first || ca[ia].second != cb[ib].second) {
+        return false;
+      }
+      ++ia;
+      ++ib;
+    }
+  };
+  for (auto& [h, members] : groups) {
+    if (members.size() < 2) continue;
+    // Partition the hash bucket into exact-support classes.
+    std::vector<std::vector<std::size_t>> classes;
+    for (const std::size_t j : members) {
+      bool placed = false;
+      for (auto& cls : classes) {
+        if (same_support(cls.front(), j)) {
+          cls.push_back(j);
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) classes.push_back({j});
+    }
+    for (auto& cls : classes) {
+      if (cls.size() < 2) continue;
+      std::sort(cls.begin(), cls.end(), [&](std::size_t a, std::size_t b) {
+        const double ca = orig_.costs()[a], cb = orig_.costs()[b];
+        return ca != cb ? ca < cb : a < b;
+      });
+      const std::size_t primary = cls.front();
+      for (std::size_t k = 1; k < cls.size(); ++k) {
+        const std::size_t extra = cls[k];
+        if (orig_.costs()[extra] == orig_.costs()[primary]) {
+          // Equal column, equal cost: merge; capacities add.
+          Action act;
+          act.kind = Action::kColDuplicate;
+          act.col = extra;
+          act.other = primary;
+          act.coeff = ub_[primary];  // primary's capacity before the merge
+          act.value = ub_[extra];
+          stack_.push_back(std::move(act));
+          ub_[primary] += ub_[extra];  // inf-aware
+          col_alive_[extra] = 0;
+          ++cols_removed_;
+          changed = true;
+        } else if (std::isinf(ub_[primary])) {
+          // Dominated: the cheaper copy has unlimited capacity, so the
+          // pricier one never carries flow at an optimum.
+          fix_column(extra, 0.0, Action::kColFixed);
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
+PresolveStatus Presolve::reduce(const LpProblem& p, double feas_tol) {
+  orig_ = p;
+  tol_ = feas_tol;
+  status_ = PresolveStatus::kUnchanged;
+  const std::size_t m = p.num_constraints();
+  const std::size_t n = p.num_variables();
+  row_alive_.assign(m, 1);
+  col_alive_.assign(n, 1);
+  ub_ = p.upper_bounds();
+  rhs_.resize(m);
+  rows_.assign(m, {});
+  for (std::size_t i = 0; i < m; ++i) {
+    const Constraint& c = p.constraints()[i];
+    rhs_[i] = c.rhs;
+    for (const auto& [j, v] : c.terms) {
+      if (v != 0.0) rows_[i].emplace_back(j, v);
+    }
+  }
+  cols_.assign(n, {});
+  for (std::size_t i = 0; i < m; ++i) {
+    for (const auto& [j, v] : rows_[i]) cols_[j].emplace_back(i, v);
+  }
+  stack_.clear();
+  col_map_.assign(n, kNone);
+  row_map_.assign(m, kNone);
+  rows_removed_ = 0;
+  cols_removed_ = 0;
+
+  bool changed = true;
+  while (changed && status_ != PresolveStatus::kInfeasible) {
+    changed = row_pass();
+    if (status_ == PresolveStatus::kInfeasible) break;
+    if (column_pass()) changed = true;
+  }
+  if (status_ == PresolveStatus::kInfeasible) return status_;
+
+  if (rows_removed_ == m) {
+    if (cols_removed_ == n) {
+      status_ = PresolveStatus::kEmpty;
+    } else {
+      // Only constraint-free negative-cost rays survive (everything
+      // else was fixed), and the fixed assignment is feasible by
+      // construction: the problem is unbounded.
+      status_ = PresolveStatus::kUnbounded;
+    }
+    return status_;
+  }
+  if (rows_removed_ == 0 && cols_removed_ == 0) {
+    status_ = PresolveStatus::kUnchanged;
+    return status_;
+  }
+  build_reduced();
+  status_ = PresolveStatus::kReduced;
+  return status_;
+}
+
+void Presolve::build_reduced() {
+  reduced_ = LpProblem{};
+  const std::size_t m = orig_.num_constraints();
+  const std::size_t n = orig_.num_variables();
+  for (std::size_t j = 0; j < n; ++j) {
+    if (!col_alive_[j]) continue;
+    col_map_[j] = reduced_.add_variable(orig_.costs()[j], orig_.variable_name(j));
+    if (std::isfinite(ub_[j])) reduced_.set_upper_bound(col_map_[j], ub_[j]);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!row_alive_[i]) continue;
+    const Constraint& src = orig_.constraints()[i];
+    Constraint c;
+    c.sense = src.sense;
+    c.rhs = rhs_[i];
+    c.name = src.name;
+    for (const auto& [j, a] : rows_[i]) {
+      if (col_alive_[j]) c.terms.emplace_back(col_map_[j], a);
+    }
+    row_map_[i] = reduced_.num_constraints();
+    reduced_.add_constraint(std::move(c));
+  }
+}
+
+LpSolution Presolve::postsolve(const LpSolution& red,
+                               const SimplexBasis* red_basis,
+                               SimplexBasis* basis_out,
+                               bool absorb_singleton_rows) const {
+  const std::size_t m = orig_.num_constraints();
+  const std::size_t n = orig_.num_variables();
+  LpSolution sol;
+  sol.status = status_ == PresolveStatus::kEmpty ? LpStatus::kOptimal
+                                                 : red.status;
+  sol.iterations = red.iterations;
+  if (sol.status != LpStatus::kOptimal) return sol;
+
+  // --- primal: kept variables, then reverse replay ------------------
+  sol.x.assign(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (col_map_[j] != kNone && col_map_[j] < red.x.size()) {
+      sol.x[j] = red.x[col_map_[j]];
+    }
+  }
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    const Action& a = *it;
+    switch (a.kind) {
+      case Action::kColFixed:
+      case Action::kRowSingletonFix:
+        sol.x[a.col] = a.value;
+        break;
+      case Action::kColDuplicate: {
+        // Split the merged mass: the primary keeps up to its pre-merge
+        // capacity (a.coeff), the extra takes the spill up to its own
+        // bound (a.value).  All-but-one member lands exactly on a
+        // bound, so the split stays basis-representable.
+        const double mass = sol.x[a.other];
+        double take = mass - a.coeff;
+        if (!(take > 0.0)) take = 0.0;
+        if (take > a.value) take = a.value;
+        sol.x[a.col] = take;
+        sol.x[a.other] = mass - take;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  sol.objective = orig_.objective(sol.x);
+
+  // --- dual: kept rows, then reverse reconstruction -----------------
+  // Reverse order makes each step see exactly the duals of the
+  // subproblem it was removed from: rows removed earlier are still
+  // "absent" (zero) when a later row's multiplier is reconstructed.
+  sol.duals.assign(m, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (row_map_[i] != kNone && row_map_[i] < red.duals.size()) {
+      sol.duals[i] = red.duals[row_map_[i]];
+    }
+  }
+  auto rc_of = [&](std::size_t j) {
+    double rc = orig_.costs()[j];
+    for (const auto& [r, a] : cols_[j]) rc -= a * sol.duals[r];
+    return rc;
+  };
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    const Action& a = *it;
+    switch (a.kind) {
+      case Action::kRowSingletonUb: {
+        const double xj = sol.x[a.col];
+        if (xj < a.value - tol_) break;  // row slack: y = 0 (compl. slack.)
+        const double rc = rc_of(a.col);
+        const double ou = orig_.upper_bounds()[a.col];
+        double y;
+        if (xj <= tol_) {
+          y = rc >= 0.0 ? 0.0 : rc / a.coeff;  // also at the intrinsic lower
+        } else if (xj >= ou - tol_) {
+          y = rc <= 0.0 ? 0.0 : rc / a.coeff;  // bound coincides with ub
+        } else {
+          y = rc / a.coeff;  // interior w.r.t. the box: rc must vanish
+        }
+        sol.duals[a.row] = y;
+        break;
+      }
+      case Action::kRowSingletonFix: {
+        const double v = a.value;
+        const double rc = rc_of(a.col);
+        const double ou = orig_.upper_bounds()[a.col];
+        double y;
+        if (v <= tol_) {
+          y = rc >= 0.0 ? 0.0 : rc / a.coeff;
+        } else if (v >= ou - tol_) {
+          y = rc <= 0.0 ? 0.0 : rc / a.coeff;
+        } else {
+          y = rc / a.coeff;
+        }
+        sol.duals[a.row] = y;
+        break;
+      }
+      case Action::kRowForcing: {
+        // Admissible multiplier interval: each member pinned at a bound
+        // constrains y through its reduced-cost sign.
+        double lo = -kInf, hi = kInf;
+        for (const auto& [j, up] : a.forced) {
+          double aij = 0.0;
+          for (const auto& [jj, v] : rows_[a.row]) {
+            if (jj == j) {
+              aij = v;
+              break;
+            }
+          }
+          if (aij == 0.0) continue;
+          const double ratio = rc_of(j) / aij;
+          // at lower (up == 0): rc - aij*y >= 0; at upper: <= 0.
+          const bool upper_cap = (up == 0) == (aij > 0.0);
+          if (upper_cap) {
+            hi = std::min(hi, ratio);
+          } else {
+            lo = std::max(lo, ratio);
+          }
+        }
+        double y = 0.0;
+        if (lo > hi) {
+          y = 0.5 * (lo + hi);  // numerically empty interval: best effort
+        } else {
+          y = std::min(std::max(y, lo), hi);
+        }
+        sol.duals[a.row] = y;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // --- basis: map the reduced basis into the original standard form --
+  if (basis_out != nullptr &&
+      (red_basis != nullptr || status_ == PresolveStatus::kEmpty)) {
+    const auto& rows = orig_.constraints();
+    // Replicate the original-problem engine layout (absorb pass, row
+    // remap, slack/artificial column numbering).
+    std::vector<char> keep(m, 1);
+    if (absorb_singleton_rows) {
+      for (std::size_t i = 0; i < m; ++i) {
+        keep[i] = engine_keeps_row(rows[i], tol_) ? 1 : 0;
+      }
+    }
+    // Engine-side structural bounds (absorbed singleton rows tighten).
+    linalg::Vector eng_ub = orig_.upper_bounds();
+    if (absorb_singleton_rows) {
+      for (std::size_t i = 0; i < m; ++i) {
+        if (keep[i]) continue;
+        std::size_t nz = 0, var = 0;
+        double coeff = 0.0;
+        for (const auto& [j, v] : rows[i].terms) {
+          if (v != 0.0) {
+            ++nz;
+            var = j;
+            coeff = v;
+          }
+        }
+        if (nz != 1 || rows[i].sense == Sense::kEq) continue;
+        const double bound = rows[i].rhs / coeff;
+        if ((rows[i].sense == Sense::kLe) == (coeff > 0.0)) {
+          eng_ub[var] = std::min(eng_ub[var], std::max(bound, 0.0));
+        }
+      }
+    }
+    std::size_t m_eng = 0;
+    std::vector<std::size_t> eng_row(m, kNone), slack_of(m, kNone);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (keep[i]) eng_row[i] = m_eng++;
+    }
+    std::size_t next = n;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (keep[i] && rows[i].sense != Sense::kEq) slack_of[i] = next++;
+    }
+    const std::size_t first_art = next;
+
+    // Reduced-problem engine layout (its absorb pass finds nothing:
+    // presolve already folded every absorbable row).
+    const std::size_t mr = reduced_.num_constraints();
+    const std::size_t nr = reduced_.num_variables();
+    std::vector<std::size_t> red_slack_row(mr, kNone);
+    std::size_t rnext = nr;
+    for (std::size_t r = 0; r < mr; ++r) {
+      if (reduced_.constraints()[r].sense != Sense::kEq) {
+        red_slack_row[r] = rnext++;
+      }
+    }
+    const std::size_t red_first_art = rnext;
+
+    std::vector<std::size_t> orig_col(nr, kNone), orig_row(mr, kNone);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (col_map_[j] != kNone) orig_col[col_map_[j]] = j;
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      if (row_map_[i] != kNone) orig_row[row_map_[i]] = i;
+    }
+
+    // Duplicate-merge closure: for each surviving primary, the members
+    // whose mass it carried (used to re-seat a basic merged column on
+    // whichever member ended strictly inside its box).
+    std::vector<std::vector<std::size_t>> dup_members(n);
+    for (const Action& a : stack_) {
+      if (a.kind == Action::kColDuplicate) {
+        std::size_t root = a.other;
+        while (!col_alive_[root]) {
+          bool hop = false;
+          for (const Action& b : stack_) {
+            if (b.kind == Action::kColDuplicate && b.col == root) {
+              root = b.other;
+              hop = true;
+              break;
+            }
+          }
+          if (!hop) break;
+        }
+        dup_members[root].push_back(a.col);
+      }
+    }
+    auto at_eng_upper = [&](std::size_t j) {
+      return std::isfinite(eng_ub[j]) && eng_ub[j] > tol_ &&
+             sol.x[j] >= eng_ub[j] - tol_;
+    };
+
+    basis_out->basic.assign(m_eng, kNone);
+    basis_out->at_upper.assign(first_art + m_eng, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (col_map_[j] != kNone && red_basis != nullptr &&
+          col_map_[j] < red_basis->at_upper.size()) {
+        basis_out->at_upper[j] = red_basis->at_upper[col_map_[j]];
+      } else if (col_map_[j] == kNone) {
+        basis_out->at_upper[j] = at_eng_upper(j) ? 1 : 0;
+      }
+    }
+    // Pass A: rows that survived into the reduced problem take the
+    // reduced basis's column for that row, mapped back.
+    std::vector<char> used(n, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!keep[i] || row_map_[i] == kNone) continue;
+      const std::size_t er = eng_row[i];
+      const std::size_t r = row_map_[i];
+      const std::size_t bcol = red_basis->basic[r];
+      std::size_t oc;
+      if (bcol < nr) {
+        oc = orig_col[bcol];
+        if (!dup_members[oc].empty()) {
+          // A basic merged column re-seats on the member that ended
+          // strictly inside its box (greedy splitting leaves at most
+          // one); every displaced member rests on the bound it landed
+          // on.
+          const std::size_t primary = oc;
+          for (const std::size_t e : dup_members[primary]) {
+            if (sol.x[e] > tol_ && sol.x[e] < eng_ub[e] - tol_) {
+              oc = e;
+              break;
+            }
+          }
+          basis_out->at_upper[primary] = at_eng_upper(primary) ? 1 : 0;
+          for (const std::size_t e : dup_members[primary]) {
+            basis_out->at_upper[e] = at_eng_upper(e) ? 1 : 0;
+          }
+        }
+        basis_out->at_upper[oc] = 0;
+        used[oc] = 1;
+      } else if (bcol < red_first_art) {
+        // Reduced slack: find its row, map to the original slack.
+        std::size_t rr = kNone;
+        for (std::size_t r2 = 0; r2 < mr; ++r2) {
+          if (red_slack_row[r2] == bcol) {
+            rr = r2;
+            break;
+          }
+        }
+        oc = slack_of[orig_row[rr]];
+      } else {
+        oc = first_art + eng_row[orig_row[bcol - red_first_art]];
+      }
+      basis_out->basic[er] = oc;
+    }
+
+    // Pass B: rows presolve removed but the engine keeps.  The
+    // reconstructed multiplier decides the seat.  y_i == 0: the row's
+    // slack (feasible — the row holds at sol.x) or a degenerate
+    // artificial for an equality row, both of which price the row at
+    // zero, matching the reconstruction.  y_i != 0: a zero slack or
+    // artificial would pin the engine's recomputed dual at y_i = 0 and
+    // wreck dual feasibility problem-wide, so seat the original column
+    // whose reduced cost pinned y_i during reconstruction — its total
+    // reduced cost is zero, exactly the basic condition.  (If no such
+    // column is free the slack/artificial fallback stands; the warm
+    // start then falls back to a cold solve, costing pivots, not
+    // correctness.)
+    auto total_rc = [&](std::size_t j) {
+      double rc = orig_.costs()[j];
+      for (const auto& [k, v] : cols_[j]) rc -= v * sol.duals[k];
+      return rc;
+    };
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!keep[i] || row_map_[i] != kNone) continue;
+      const std::size_t er = eng_row[i];
+      std::size_t seat = kNone;
+      if (std::abs(sol.duals[i]) > 1e-11) {
+        for (const auto& [j, v] : rows_[i]) {
+          if (used[j] || v == 0.0) continue;
+          if (std::abs(total_rc(j)) <= 1e-6 * (1.0 + std::abs(orig_.costs()[j]))) {
+            seat = j;
+            break;
+          }
+        }
+      }
+      if (seat != kNone) {
+        used[seat] = 1;
+        basis_out->at_upper[seat] = 0;
+        basis_out->basic[er] = seat;
+      } else {
+        basis_out->basic[er] =
+            slack_of[i] != kNone ? slack_of[i] : first_art + er;
+      }
+    }
+  }
+  return sol;
+}
+
+}  // namespace dpm::lp

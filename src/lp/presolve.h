@@ -1,0 +1,128 @@
+// Structural LP presolve + exact postsolve.
+//
+// Reduces an LpProblem before the revised simplex sees it, to a
+// fixpoint of the classic cheap rules:
+//
+//   rows     empty rows (feasibility check, then drop), singleton rows
+//            (fold `a x_j <= b` and friends into the bound set; fix the
+//            variable outright for `a x_j = b`), redundant rows (the
+//            activity interval [Lmin, Lmax] implied by the bounds
+//            already satisfies the row), forcing rows (Lmin or Lmax
+//            exactly attains the rhs, pinning every variable in the row
+//            at the attaining bound)
+//   columns  empty columns (fix at the cost-preferred bound), fixed
+//            variables (zero-width boxes, substituted into the rhs),
+//            dominated columns (a duplicate with lower cost and no
+//            upper bound caps the pricier copy at zero), duplicate
+//            columns (equal column, equal cost: merge, upper bounds
+//            add)
+//
+// Free-variable substitution does not arise in this library: the model
+// form is 0 <= x <= u by construction (problem.h), so no variable is
+// free.  The engine-level singleton absorption in RevisedSimplex covers
+// warm starts, where this problem-level pass is skipped to keep basis
+// dimensions compatible.
+//
+// Postsolve replays the reduction stack in reverse and restores the
+// *full* certificate, not just the objective:
+//   - primal: fixed variables take their values, merged duplicate mass
+//     is split greedily within the member bounds;
+//   - dual: removed rows get exact multipliers reconstructed from
+//     reduced costs (zero for slack rows, rc_j / a_ij for a binding
+//     singleton bound, an admissible-interval pick for forcing rows),
+//     so complementary slackness and strong duality hold on the
+//     original problem;
+//   - basis: the reduced optimal basis maps onto the original problem's
+//     standard form (removed inequality rows re-enter with their slack
+//     basic, removed equality rows with a degenerate artificial), ready
+//     to warm-start the unreduced problem.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/problem.h"
+#include "lp/revised_simplex.h"
+
+namespace dpm::lp {
+
+enum class PresolveStatus {
+  kUnchanged,   // nothing removed; solve the original problem directly
+  kReduced,     // reduced() is strictly smaller; postsolve() maps back
+  kEmpty,       // every row and column eliminated; postsolve({}) is the
+                // complete solution
+  kInfeasible,  // reduction proved the problem infeasible
+  kUnbounded,   // reduction proved it unbounded (a constraint-free
+                // negative-cost ray survived every row)
+};
+
+class Presolve {
+ public:
+  /// Runs the reduction rules to a fixpoint.  `feas_tol` mirrors the
+  /// simplex feasibility tolerance (bound/rhs comparisons).
+  PresolveStatus reduce(const LpProblem& problem, double feas_tol = 1e-7);
+
+  /// The reduced problem (valid after reduce() returned kReduced).
+  const LpProblem& reduced() const noexcept { return reduced_; }
+
+  std::size_t rows_removed() const noexcept { return rows_removed_; }
+  std::size_t cols_removed() const noexcept { return cols_removed_; }
+
+  /// Maps a solution of reduced() back onto the original problem
+  /// (primal values, duals, objective; see file comment).  After
+  /// kEmpty, pass a default-constructed LpSolution.
+  ///
+  /// `red_basis`/`basis_out` (both optional) additionally map the
+  /// reduced final basis into the original problem's standard form;
+  /// `absorb_singleton_rows` must match the option the original-problem
+  /// engine will run with, so the row layouts line up.
+  LpSolution postsolve(const LpSolution& red,
+                       const SimplexBasis* red_basis = nullptr,
+                       SimplexBasis* basis_out = nullptr,
+                       bool absorb_singleton_rows = true) const;
+
+ private:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  struct Action {
+    enum Kind {
+      kRowRedundant,     // row i: never binding -> dual 0
+      kRowSingletonUb,   // row i tightened upper bound of col to `value`
+      kRowSingletonFix,  // equality singleton row i fixed col at `value`
+      kRowForcing,       // row i pinned every member at a bound
+      kColFixed,         // col fixed at `value` (empty/dominated/forced)
+      kColDuplicate,     // col merged into `other` (equal column + cost)
+    } kind;
+    std::size_t row = kNone;
+    std::size_t col = kNone;
+    double coeff = 0.0;  // a_ij of the singleton / prior ub of `other`
+    double value = 0.0;  // bound, fixed value, or the extra member's ub
+    std::size_t other = kNone;
+    std::vector<std::pair<std::size_t, char>> forced;  // (col, at_upper)
+  };
+
+  void fix_column(std::size_t j, double v, Action::Kind kind,
+                  std::size_t row = kNone, double coeff = 0.0);
+  void force_row(std::size_t i, bool at_min);
+  bool row_pass();     // returns true when something changed
+  bool column_pass();  // likewise; sets status_ on infeasibility
+  void build_reduced();
+
+  LpProblem orig_;
+  LpProblem reduced_;
+  double tol_ = 1e-7;
+  PresolveStatus status_ = PresolveStatus::kUnchanged;
+
+  std::vector<char> row_alive_, col_alive_;
+  linalg::Vector rhs_;  // working rhs, updated as variables are fixed
+  linalg::Vector ub_;   // working upper bounds (tightened)
+  // Row- and column-wise views of the original nonzeros (coeff != 0).
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows_, cols_;
+
+  std::vector<Action> stack_;
+  std::vector<std::size_t> col_map_;      // orig col -> reduced col / kNone
+  std::vector<std::size_t> row_map_;      // orig row -> reduced row / kNone
+  std::size_t rows_removed_ = 0, cols_removed_ = 0;
+};
+
+}  // namespace dpm::lp

@@ -119,6 +119,14 @@ struct LpSolution {
   linalg::Vector x;        // primal point (original variables)
   double objective = 0.0;  // c^T x
   std::size_t iterations = 0;
+  /// Constraint shadow prices (one per original constraint row), filled
+  /// by the revised-simplex backend on optimal termination: y_i is
+  /// dObjective/drhs_i at the final basis (<= 0 for binding `<=` rows of
+  /// a minimization, >= 0 for `>=`, free for `=`; 0 for slack rows).
+  /// Rows the solver absorbed into the bound set report 0 — run the
+  /// presolve path (cold solves do by default) for exact bound-row
+  /// multipliers.  Other backends leave this empty.
+  linalg::Vector duals;
 };
 
 /// Deterministically perturbed copy: rhs_i += eps * (i+1) * scale / m,

@@ -5,9 +5,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
 
+#include "linalg/indexed_vector.h"
 #include "linalg/sparse_lu.h"
+#include "lp/presolve.h"
 
 namespace dpm::lp {
 
@@ -21,6 +26,12 @@ double now_ms() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// Process-wide hypersparsity odometer, aggregated once per solve from
+// each factorization's cumulative counters (see sweep_telemetry()).
+std::atomic<std::uint64_t> g_sparse_sweeps{0};
+std::atomic<std::uint64_t> g_dense_sweeps{0};
+std::atomic<std::uint64_t> g_touched_entries{0};
 
 // Standard-form engine: columns [structural | slack/surplus | artificial]
 // over equality rows A x = b, 0 <= x <= u (u = +inf unless the problem
@@ -49,10 +60,10 @@ class RevisedSimplex {
     }
 
     // --- row remap + structural columns ------------------------------
-    std::vector<std::size_t> row_map(p.num_constraints(), kNone);
+    row_map_.assign(p.num_constraints(), kNone);
     for (std::size_t i = 0; i < p.num_constraints(); ++i) {
       if (keep_row[i]) {
-        row_map[i] = m_;
+        row_map_[i] = m_;
         ++m_;
       }
     }
@@ -62,7 +73,7 @@ class RevisedSimplex {
       linalg::SparseColumn col;
       col.reserve(a.col_end(j) - a.col_begin(j));
       for (std::size_t k = a.col_begin(j); k < a.col_end(j); ++k) {
-        const std::size_t i = row_map[a.row_indices()[k]];
+        const std::size_t i = row_map_[a.row_indices()[k]];
         if (i != kNone) col.emplace_back(i, a.values()[k]);
       }
       cols_.push_back(std::move(col));
@@ -74,7 +85,7 @@ class RevisedSimplex {
     for (std::size_t i0 = 0; i0 < p.num_constraints(); ++i0) {
       if (!keep_row[i0]) continue;
       const Constraint& c = p.constraints()[i0];
-      const std::size_t i = row_map[i0];
+      const std::size_t i = row_map_[i0];
       rhs_[i] = c.rhs;
       if (c.sense != Sense::kEq) {
         slack_of_row_[i] = cols_.size();
@@ -98,6 +109,23 @@ class RevisedSimplex {
     for (std::size_t j = 0; j < n_struct_; ++j) cost2_[j] = p.costs()[j];
     cost1_.assign(n_cols_, 0.0);
     for (std::size_t j = first_artificial_; j < n_cols_; ++j) cost1_[j] = 1.0;
+
+    // Row-wise mirror of the pivotable columns (structural + logical,
+    // never artificial).  The dual ratio test walks the pivot row's
+    // support through this view, touching only columns that intersect
+    // it — O(nnz of those rows) instead of a full O(nnz(A)) scan.
+    rows_.assign(m_, {});
+    for (std::size_t j = 0; j < first_artificial_; ++j) {
+      for (const auto& [r, v] : cols_[j]) rows_[r].emplace_back(j, v);
+    }
+
+    // Hypersparse pivot-loop scratch (sized once; clear() is O(touched)).
+    dwork_.resize(m_);
+    rhowork_.resize(m_);
+    tauwork_.resize(m_);
+    flipwork_.resize(m_);
+    alpha_acc_.assign(first_artificial_, 0.0);
+    alpha_mark_.assign(first_artificial_, 0);
   }
 
   bool infeasible_by_bounds() const noexcept { return infeasible_by_bounds_; }
@@ -194,6 +222,72 @@ class RevisedSimplex {
     opt_.stats->sweep_ms += now_ms() - t0;
   }
 
+  // Sparse-rhs counterparts: the pivot loop's entering-column ftrans and
+  // pivot-row btrans carry a handful of nonzeros, so they take the
+  // Gilbert–Peierls reachability path (bitwise-identical results,
+  // O(touched) cost; dense fallback is handled inside the factorization).
+  void solve_ftran(linalg::IndexedVector& v, bool entering = false) const {
+#ifdef DPM_VERIFY_SPARSE
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
+        std::fprintf(stderr, "FTRAN INPUT INVARIANT i=%zu val=%.17g\n", i,
+                     v.values[i]);
+        std::abort();
+      }
+    }
+    linalg::Vector dense = v.values;
+    factor_.ftran(dense, false);
+#endif
+    const double t0 = opt_.stats != nullptr ? now_ms() : 0.0;
+    factor_.ftran_sparse(v, entering);
+    if (opt_.stats != nullptr) opt_.stats->sweep_ms += now_ms() - t0;
+#ifdef DPM_VERIFY_SPARSE
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (std::memcmp(&dense[i], &v.values[i], sizeof(double)) != 0) {
+        std::fprintf(stderr, "FTRAN MISMATCH i=%zu dense=%.17g sparse=%.17g\n",
+                     i, dense[i], v.values[i]);
+        std::abort();
+      }
+      if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
+        std::fprintf(stderr, "FTRAN PATTERN MISS i=%zu val=%.17g\n", i,
+                     v.values[i]);
+        std::abort();
+      }
+    }
+#endif
+  }
+
+  void solve_btran(linalg::IndexedVector& v) const {
+#ifdef DPM_VERIFY_SPARSE
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
+        std::fprintf(stderr, "BTRAN INPUT INVARIANT i=%zu val=%.17g\n", i,
+                     v.values[i]);
+        std::abort();
+      }
+    }
+    linalg::Vector dense = v.values;
+    factor_.btran(dense);
+#endif
+    const double t0 = opt_.stats != nullptr ? now_ms() : 0.0;
+    factor_.btran_sparse(v);
+    if (opt_.stats != nullptr) opt_.stats->sweep_ms += now_ms() - t0;
+#ifdef DPM_VERIFY_SPARSE
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (std::memcmp(&dense[i], &v.values[i], sizeof(double)) != 0) {
+        std::fprintf(stderr, "BTRAN MISMATCH i=%zu dense=%.17g sparse=%.17g\n",
+                     i, dense[i], v.values[i]);
+        std::abort();
+      }
+      if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
+        std::fprintf(stderr, "BTRAN PATTERN MISS i=%zu val=%.17g\n", i,
+                     v.values[i]);
+        std::abort();
+      }
+    }
+#endif
+  }
+
   void recompute_xb() {
     xb_ = rhs_;
     for (const std::size_t j : finite_ub_cols_) {
@@ -208,6 +302,16 @@ class RevisedSimplex {
     for (std::size_t i = 0; i < m_; ++i) y[i] = cost[basis_[i]];
     solve_btran(y);
     return y;
+  }
+
+  /// Recomputes the maintained dual vector y_ exactly (one full btran).
+  /// Between refreshes the pivot loops update y_ incrementally — one
+  /// rounding step of drift per pivot — so a refresh runs at every
+  /// refactorization, on phase entry, and before optimality is declared.
+  void refresh_y(const linalg::Vector& cost) {
+    y_ = duals(cost);
+    y_pivots_ = 0;
+    y_stale_ = false;
   }
 
   double column_dot(std::size_t j, const linalg::Vector& y) const {
@@ -254,6 +358,63 @@ class RevisedSimplex {
     return worst;
   }
 
+  /// True when the cold slack/artificial basis is already dual feasible:
+  /// its basic columns all cost zero, so y = 0 exactly, and every
+  /// at-lower nonbasic prices at rc_j = c_j >= 0.  The MDP LPs (all
+  /// nonnegative power/latency costs) hit this on every cold solve.
+  bool dual_cold_eligible() const {
+    // Disabled after measurement: on the balance-equation LPs the
+    // phase-1-free dual route runs ~2x the pivots of classic two-phase
+    // (each paying an extra steepest-edge ftran), a 4x wall-time loss
+    // at n*na = 20k.  The boxed dual earns its keep on warm repairs,
+    // where the pivot count is small by construction; cold solves keep
+    // the primal phases.  (It also selects a different vertex on
+    // degenerate optima, which the small case studies are sensitive
+    // to.)  Kept compilable behind this gate for future experiments.
+    constexpr bool kDualColdStart = false;
+    if (!kDualColdStart || m_ < 512) return false;
+    for (std::size_t j = 0; j < n_struct_; ++j) {
+      if (cost2_[j] < 0.0) return false;
+    }
+    return true;
+  }
+
+  /// Phase-1-free cold start support: an explicit zero upper bound
+  /// makes the boxed dual see a basic artificial at positive value as a
+  /// bound violation and drive it out — the feasibility work of phase 1
+  /// done by dual pivots that simultaneously optimize phase 2's cost.
+  /// uncap restores the implicit-cap convention the primal phases use;
+  /// it MUST run before falling back to classic phase 1 (a finite zero
+  /// bound would freeze artificials in the phase-1 ratio test).
+  void cap_artificials() {
+    for (std::size_t j = first_artificial_; j < n_cols_; ++j) {
+      upper_[j] = 0.0;
+    }
+  }
+  void uncap_artificials() {
+    for (std::size_t j = first_artificial_; j < n_cols_; ++j) {
+      upper_[j] = kInf;
+    }
+  }
+
+  /// Folds the factorization's cumulative hypersparsity counters into
+  /// the per-solve stats sink and the process-wide odometer.  Called
+  /// exactly once, when the engine is done (the counters are cumulative
+  /// over the factorization's life).
+  void flush_sweep_telemetry() const {
+    const std::uint64_t s = factor_.sparse_sweeps();
+    const std::uint64_t dn = factor_.dense_sweeps();
+    const std::uint64_t t = factor_.touched_entries();
+    if (opt_.stats != nullptr) {
+      opt_.stats->sparse_sweeps += s;
+      opt_.stats->dense_sweeps += dn;
+      opt_.stats->touched_entries += t;
+    }
+    g_sparse_sweeps.fetch_add(s, std::memory_order_relaxed);
+    g_dense_sweeps.fetch_add(dn, std::memory_order_relaxed);
+    g_touched_entries.fetch_add(t, std::memory_order_relaxed);
+  }
+
   struct PhaseResult {
     LpStatus status = LpStatus::kIterationLimit;
     std::size_t iterations = 0;
@@ -262,23 +423,39 @@ class RevisedSimplex {
   /// Primal simplex minimizing `cost` from the current factorized basis.
   /// `artificial_cap` enforces the zero upper bound on basic artificials
   /// (phase 2); phase 1 lets them move freely down to zero.
+  ///
+  /// Hypersparse inner loop: the entering column's ftran and the pivot
+  /// row's btran ride IndexedVectors through the reachability solves,
+  /// and every O(m) scan they used to feed (ratio test, xb update) is
+  /// restricted to the result's support.  Duals are maintained
+  /// incrementally (y' = y + (rc_q/alpha_r) rho_r) instead of a full
+  /// btran per iteration; optimality is only declared after re-pricing
+  /// against freshly recomputed duals.
   PhaseResult primal(const linalg::Vector& cost, bool artificial_cap) {
     PhaseResult res;
     std::size_t stall = 0;
     bool bland = false;
     double best_obj = std::numeric_limits<double>::infinity();
     if (devex_pricing()) devex_.assign(n_cols_, 1.0);
+    y_stale_ = true;
 
     while (res.iterations < opt_.max_iterations) {
       if (!factor_.valid()) return res;  // numerically wedged
       if (factor_.needs_refactor()) {
         if (!refactorize()) return res;
         recompute_xb();
+        y_stale_ = true;
       }
-      const linalg::Vector y = duals(cost);
+      if (y_stale_) refresh_y(cost);
 
-      const std::size_t enter = price(cost, y, bland).first;
+      const auto [enter, enter_rc] = price(cost, y_, bland);
       if (enter == kNone) {
+        if (y_pivots_ > 0) {
+          // The maintained duals have drifted since the last exact
+          // btran; never certify optimality off them.
+          refresh_y(cost);
+          continue;
+        }
         res.status = LpStatus::kOptimal;
         return res;
       }
@@ -286,16 +463,19 @@ class RevisedSimplex {
       // -1 when it falls off its upper bound; basics move by -sigma*t*d.
       const double sigma = at_upper_[enter] ? -1.0 : 1.0;
 
-      // --- ftran + two-sided ratio test ---
-      linalg::Vector d(m_, 0.0);
-      for (const auto& [r, v] : cols_[enter]) d[r] = v;
+      // --- sparse ftran + two-sided ratio test over d's support ---
+      // Off-support rows have d[i] exactly 0, for which leave_ratio is
+      // +inf by definition — skipping them is exact, not approximate.
+      linalg::IndexedVector& d = dwork_;
+      d.clear();
+      for (const auto& [r, v] : cols_[enter]) d.add(r, v);
       solve_ftran(d, /*entering=*/true);
 
       const auto ratio = [&](std::size_t i) {
-        return leave_ratio(i, sigma * d[i], artificial_cap);
+        return leave_ratio(i, sigma * d.values[i], artificial_cap);
       };
       double best_ratio = kInf;
-      for (std::size_t i = 0; i < m_; ++i) {
+      for (const std::size_t i : d.pattern) {
         best_ratio = std::min(best_ratio, ratio(i));
       }
       const double own_bound = upper_[enter];  // flip distance
@@ -308,8 +488,8 @@ class RevisedSimplex {
         // Bound flip: the entering variable crosses to its other bound
         // before any basic variable blocks — no basis change, no
         // factorization update.
-        for (std::size_t i = 0; i < m_; ++i) {
-          xb_[i] -= sigma * own_bound * d[i];
+        for (const std::size_t i : d.pattern) {
+          xb_[i] -= sigma * own_bound * d.values[i];
         }
         at_upper_[enter] ^= 1;
         ++res.iterations;
@@ -318,27 +498,42 @@ class RevisedSimplex {
         const double cut = best_ratio + 1e-9 * (1.0 + std::abs(best_ratio));
         std::size_t leave = kNone;
         double best_pivot = 0.0;
-        for (std::size_t i = 0; i < m_; ++i) {
+        for (const std::size_t i : d.pattern) {
           if (ratio(i) > cut) continue;
           if (bland) {
             if (leave == kNone || basis_[i] < basis_[leave]) leave = i;
-          } else if (std::abs(d[i]) > best_pivot) {
-            best_pivot = std::abs(d[i]);
+          } else if (std::abs(d.values[i]) > best_pivot) {
+            best_pivot = std::abs(d.values[i]);
             leave = i;
           }
         }
 
         const double theta = std::max(best_ratio, 0.0);
-        for (std::size_t i = 0; i < m_; ++i) xb_[i] -= sigma * theta * d[i];
+        for (const std::size_t i : d.pattern) {
+          xb_[i] -= sigma * theta * d.values[i];
+        }
         // Which bound does the leaving variable settle at?
         const std::size_t leaving_col = basis_[leave];
         at_upper_[leaving_col] =
-            (sigma * d[leave] < 0.0 && std::isfinite(upper_[leaving_col]))
+            (sigma * d.values[leave] < 0.0 &&
+             std::isfinite(upper_[leaving_col]))
                 ? 1
                 : 0;
         xb_[leave] = at_upper_[enter] ? upper_[enter] - theta : theta;
-        if (devex_pricing() && !bland) update_devex(enter, leave, d);
-        change_basis(leave, enter, d);
+
+        // One sparse btran of the pivot row serves both the Devex
+        // weight update and the incremental dual update.
+        linalg::IndexedVector& rho = rhowork_;
+        rho.clear();
+        rho.set(leave, 1.0);
+        solve_btran(rho);
+        if (devex_pricing() && !bland) update_devex(enter, leave, d, rho);
+        const double theta_d = enter_rc / d.values[leave];
+        for (const std::size_t k : rho.pattern) {
+          y_[k] += theta_d * rho.values[k];
+        }
+        ++y_pivots_;
+        change_basis(leave, enter, d.values);
         ++res.iterations;
       }
 
@@ -360,60 +555,114 @@ class RevisedSimplex {
         if (bland) return res;  // give up; caller retries perturbed
         bland = true;
         stall = 0;
+        // Anti-cycling wants the sharpest reduced costs available.
+        y_stale_ = true;
       }
     }
     return res;
   }
 
   /// Boxed dual simplex from a dual-feasible basis — the warm-restart
-  /// engine after a rhs move or a bound change.  The leaving basic is
-  /// the worst violator of *either* bound; the dual ratio test runs
-  /// over bounded nonbasics at both bounds; and candidates whose whole
-  /// bound range is absorbed before the violation is covered are bound
+  /// engine after a rhs move or a bound change, and (via the capped
+  /// artificials of the dual-cold path) a phase-1 replacement whenever
+  /// the cold basis already prices dual feasible.  The leaving basic is
+  /// chosen by dual steepest edge (violation^2 / ||B^{-T}e_i||^2, exact
+  /// Forrest–Goldfarb weight recurrence); the dual ratio test runs over
+  /// bounded nonbasics at both bounds; and candidates whose whole bound
+  /// range is absorbed before the violation is covered are bound
   /// *flipped* instead of pivoted (the long-step rule — the dual step
   /// passes their reduced-cost breakpoint, so the flip preserves dual
   /// feasibility).  Stops as soon as the basis is primal feasible;
   /// returns kOptimal in that case (a phase-2 polish confirms
   /// optimality).
+  ///
+  /// Hypersparse inner loop: xb is maintained incrementally (all flips
+  /// of an iteration batched into ONE sparse ftran, plus the pivot
+  /// step over d's support) instead of a full recompute per iteration;
+  /// alpha_j = rho^T a_j is accumulated over rho's support through the
+  /// row-wise matrix; duals update incrementally off the same rho.
+  /// Feasibility is only declared after re-scanning freshly recomputed
+  /// basic values.
   PhaseResult dual(std::size_t max_iters) {
     PhaseResult res;
+    recompute_xb();
+    refresh_y(cost2_);
+    dse_w_.assign(m_, 1.0);
+    std::size_t xb_pivots = 0;   // incremental-xb steps since last solve
+    std::size_t bad_pivots = 0;  // consecutive drifted-pivot resyncs
+
     while (res.iterations < max_iters) {
       if (!factor_.valid()) return res;
       if (factor_.needs_refactor()) {
         if (!refactorize()) return res;
+        recompute_xb();
+        xb_pivots = 0;
+        y_stale_ = true;
       }
-      recompute_xb();
+      if (y_stale_) refresh_y(cost2_);
 
-      // --- leaving row: worst violation of either bound ---
+      // --- leaving row: steepest-edge-scaled worst bound violation ---
       std::size_t leave = kNone;
-      double viol = opt_.feas_tol;
+      double best_score = 0.0;
+      double viol = 0.0;
       bool above_upper = false;
       for (std::size_t i = 0; i < m_; ++i) {
-        if (-xb_[i] > viol) {
-          viol = -xb_[i];
-          leave = i;
-          above_upper = false;
-        }
+        double v = -xb_[i];
+        bool up = false;
         const double u = upper_[basis_[i]];
-        if (std::isfinite(u) && xb_[i] - u > viol) {
-          viol = xb_[i] - u;
+        if (std::isfinite(u) && xb_[i] - u > v) {
+          v = xb_[i] - u;
+          up = true;
+        }
+        if (v <= opt_.feas_tol) continue;
+        const double score = v * v / dse_w_[i];
+        if (leave == kNone || score > best_score) {
+          best_score = score;
           leave = i;
-          above_upper = true;
+          viol = v;
+          above_upper = up;
         }
       }
       if (leave == kNone) {
+        if (xb_pivots > 0) {
+          // xb drifts one rounding step per incremental update; never
+          // certify feasibility off it.
+          recompute_xb();
+          xb_pivots = 0;
+          continue;
+        }
         res.status = LpStatus::kOptimal;
         return res;
       }
       // Sign the leaving basic must move: up toward 0, or down toward u.
       const double dir = above_upper ? -1.0 : 1.0;
 
-      linalg::Vector rho(m_, 0.0);
-      rho[leave] = 1.0;
+      linalg::IndexedVector& rho = rhowork_;
+      rho.clear();
+      rho.set(leave, 1.0);
       solve_btran(rho);
-      const linalg::Vector y = duals(cost2_);
+      // A sorted support makes the alpha accumulation order (and hence
+      // every downstream tie-break) deterministic.
+      std::sort(rho.pattern.begin(), rho.pattern.end());
 
-      // --- boxed dual ratio test ---
+      // --- boxed dual ratio test, row-wise ---
+      // alpha_j = rho^T a_j accumulated over rho's support: only
+      // columns intersecting the pivot row are touched, O(nnz of those
+      // rows) instead of a dot product per nonbasic column.
+      for (const std::size_t i : rho.pattern) {
+        const double ri = rho.values[i];
+        if (ri == 0.0) continue;
+        for (const auto& [j, v] : rows_[i]) {
+          if (!alpha_mark_[j]) {
+            alpha_mark_[j] = 1;
+            alpha_touched_.push_back(j);
+            alpha_acc_[j] = 0.0;
+          }
+          alpha_acc_[j] += ri * v;
+        }
+      }
+      std::sort(alpha_touched_.begin(), alpha_touched_.end());
+
       // Eligible: nonbasic j whose feasible move (up from lower, down
       // from upper) pushes the leaving basic toward its violated
       // bound.  Ratio = distance of the reduced cost to its sign
@@ -422,19 +671,23 @@ class RevisedSimplex {
         std::size_t j;
         double ratio;
         double alpha_abs;
+        double rc;
       };
       std::vector<Cand> cands;
-      for (std::size_t j = 0; j < first_artificial_; ++j) {
+      cands.reserve(alpha_touched_.size());
+      for (const std::size_t j : alpha_touched_) {
         if (in_basis_[j] || upper_[j] <= 0.0) continue;
-        const double alpha = column_dot(j, rho);
+        const double alpha = alpha_acc_[j];
         if (std::abs(alpha) <= opt_.pivot_tol) continue;
         const double e = dir * alpha;
         if (at_upper_[j] ? (e <= 0.0) : (e >= 0.0)) continue;
-        const double rc = cost2_[j] - column_dot(j, y);
+        const double rc = cost2_[j] - column_dot(j, y_);
         const double dist = at_upper_[j] ? std::max(-rc, 0.0)
                                          : std::max(rc, 0.0);
-        cands.push_back({j, dist / std::abs(alpha), std::abs(alpha)});
+        cands.push_back({j, dist / std::abs(alpha), std::abs(alpha), rc});
       }
+      for (const std::size_t j : alpha_touched_) alpha_mark_[j] = 0;
+      alpha_touched_.clear();
       if (cands.empty()) {
         res.status = LpStatus::kInfeasible;
         return res;
@@ -447,16 +700,27 @@ class RevisedSimplex {
 
       // --- long step: flip fully absorbed candidates, pivot the rest --
       std::size_t enter = kNone;
+      double enter_rc = 0.0;
       double remaining = viol;
+      linalg::IndexedVector& flip = flipwork_;
+      flip.clear();
+      bool any_flip = false;
       for (const Cand& c : cands) {
         const double range = upper_[c.j];
         if (std::isfinite(range) && c.alpha_abs * range < remaining) {
-          at_upper_[c.j] ^= 1;  // dual bound flip: no basis change
+          // Dual bound flip: no basis change.  Batch the basic-value
+          // shift u_j * a_j (signed by the flip direction) for one
+          // collective ftran below.
+          const double s = at_upper_[c.j] ? -1.0 : 1.0;
+          at_upper_[c.j] ^= 1;
           remaining -= c.alpha_abs * range;
+          for (const auto& [r, v] : cols_[c.j]) flip.add(r, s * range * v);
+          any_flip = true;
           if (opt_.stats != nullptr) opt_.stats->bound_flips += 1;
           continue;
         }
         enter = c.j;
+        enter_rc = c.rc;
         break;
       }
       if (enter == kNone) {
@@ -466,13 +730,74 @@ class RevisedSimplex {
         res.status = LpStatus::kInfeasible;
         return res;
       }
+      if (any_flip) {
+        solve_ftran(flip);
+        for (const std::size_t i : flip.pattern) xb_[i] -= flip.values[i];
+      }
 
-      linalg::Vector d(m_, 0.0);
-      for (const auto& [r, v] : cols_[enter]) d[r] = v;
+      linalg::IndexedVector& d = dwork_;
+      d.clear();
+      for (const auto& [r, v] : cols_[enter]) d.add(r, v);
       solve_ftran(d, /*entering=*/true);
+      const double alpha_r = d.values[leave];
+      if (std::abs(alpha_r) <= opt_.pivot_tol) {
+        // The factorized pivot disagrees with the ratio-test alpha
+        // (update drift): resync everything and retry the row; give up
+        // if it keeps happening.
+        if (++bad_pivots > 3) return res;
+        if (!refactorize()) return res;
+        recompute_xb();
+        xb_pivots = 0;
+        y_stale_ = true;
+        continue;
+      }
+      bad_pivots = 0;
+
+      // --- primal step: entering leaves its bound by t >= 0 ---
       const std::size_t leaving_col = basis_[leave];
-      change_basis(leave, enter, d);
+      const double target = above_upper ? upper_[leaving_col] : 0.0;
+      const double sigma_q = at_upper_[enter] ? -1.0 : 1.0;
+      double t = (xb_[leave] - target) / (sigma_q * alpha_r);
+      if (!(t > 0.0)) t = 0.0;  // degenerate (or drift-negative) step
+      for (const std::size_t i : d.pattern) {
+        xb_[i] -= sigma_q * t * d.values[i];
+      }
+      xb_[leave] = at_upper_[enter] ? upper_[enter] - t : t;
+
+      // --- exact dual steepest-edge recurrence (Forrest–Goldfarb) ---
+      // w_r is exact (rho in hand); the others need tau = B^{-1} rho.
+      double w_r = 0.0;
+      for (const std::size_t k : rho.pattern) {
+        w_r += rho.values[k] * rho.values[k];
+      }
+      linalg::IndexedVector& tau = tauwork_;
+      tau.clear();
+      for (const std::size_t k : rho.pattern) {
+        if (rho.values[k] != 0.0) tau.set(k, rho.values[k]);
+      }
+      solve_ftran(tau);
+      const double inv_a = 1.0 / alpha_r;
+      for (const std::size_t i : d.pattern) {
+        if (i == leave) continue;
+        const double kappa = d.values[i] * inv_a;
+        if (kappa == 0.0) continue;
+        const double w =
+            dse_w_[i] - 2.0 * kappa * tau.values[i] + kappa * kappa * w_r;
+        dse_w_[i] = std::max(w, 1e-4);
+      }
+      dse_w_[leave] = std::max(w_r * inv_a * inv_a, 1e-4);
+
+      // --- incremental duals + basis change ---
+      const double theta_d = enter_rc * inv_a;
+      for (const std::size_t k : rho.pattern) {
+        y_[k] += theta_d * rho.values[k];
+      }
+      ++y_pivots_;
       at_upper_[leaving_col] = above_upper ? 1 : 0;
+      change_basis(leave, enter, d.values);
+      // y_stale_ flags that change_basis had to refactorize (and with it
+      // recompute xb), so the incremental-drift counter restarts.
+      xb_pivots = y_stale_ ? 0 : xb_pivots + 1;
       ++res.iterations;
       if (opt_.stats != nullptr) opt_.stats->dual_iterations += 1;
     }
@@ -524,6 +849,19 @@ class RevisedSimplex {
       }
     }
     sol.objective = p.objective(sol.x);
+    // Shadow prices: y = B^{-T} c_B, computed fresh from the final basis
+    // (y_ may serve a different cost vector mid-phase), then mapped back
+    // through the row remap.  Absorbed singleton rows report 0 — the
+    // presolve postsolve reconstructs those from reduced costs instead.
+    sol.duals.assign(p.num_constraints(), 0.0);
+    if (m_ > 0) {
+      linalg::Vector y(m_, 0.0);
+      for (std::size_t i = 0; i < m_; ++i) y[i] = cost2_[basis_[i]];
+      factor_.btran(y);
+      for (std::size_t i0 = 0; i0 < p.num_constraints(); ++i0) {
+        if (row_map_[i0] != kNone) sol.duals[i0] = y[row_map_[i0]];
+      }
+    }
     return sol;
   }
 
@@ -699,27 +1037,28 @@ class RevisedSimplex {
       if (refactorize()) {
         recompute_xb();
       }
-      // A singular refactorization here leaves factor_ invalid; the
-      // next loop iteration's refactorize() attempt reports it.
+      // Whatever happened, the maintained duals no longer match the
+      // factorization's rounding; a singular refactorization leaves
+      // factor_ invalid and the next loop iteration reports it.
+      y_stale_ = true;
     }
   }
 
   /// Devex reference-weight update (Forrest–Goldfarb approximation of
-  /// steepest edge): needs the pivot row, one extra btran per iteration.
-  /// Under fused partial pricing the weight propagation is restricted
-  /// to the section the *next* pricing pass will scan first (the
-  /// rotation makes that section known now), so the candidates about
-  /// to compete carry weights reflecting this pivot at the same cost
-  /// as the scan itself.  Columns beyond the next section keep stale
-  /// (smaller) weights, which only makes them look slightly more
-  /// attractive when their turn comes — a bias, not an error.
+  /// steepest edge): consumes the pivot row `rho` the caller already
+  /// btran'd for the incremental dual update (no extra sweep).  Under
+  /// fused partial pricing the weight propagation is restricted to the
+  /// section the *next* pricing pass will scan first (the rotation
+  /// makes that section known now), so the candidates about to compete
+  /// carry weights reflecting this pivot at the same cost as the scan
+  /// itself.  Columns beyond the next section keep stale (smaller)
+  /// weights, which only makes them look slightly more attractive when
+  /// their turn comes — a bias, not an error.
   void update_devex(std::size_t enter, std::size_t leave,
-                    const linalg::Vector& d) {
-    const double dr = d[leave];
+                    const linalg::IndexedVector& d,
+                    const linalg::IndexedVector& rho) {
+    const double dr = d.values[leave];
     if (std::abs(dr) < 1e-12) return;
-    linalg::Vector rho(m_, 0.0);
-    rho[leave] = 1.0;
-    solve_btran(rho);
     const double wq = devex_[enter];
     const bool restrict_scan =
         opt_.pricing == RevisedSimplexOptions::Pricing::kPartialDevex &&
@@ -730,7 +1069,7 @@ class RevisedSimplex {
     std::size_t j = restrict_scan ? price_start_ % first_artificial_ : 0;
     for (std::size_t k = 0; k < count; ++k) {
       if (!in_basis_[j] && j != enter) {
-        const double alpha = column_dot(j, rho);
+        const double alpha = column_dot(j, rho.values);
         if (alpha != 0.0) {
           const double cand = (alpha / dr) * (alpha / dr) * wq;
           if (cand > devex_[j]) devex_[j] = cand;
@@ -751,6 +1090,7 @@ class RevisedSimplex {
   bool infeasible_by_bounds_ = false;
   std::vector<linalg::SparseColumn> cols_;
   std::vector<std::size_t> slack_of_row_;
+  std::vector<std::size_t> row_map_;  // original row -> engine row / kNone
   linalg::Vector rhs_;
   linalg::Vector upper_struct_;  // structural bounds incl. absorbed rows
   linalg::Vector upper_;         // per standard-form column
@@ -764,13 +1104,27 @@ class RevisedSimplex {
   std::size_t price_start_ = 0;
   std::size_t section_size_ = 0;  // last pricing section, for the
                                   // section-local Devex weight update
+  // Row-wise mirror of cols_[0..first_artificial_) for the dual ratio
+  // test's support-driven alpha accumulation.
+  std::vector<linalg::SparseColumn> rows_;
+  // Maintained dual vector (see refresh_y) + drift bookkeeping.
+  linalg::Vector y_;
+  std::size_t y_pivots_ = 0;
+  bool y_stale_ = true;
+  // Dual steepest-edge weights, one per basis row.
+  linalg::Vector dse_w_;
+  // Hypersparse pivot-loop scratch: entering column, pivot row, DSE
+  // tau, batched flip rhs, and the dual ratio test's alpha scatter.
+  linalg::IndexedVector dwork_, rhowork_, tauwork_, flipwork_;
+  linalg::Vector alpha_acc_;
+  std::vector<char> alpha_mark_;
+  std::vector<std::size_t> alpha_touched_;
   linalg::BasisFactorization factor_;
 };
 
-LpSolution solve_once(const LpProblem& problem,
+LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
                       const RevisedSimplexOptions& opt,
                       const SimplexBasis* warm, SimplexBasis* basis_out) {
-  RevisedSimplex engine(problem, opt);
   LpSolution sol;
   if (engine.infeasible_by_bounds()) {
     sol.status = LpStatus::kInfeasible;
@@ -783,8 +1137,13 @@ LpSolution solve_once(const LpProblem& problem,
   // repair whichever primal infeasibility the perturbation introduced.
   bool warm_done = false;
   if (warm != nullptr && !warm->empty()) {
-    if (engine.install_warm_basis(*warm) && !engine.basis_has_artificial() &&
-        engine.refactorize()) {
+    if (engine.install_warm_basis(*warm) && engine.refactorize()) {
+      // The basis may carry artificials basic at zero: a presolve-
+      // recovered basis re-enters removed equality rows that way, and
+      // drive-out leaves one on each truly redundant row.  Cap them so
+      // the boxed dual sees any artificial mass as a zero-bound
+      // violation to repair, never as free flow.
+      engine.cap_artificials();
       engine.recompute_xb();
       if (engine.dual_infeasibility() <= 1e-6) {
         RevisedSimplex::PhaseResult dres = {LpStatus::kOptimal, 0};
@@ -814,7 +1173,9 @@ LpSolution solve_once(const LpProblem& problem,
       engine.save_basis(basis_out);
       return sol;
     }
-    // Fall through to a cold solve on any warm-start trouble.
+    // Fall through to a cold solve on any warm-start trouble; the
+    // primal phases need the implicit infinite artificial cap back.
+    engine.uncap_artificials();
     sol = LpSolution{};
   }
 
@@ -824,6 +1185,37 @@ LpSolution solve_once(const LpProblem& problem,
     return sol;  // kIterationLimit: pathological initial basis
   }
   engine.recompute_xb();
+
+  if (need_phase1 && engine.dual_cold_eligible()) {
+    // Dual-cold start: the slack/artificial basis is dual feasible at
+    // y = 0, so the boxed dual simplex (artificials capped at zero)
+    // reaches feasibility *and* optimality in one run of pivots,
+    // skipping primal phase 1 entirely.  Any other outcome — including
+    // a dual infeasibility claim — falls back to the classic two-phase
+    // path, which owns the status certificates.
+    engine.cap_artificials();
+    const auto rd = engine.dual(opt.max_iterations);
+    sol.iterations += rd.iterations;
+    if (rd.status == LpStatus::kOptimal) {
+      engine.drive_out_artificials();
+      const auto rp = engine.primal(engine.phase2_cost(),
+                                    /*artificial_cap=*/true);
+      sol.iterations += rp.iterations;
+      if (rp.status == LpStatus::kOptimal) {
+        const std::size_t iters = sol.iterations;
+        sol = engine.extract(problem);
+        sol.iterations = iters;
+        engine.save_basis(basis_out);
+        return sol;
+      }
+    }
+    engine.uncap_artificials();
+    engine.install_cold_basis();
+    if (!engine.refactorize()) {
+      return sol;
+    }
+    engine.recompute_xb();
+  }
 
   if (need_phase1) {
     const auto r1 = engine.primal(engine.phase1_cost(),
@@ -854,6 +1246,15 @@ LpSolution solve_once(const LpProblem& problem,
   return sol;
 }
 
+LpSolution solve_once(const LpProblem& problem,
+                      const RevisedSimplexOptions& opt,
+                      const SimplexBasis* warm, SimplexBasis* basis_out) {
+  RevisedSimplex engine(problem, opt);
+  const LpSolution sol = run_phases(engine, problem, opt, warm, basis_out);
+  engine.flush_sweep_telemetry();
+  return sol;
+}
+
 // Process-wide pivot odometer (monotone, never reset): lets tests
 // assert that a cached scenario replay executed *zero* simplex work,
 // not merely that it produced the same numbers.
@@ -865,6 +1266,14 @@ std::uint64_t pivots_executed() noexcept {
   return g_pivots_executed.load(std::memory_order_relaxed);
 }
 
+SweepTelemetry sweep_telemetry() noexcept {
+  SweepTelemetry t;
+  t.sparse_sweeps = g_sparse_sweeps.load(std::memory_order_relaxed);
+  t.dense_sweeps = g_dense_sweeps.load(std::memory_order_relaxed);
+  t.touched_entries = g_touched_entries.load(std::memory_order_relaxed);
+  return t;
+}
+
 LpSolution solve_revised_simplex(const LpProblem& problem,
                                  const RevisedSimplexOptions& options,
                                  const SimplexBasis* warm,
@@ -874,6 +1283,41 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
   }
   const double t0 = now_ms();
   if (options.stats != nullptr) *options.stats = SimplexStats{};
+
+  // --- structural presolve (cold solves only) ------------------------
+  // Warm starts skip it: the caller's basis is laid out over the *full*
+  // problem's standard form, and a short dual repair beats re-reducing.
+  if (options.presolve && (warm == nullptr || warm->empty())) {
+    Presolve ps;
+    const PresolveStatus pst = ps.reduce(problem, options.feas_tol);
+    if (pst != PresolveStatus::kUnchanged) {
+      LpSolution out;
+      if (pst == PresolveStatus::kInfeasible) {
+        out.status = LpStatus::kInfeasible;
+      } else if (pst == PresolveStatus::kUnbounded) {
+        out.status = LpStatus::kUnbounded;
+      } else if (pst == PresolveStatus::kEmpty) {
+        out = ps.postsolve(LpSolution{}, nullptr, basis_out,
+                           options.absorb_singleton_rows);
+      } else {
+        RevisedSimplexOptions inner = options;
+        inner.presolve = false;  // the reduction is already a fixpoint
+        SimplexBasis red_basis;
+        const LpSolution red =
+            solve_revised_simplex(ps.reduced(), inner, nullptr, &red_basis);
+        out = ps.postsolve(red, &red_basis, basis_out,
+                           options.absorb_singleton_rows);
+      }
+      if (options.stats != nullptr) {
+        options.stats->presolve_rows_removed = ps.rows_removed();
+        options.stats->presolve_cols_removed = ps.cols_removed();
+        options.stats->solve_ms = now_ms() - t0;
+        options.stats->iterations = out.iterations;
+      }
+      return out;
+    }
+  }
+
   LpSolution sol = solve_once(problem, options, warm, basis_out);
   if (sol.status != LpStatus::kIterationLimit) {
     if (options.stats != nullptr) {

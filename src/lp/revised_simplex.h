@@ -47,7 +47,29 @@ struct SimplexStats {
   std::size_t bound_flips = 0;       // iterations that were pure flips
   std::size_t dual_iterations = 0;   // pivots spent in the dual phase
   std::size_t factor_nonzeros = 0;   // nnz(L+U) of the last factorization
+  // Hypersparsity telemetry (see BasisFactorization): triangular sweeps
+  // that stayed on the Gilbert–Peierls sparse path vs sweeps that ran
+  // (or fell back to) the dense scan, and total vector entries touched
+  // (a dense sweep counts the full dimension m).
+  std::uint64_t sparse_sweeps = 0;
+  std::uint64_t dense_sweeps = 0;
+  std::uint64_t touched_entries = 0;
+  // Presolve reductions applied before the simplex saw the problem.
+  std::size_t presolve_rows_removed = 0;
+  std::size_t presolve_cols_removed = 0;
 };
+
+/// Process-wide hypersparsity odometer, aggregated across every
+/// solve_revised_simplex call since process start (thread-safe,
+/// monotone — same contract as pivots_executed()).  verify.sh's
+/// perf-smoke gate reads it to assert the sparse path stays the common
+/// case on the case-study scenarios.
+struct SweepTelemetry {
+  std::uint64_t sparse_sweeps = 0;
+  std::uint64_t dense_sweeps = 0;
+  std::uint64_t touched_entries = 0;
+};
+SweepTelemetry sweep_telemetry() noexcept;
 
 struct RevisedSimplexOptions {
   std::size_t max_iterations = 20000;
@@ -95,6 +117,13 @@ struct RevisedSimplexOptions {
   /// Absorb singleton constraint rows (one structural term) into the
   /// variable bound set instead of keeping them as basis rows.
   bool absorb_singleton_rows = true;
+  /// Run the structural presolve (src/lp/presolve.h) before cold
+  /// solves: empty/singleton/redundant/forcing rows and
+  /// fixed/empty/dominated/duplicate columns are eliminated, the
+  /// reduced problem is solved, and postsolve restores the full
+  /// primal/dual solution plus a warm-startable basis.  Warm starts
+  /// always bypass it (the supplied basis spans the full problem).
+  bool presolve = true;
   /// Switch to Bland's rule after this many non-improving iterations.
   std::size_t stall_limit = 64;
   /// Abort (caller retries perturbed) after this many non-improving

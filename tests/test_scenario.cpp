@@ -382,6 +382,34 @@ TEST(ResultCache, ReplayIsByteIdenticalAndRunsZeroPivots) {
   EXPECT_EQ(warm.values, cold.values);
 }
 
+// The process-wide simplex odometers (pivots_executed, sweep_telemetry)
+// are relaxed atomics, and the runner's workers write stats only into
+// per-unit slots — so a parallel run must leave the odometers monotone
+// and mutually consistent (every sweep the units executed is accounted
+// for, with no torn or lost updates).
+TEST(ExperimentRunner, ParallelRunKeepsOdometersConsistent) {
+  scenario::register_builtin();
+  const scenario::Scenario* sc = scenario::find("example_a2");
+  ASSERT_NE(sc, nullptr);
+  const std::uint64_t pivots0 = lp::pivots_executed();
+  const lp::SweepTelemetry t0 = lp::sweep_telemetry();
+  const ScenarioRunResult res =
+      ExperimentRunner(quiet_smoke(4)).run_one(*sc);
+  ASSERT_TRUE(res.failures.empty());
+  const std::uint64_t pivots1 = lp::pivots_executed();
+  const lp::SweepTelemetry t1 = lp::sweep_telemetry();
+  EXPECT_GT(pivots1, pivots0) << "the scenario solves LPs";
+  const std::uint64_t sweeps =
+      (t1.sparse_sweeps - t0.sparse_sweeps) +
+      (t1.dense_sweeps - t0.dense_sweeps);
+  EXPECT_GT(sweeps, 0u);
+  EXPECT_GE(t1.sparse_sweeps, t0.sparse_sweeps);
+  EXPECT_GE(t1.dense_sweeps, t0.dense_sweeps);
+  EXPECT_GE(t1.touched_entries, t0.touched_entries);
+  // Each sweep touches at least one entry on any nontrivial basis.
+  EXPECT_GE(t1.touched_entries - t0.touched_entries, sweeps);
+}
+
 // Poisoning one cached record must be detected (payload checksum) and
 // answered with a recompute of exactly that unit — results stay
 // correct either way.
