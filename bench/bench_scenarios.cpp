@@ -30,6 +30,17 @@
 //                                          # scenario's declared
 //                                          # tolerances; nonzero exit
 //                                          # on any mismatch
+//   bench_scenarios --fault-inject SPEC    # arm one fault per unit:
+//                                          # SITE[:WINDOW[:COUNT]], e.g.
+//                                          # lu-factorize, ftran:8,
+//                                          # deadline:4:2 (sites in
+//                                          # docs/robustness.md)
+//   bench_scenarios --unit-deadline-ms X   # cooperative per-unit
+//                                          # wall-clock deadline
+//   bench_scenarios --unit-retries N       # re-run a failed unit up to
+//                                          # N more times
+//   bench_scenarios --retry-backoff-ms X   # sleep attempt*X ms between
+//                                          # retry attempts
 //
 // Determinism contract: all randomness derives from (scenario name,
 // unit index), and results are assembled in unit order, so stdout and
@@ -45,15 +56,19 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "lp/revised_simplex.h"
+#include "robust/fault_injection.h"
+#include "robust/probe.h"
+#include "robust/supervisor.h"
 #include "scenario/compare.h"
 #include "scenario/json.h"
-#include "lp/revised_simplex.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
 
@@ -75,6 +90,10 @@ struct CliOptions {
   std::string compare_path;          // --compare PATH (empty = off)
   std::string baseline_out;          // --baseline-out DIR (empty = off)
   bool telemetry = false;            // print the hypersparsity odometer
+  std::optional<dpm::robust::FaultSpec> fault;  // --fault-inject SPEC
+  double unit_deadline_ms = 0.0;     // --unit-deadline-ms (0 = none)
+  std::size_t unit_retries = 0;      // --unit-retries
+  double retry_backoff_ms = 0.0;     // --retry-backoff-ms
 };
 
 bool parse_args(int argc, char** argv, CliOptions& opt) {
@@ -111,6 +130,32 @@ bool parse_args(int argc, char** argv, CliOptions& opt) {
       const char* v = next("--baseline-out");
       if (v == nullptr) return false;
       opt.baseline_out = v;
+    } else if (arg == "--fault-inject") {
+      const char* v = next("--fault-inject");
+      if (v == nullptr) return false;
+      opt.fault = dpm::robust::parse_fault_spec(v);
+      if (!opt.fault.has_value()) {
+        std::fprintf(stderr,
+                     "bench_scenarios: bad fault spec '%s' (want "
+                     "SITE[:WINDOW[:COUNT]]; sites: lu-factorize, "
+                     "ft-update, ftran, btran, warm-basis, cholesky, "
+                     "cache-line, deadline)\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--unit-deadline-ms") {
+      const char* v = next("--unit-deadline-ms");
+      if (v == nullptr) return false;
+      opt.unit_deadline_ms = std::strtod(v, nullptr);
+    } else if (arg == "--unit-retries") {
+      const char* v = next("--unit-retries");
+      if (v == nullptr) return false;
+      opt.unit_retries = static_cast<std::size_t>(
+          std::strtoul(v, nullptr, 10));
+    } else if (arg == "--retry-backoff-ms") {
+      const char* v = next("--retry-backoff-ms");
+      if (v == nullptr) return false;
+      opt.retry_backoff_ms = std::strtod(v, nullptr);
     } else if (arg == "--jobs" || arg == "-j") {
       const char* v = next("--jobs");
       if (v == nullptr) return false;
@@ -417,6 +462,10 @@ int main(int argc, char** argv) {
   ropts.write_json = !opt.smoke;
   ropts.cache = opt.cache;
   ropts.cache_dir = opt.cache_dir;
+  ropts.fault = opt.fault;
+  ropts.unit_deadline_ms = opt.unit_deadline_ms;
+  ropts.unit_retries = opt.unit_retries;
+  ropts.retry_backoff_ms = opt.retry_backoff_ms;
 
   const dpm::bench::WallTimer timer;
   const dpm::scenario::ExperimentRunner runner(ropts);
@@ -458,6 +507,26 @@ int main(int argc, char** argv) {
                 total == 0 ? 0.0
                            : 100.0 * static_cast<double>(t.sparse_sweeps) /
                                  static_cast<double>(total));
+    // Recovery odometer (robust/supervisor.h): every supervised solve
+    // this invocation ran, how many needed the escalation ladder, and
+    // how many injected faults actually fired.
+    const dpm::robust::RecoveryTelemetry rt =
+        dpm::robust::recovery_telemetry();
+    std::printf("telemetry: supervised=%ju first_try=%ju recovered=%ju "
+                "unrecovered=%ju faults_fired=%ju",
+                static_cast<std::uintmax_t>(rt.supervised),
+                static_cast<std::uintmax_t>(rt.first_try),
+                static_cast<std::uintmax_t>(rt.recovered),
+                static_cast<std::uintmax_t>(rt.unrecovered),
+                static_cast<std::uintmax_t>(dpm::robust::faults_fired()));
+    for (std::size_t r = 0; r < dpm::robust::kNumRecoveryRungs; ++r) {
+      std::string key =
+          dpm::robust::to_string(static_cast<dpm::robust::RecoveryRung>(r));
+      std::replace(key.begin(), key.end(), '-', '_');
+      std::printf(" rung_%s=%ju", key.c_str(),
+                  static_cast<std::uintmax_t>(rt.rung_attempts[r]));
+    }
+    std::printf("\n");
   }
 
   bool bad = false;

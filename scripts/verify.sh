@@ -15,11 +15,19 @@
 #                                # hypersparse sweep path stays the
 #                                # common case (>50% of triangular
 #                                # sweeps) on the fig08 disk scenario
+#   scripts/verify.sh --fault-smoke
+#                                # Release build, then the injected-
+#                                # fault matrix: every probe site over
+#                                # the full smoke registry must exit 0
+#                                # with JSON byte-identical to a clean
+#                                # run, --jobs 1 == --jobs 4 under
+#                                # injection included
 #
-# Full mode is the tier-1 gate plus the sanitizer sweep; --quick is the
-# edit-compile-check loop (every gtest suite plus one smoke run of every
-# registered scenario with shape assertions on).  Every mode ends with
-# the docs drift gate and the golden-baseline comparison.
+# Full mode is the tier-1 gate plus the sanitizer sweep and the fault
+# matrix; --quick is the edit-compile-check loop (every gtest suite
+# plus one smoke run of every registered scenario with shape assertions
+# on).  Every mode ends with the docs and robustness drift gates and
+# the golden-baseline comparison.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +43,8 @@ run_preset() {
 check_docs() {
   echo "=== docs drift gate ==="
   scripts/check_docs.sh build/bench_scenarios
+  echo "=== robustness drift gate ==="
+  scripts/check_robust.sh
 }
 
 check_golden() {
@@ -75,6 +85,42 @@ check_perf_smoke() {
   echo "perf smoke: ok (sparse sweep share ${pct}%)"
 }
 
+check_fault_smoke() {
+  echo "=== fault smoke: injected-fault matrix over the smoke registry ==="
+  # Acceptance bar from docs/robustness.md: under every single-fault
+  # plan the run exits 0 (structured recovery, no crash) and the
+  # emitted JSON is byte-identical to a fault-free run — the supervisor
+  # and the runner's bounded retry absorb every injected fault without
+  # changing a single answer.
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "${out}"' RETURN
+  build/bench_scenarios --smoke --quiet --no-cache \
+    --baseline-out "${out}/clean" > /dev/null
+  local site
+  for site in lu-factorize ft-update ftran btran warm-basis cholesky \
+              cache-line deadline; do
+    build/bench_scenarios --smoke --quiet --no-cache \
+      --fault-inject "${site}" --unit-retries 2 \
+      --baseline-out "${out}/${site}" > /dev/null
+    if ! diff -rq "${out}/clean" "${out}/${site}" > /dev/null; then
+      echo "fault smoke: FAILED (--fault-inject ${site}: JSON differs from the clean run)"
+      diff -rq "${out}/clean" "${out}/${site}" || true
+      return 1
+    fi
+    echo "fault smoke: ${site} ok (exit 0, JSON byte-identical)"
+  done
+  # Determinism under injection: --jobs 4 must reproduce --jobs 1.
+  build/bench_scenarios --smoke --quiet --no-cache --jobs 4 \
+    --fault-inject ftran --unit-retries 2 \
+    --baseline-out "${out}/jobs4" > /dev/null
+  if ! diff -rq "${out}/ftran" "${out}/jobs4" > /dev/null; then
+    echo "fault smoke: FAILED (--jobs 4 differs from --jobs 1 under injection)"
+    return 1
+  fi
+  echo "fault smoke: ok (8 sites recovered byte-identically, --jobs invariant)"
+}
+
 case "${1:-}" in
   --quick)
     # Everything except the solver-scaling bench smokes (the scenario
@@ -98,11 +144,16 @@ case "${1:-}" in
     build_release
     check_perf_smoke
     ;;
+  --fault-smoke)
+    build_release
+    check_fault_smoke
+    ;;
   *)
     run_preset release
     check_docs
     check_golden
     check_perf_smoke
+    check_fault_smoke
     run_preset debug
     ;;
 esac

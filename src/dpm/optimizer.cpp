@@ -1,7 +1,10 @@
 #include "dpm/optimizer.h"
 
 #include <cmath>
+#include <string>
 #include <utility>
+
+#include "robust/supervisor.h"
 
 namespace dpm {
 
@@ -25,6 +28,34 @@ std::vector<double> achieved_per_step(
     achieved.push_back(one_minus_gamma * total);
   }
   return achieved;
+}
+
+/// One supervised solve (robust/supervisor.h): the escalation ladder
+/// turns transient numerical trouble into a determination.  The rare
+/// undetermined outcome (unhealed numerical failure, expired deadline)
+/// surfaces as LpError so the layer above — the scenario runner —
+/// converts it into a structured unit failure instead of this code
+/// silently treating a broken solve as "infeasible".
+lp::LpSolution supervised_solve(const lp::LpProblem& problem,
+                                lp::Backend backend,
+                                const lp::SimplexBasis* warm = nullptr,
+                                lp::SimplexBasis* basis_out = nullptr) {
+  robust::SupervisorOptions opts;
+  opts.backend = backend;
+  const robust::SolveSupervisor supervisor(opts);
+  robust::SolveOutcome outcome = supervisor.solve(problem, warm, basis_out);
+  if (!outcome.determined()) {
+    std::string msg = "supervised solve abandoned";
+    if (outcome.failure.has_value()) {
+      msg += ": ";
+      msg += robust::to_string(outcome.failure->reason);
+      if (!outcome.failure->detail.empty()) {
+        msg += " (" + outcome.failure->detail + ")";
+      }
+    }
+    throw lp::LpError(msg);
+  }
+  return std::move(outcome.solution);
 }
 
 }  // namespace
@@ -149,7 +180,7 @@ OptimizationResult PolicyOptimizer::minimize(
     const StateActionMetric& objective,
     const std::vector<OptimizationConstraint>& constraints) const {
   const lp::LpProblem problem = build_lp(objective, constraints);
-  const lp::LpSolution lp_sol = lp::solve(problem, config_.backend);
+  const lp::LpSolution lp_sol = supervised_solve(problem, config_.backend);
 
   OptimizationResult result;
   result.lp_status = lp_sol.status;
@@ -235,8 +266,9 @@ std::vector<PolicyOptimizer::ParetoPoint> PolicyOptimizer::sweep(
   for (const double bound : sweep_bounds) {
     lp.set_rhs(swept_row, bound * horizon);
     lp::SimplexBasis next;
-    const lp::LpSolution s = lp::solve_revised_simplex(
-        lp, {}, basis.empty() ? nullptr : &basis, &next);
+    const lp::LpSolution s =
+        supervised_solve(lp, lp::Backend::kRevisedSimplex,
+                         basis.empty() ? nullptr : &basis, &next);
     ParetoPoint pt;
     pt.bound = bound;
     pt.lp_iterations = s.iterations;

@@ -61,6 +61,13 @@ class PolicyOptimizer {
   PolicyOptimizer(const SystemModel& model, OptimizerConfig config);
 
   /// General form: minimize a metric subject to per-step constraints.
+  ///
+  /// Every solve runs under robust::SolveSupervisor: transient
+  /// numerical trouble (singular refactorization, non-finite values, an
+  /// IPM Cholesky breakdown) is healed by the escalation ladder with a
+  /// bit-identical objective where possible; an outcome the ladder
+  /// cannot determine surfaces as lp::LpError rather than masquerading
+  /// as infeasibility.  See docs/robustness.md.
   OptimizationResult minimize(
       const StateActionMetric& objective,
       const std::vector<OptimizationConstraint>& constraints = {}) const;

@@ -6,9 +6,23 @@
 #include <limits>
 #include <queue>
 
+#include "robust/probe.h"
+
 namespace dpm::linalg {
 
 namespace {
+
+/// Injected-fault spike (robust::FaultSite::kFtranSpike /
+/// kBtranSpike): models a detected non-finite solve result.  Thrown
+/// (not silently poisoned) because a NaN that lands in a heuristic
+/// vector — Devex weights, DSE taus — would steer the pivot trajectory
+/// without ever failing a correctness check; the typed error makes the
+/// corruption a structured, recoverable failure at the point of
+/// detection.  Only ever runs when an armed fault plan fires.
+[[noreturn]] void injected_spike(const char* op) {
+  throw LinalgError(std::string("basis-factorization: injected nonfinite ") +
+                    op + " spike");
+}
 
 constexpr std::size_t kNoPosition = std::numeric_limits<std::size_t>::max();
 
@@ -43,6 +57,9 @@ bool SparseLu::factorize(std::size_t n,
   }
   n_ = n;
   valid_ = false;
+  // Fault injection: report this basis as singular, exactly like a
+  // structurally deficient matrix below.
+  if (robust::probe(robust::FaultSite::kLuFactorize)) return false;
   factor_nnz_ = 0;
   factor_ops_ = 0;
   lower_gate_.reset();
@@ -648,6 +665,13 @@ bool BasisFactorization::refactorize(std::size_t n,
 }
 
 bool BasisFactorization::update(std::size_t r, const Vector& d) {
+  // Fault injection: an update refusal storm that refactorization
+  // cannot keep up with.  A single organic refusal (the interval check
+  // below) is normal protocol — the caller just refactorizes — so the
+  // injected terminal state is a typed error, not one more false.
+  if (robust::probe(robust::FaultSite::kFtUpdate)) {
+    throw LinalgError("basis-factorization: injected update refusal storm");
+  }
   if (etas_.size() >= refactor_interval_) return false;
   const std::size_t p = label_of_slot_[r];
   const std::size_t op = order_of_label_[p];
@@ -826,6 +850,7 @@ void BasisFactorization::ftran(Vector& x, bool cache_spike) const {
   for (std::size_t lbl = 0; lbl < n_; ++lbl) x[slot_of_label_[lbl]] = z[lbl];
   ++dense_sweeps_;
   touched_entries_ += n_;
+  if (robust::probe(robust::FaultSite::kFtranSpike)) injected_spike("ftran");
 }
 
 void BasisFactorization::btran(Vector& x) const {
@@ -852,6 +877,7 @@ void BasisFactorization::btran(Vector& x) const {
   lu_.lower_transpose_solve(v, x);
   ++dense_sweeps_;
   touched_entries_ += n_;
+  if (robust::probe(robust::FaultSite::kBtranSpike)) injected_spike("btran");
 }
 
 // ---------------------------------------------------------------------
@@ -962,6 +988,7 @@ void BasisFactorization::ftran_sparse(IndexedVector& x, bool cache_spike) const 
     ++sparse_sweeps_;
     touched_entries_ += z.entries();
   }
+  if (robust::probe(robust::FaultSite::kFtranSpike)) injected_spike("ftran");
 }
 
 void BasisFactorization::btran_sparse(IndexedVector& x) const {
@@ -1042,6 +1069,7 @@ void BasisFactorization::btran_sparse(IndexedVector& x) const {
     ++dense_sweeps_;
     touched_entries_ += n_;
   }
+  if (robust::probe(robust::FaultSite::kBtranSpike)) injected_spike("btran");
 }
 
 }  // namespace dpm::linalg

@@ -8,6 +8,7 @@
 
 #include "linalg/cholesky.h"
 #include "lp/revised_simplex.h"
+#include "robust/probe.h"
 
 namespace dpm::lp {
 
@@ -58,6 +59,12 @@ StandardForm to_standard_form(const LpProblem& p) {
 class NormalEquations {
  public:
   NormalEquations(const Matrix& a, const Vector& theta) {
+    // Fault injection: a hopeless Cholesky, the same LinalgError the
+    // last-resort shift below raises — typed by the caller as
+    // cholesky-breakdown, mapped by the supervisor to simplex fallback.
+    if (robust::probe(robust::FaultSite::kCholesky)) {
+      throw linalg::LinalgError("normal-equations: injected breakdown");
+    }
     const std::size_t m = a.rows();
     const std::size_t n = a.cols();
     Matrix ada(m, m);
@@ -108,6 +115,9 @@ double max_step(const Vector& v, const Vector& dv) {
   return alpha;
 }
 
+LpSolution mehrotra_solve(const LpProblem& problem,
+                          const InteriorPointOptions& options);
+
 }  // namespace
 
 LpSolution solve_interior_point(const LpProblem& problem,
@@ -130,6 +140,24 @@ LpSolution solve_interior_point(const LpProblem& problem,
     // No native bound handling; solve the explicit-row reformulation.
     return solve_interior_point(bounds_as_rows(problem), options);
   }
+  // Structured failure instead of an escaping exception: a Cholesky
+  // that is hopeless even at the last-resort shift surfaces as
+  // kNumericalFailure, which robust::SolveSupervisor maps to the
+  // simplex fallback rungs.
+  try {
+    return mehrotra_solve(problem, options);
+  } catch (const linalg::LinalgError&) {
+    LpSolution sol;
+    sol.status = LpStatus::kNumericalFailure;
+    sol.note = "cholesky-breakdown";
+    return sol;
+  }
+}
+
+namespace {
+
+LpSolution mehrotra_solve(const LpProblem& problem,
+                          const InteriorPointOptions& options) {
   const StandardForm sf = to_standard_form(problem);
   const Matrix& a = sf.a;
   const Matrix at = a.transposed();
@@ -181,6 +209,17 @@ LpSolution solve_interior_point(const LpProblem& problem,
 
   LpSolution sol;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    if (robust::deadline_expired()) {
+      sol.status = LpStatus::kDeadline;
+      sol.note = "deadline";
+      sol.iterations = iter;
+      sol.x.assign(sf.n_orig, 0.0);
+      for (std::size_t j = 0; j < sf.n_orig; ++j) {
+        sol.x[j] = std::max(0.0, x[j]);
+      }
+      sol.objective = problem.objective(sol.x);
+      return sol;
+    }
     // Residuals.
     const Vector ax = a * x;
     Vector rp(m);
@@ -277,5 +316,7 @@ LpSolution solve_interior_point(const LpProblem& problem,
   sol.objective = problem.objective(sol.x);
   return sol;
 }
+
+}  // namespace
 
 }  // namespace dpm::lp

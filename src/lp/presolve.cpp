@@ -431,6 +431,7 @@ LpSolution Presolve::postsolve(const LpSolution& red,
   LpSolution sol;
   sol.status = status_ == PresolveStatus::kEmpty ? LpStatus::kOptimal
                                                  : red.status;
+  sol.note = red.note;  // failure detail survives the postsolve
   sol.iterations = red.iterations;
   if (sol.status != LpStatus::kOptimal) return sol;
 

@@ -189,6 +189,10 @@ const char* to_string(LpStatus s) noexcept {
       return "unbounded";
     case LpStatus::kIterationLimit:
       return "iteration-limit";
+    case LpStatus::kNumericalFailure:
+      return "numerical-failure";
+    case LpStatus::kDeadline:
+      return "deadline";
   }
   return "unknown";
 }

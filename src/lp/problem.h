@@ -110,7 +110,25 @@ class LpProblem {
 /// bounded-variable tests.
 LpProblem bounds_as_rows(const LpProblem& problem);
 
-enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class LpStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  /// The solver hit a numerical wall it could not pivot through:
+  /// singular refactorization, non-finite values mid-solve, or an IPM
+  /// Cholesky breakdown.  Deliberately distinct from kIterationLimit
+  /// (which the revised simplex remedies with perturbed retries):
+  /// numerical failures are handed to robust::SolveSupervisor, whose
+  /// escalation ladder retries the *exact* problem colder instead of a
+  /// perturbed one, so recovered objectives stay bit-identical.
+  kNumericalFailure,
+  /// The cooperative per-unit wall-clock deadline expired mid-solve
+  /// (robust::deadline_expired(), polled in the pivot loops).  Never
+  /// retried internally — the partial work is abandoned and the caller
+  /// (scenario runner / supervisor) decides whether to re-attempt.
+  kDeadline,
+};
 
 const char* to_string(LpStatus s) noexcept;
 
@@ -127,6 +145,11 @@ struct LpSolution {
   /// presolve path (cold solves do by default) for exact bound-row
   /// multipliers.  Other backends leave this empty.
   linalg::Vector duals;
+  /// Machine-readable failure note, empty on success.  Set alongside the
+  /// failure statuses so robust::SolveSupervisor can type the failure
+  /// without parsing exception text: "singular-refactorization",
+  /// "nonfinite-values", "cholesky-breakdown", "deadline".
+  const char* note = nullptr;
 };
 
 /// Deterministically perturbed copy: rhs_i += eps * (i+1) * scale / m,

@@ -6,13 +6,14 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <string>
 
 #include "linalg/indexed_vector.h"
 #include "linalg/sparse_lu.h"
 #include "lp/presolve.h"
+#include "robust/probe.h"
 
 namespace dpm::lp {
 
@@ -26,6 +27,20 @@ double now_ms() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+#ifdef DPM_VERIFY_SPARSE
+/// Verification-build invariant breach: a structured throw the
+/// supervisor types as invariant-violation (the word "invariant" in
+/// the message is the contract), replacing the old fprintf+abort.
+[[noreturn]] void invariant_failure(const char* check, std::size_t i,
+                                    double dense_val, double sparse_val) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "revised-simplex invariant: %s i=%zu dense=%.17g sparse=%.17g",
+                check, i, dense_val, sparse_val);
+  throw LpError(buf);
+}
+#endif
 
 // Process-wide hypersparsity odometer, aggregated once per solve from
 // each factorization's cumulative counters (see sweep_telemetry()).
@@ -156,8 +171,11 @@ class RevisedSimplex {
 
   bool install_warm_basis(const SimplexBasis& warm) {
     if (warm.basic.size() != m_) return false;
+    std::vector<char> seen(n_cols_, 0);
     for (const std::size_t j : warm.basic) {
       if (j >= n_cols_) return false;
+      if (seen[j] != 0) return false;  // repeated column: structural junk
+      seen[j] = 1;
     }
     basis_ = warm.basic;
     // Restore nonbasic bound status.  Only columns whose bound is
@@ -230,9 +248,7 @@ class RevisedSimplex {
 #ifdef DPM_VERIFY_SPARSE
     for (std::size_t i = 0; i < m_; ++i) {
       if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
-        std::fprintf(stderr, "FTRAN INPUT INVARIANT i=%zu val=%.17g\n", i,
-                     v.values[i]);
-        std::abort();
+        invariant_failure("FTRAN input pattern", i, 0.0, v.values[i]);
       }
     }
     linalg::Vector dense = v.values;
@@ -244,14 +260,10 @@ class RevisedSimplex {
 #ifdef DPM_VERIFY_SPARSE
     for (std::size_t i = 0; i < m_; ++i) {
       if (std::memcmp(&dense[i], &v.values[i], sizeof(double)) != 0) {
-        std::fprintf(stderr, "FTRAN MISMATCH i=%zu dense=%.17g sparse=%.17g\n",
-                     i, dense[i], v.values[i]);
-        std::abort();
+        invariant_failure("FTRAN mismatch", i, dense[i], v.values[i]);
       }
       if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
-        std::fprintf(stderr, "FTRAN PATTERN MISS i=%zu val=%.17g\n", i,
-                     v.values[i]);
-        std::abort();
+        invariant_failure("FTRAN pattern miss", i, dense[i], v.values[i]);
       }
     }
 #endif
@@ -261,9 +273,7 @@ class RevisedSimplex {
 #ifdef DPM_VERIFY_SPARSE
     for (std::size_t i = 0; i < m_; ++i) {
       if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
-        std::fprintf(stderr, "BTRAN INPUT INVARIANT i=%zu val=%.17g\n", i,
-                     v.values[i]);
-        std::abort();
+        invariant_failure("BTRAN input pattern", i, 0.0, v.values[i]);
       }
     }
     linalg::Vector dense = v.values;
@@ -275,14 +285,10 @@ class RevisedSimplex {
 #ifdef DPM_VERIFY_SPARSE
     for (std::size_t i = 0; i < m_; ++i) {
       if (std::memcmp(&dense[i], &v.values[i], sizeof(double)) != 0) {
-        std::fprintf(stderr, "BTRAN MISMATCH i=%zu dense=%.17g sparse=%.17g\n",
-                     i, dense[i], v.values[i]);
-        std::abort();
+        invariant_failure("BTRAN mismatch", i, dense[i], v.values[i]);
       }
       if (v.values[i] != 0.0 && !v.dense() && !v.in_pattern(i)) {
-        std::fprintf(stderr, "BTRAN PATTERN MISS i=%zu val=%.17g\n", i,
-                     v.values[i]);
-        std::abort();
+        invariant_failure("BTRAN pattern miss", i, dense[i], v.values[i]);
       }
     }
 #endif
@@ -418,6 +424,7 @@ class RevisedSimplex {
   struct PhaseResult {
     LpStatus status = LpStatus::kIterationLimit;
     std::size_t iterations = 0;
+    const char* note = nullptr;  // failure detail (see LpSolution::note)
   };
 
   /// Primal simplex minimizing `cost` from the current factorized basis.
@@ -440,9 +447,22 @@ class RevisedSimplex {
     y_stale_ = true;
 
     while (res.iterations < opt_.max_iterations) {
-      if (!factor_.valid()) return res;  // numerically wedged
+      if (robust::deadline_expired()) {
+        res.status = LpStatus::kDeadline;
+        res.note = "deadline";
+        return res;
+      }
+      if (!factor_.valid()) {  // numerically wedged
+        res.status = LpStatus::kNumericalFailure;
+        res.note = "singular-refactorization";
+        return res;
+      }
       if (factor_.needs_refactor()) {
-        if (!refactorize()) return res;
+        if (!refactorize()) {
+          res.status = LpStatus::kNumericalFailure;
+          res.note = "singular-refactorization";
+          return res;
+        }
         recompute_xb();
         y_stale_ = true;
       }
@@ -542,6 +562,14 @@ class RevisedSimplex {
       for (const std::size_t j : finite_ub_cols_) {
         if (at_upper_[j]) obj += cost[j] * upper_[j];
       }
+      if (!std::isfinite(obj)) {
+        // A NaN/Inf reached the basic values (poisoned sweep, overflow):
+        // no pivot can repair it, and comparisons below would silently
+        // misbehave.  Surface it as a typed failure instead.
+        res.status = LpStatus::kNumericalFailure;
+        res.note = "nonfinite-values";
+        return res;
+      }
       if (obj < best_obj - 1e-12) {
         best_obj = obj;
         stall = 0;
@@ -592,9 +620,22 @@ class RevisedSimplex {
     std::size_t bad_pivots = 0;  // consecutive drifted-pivot resyncs
 
     while (res.iterations < max_iters) {
-      if (!factor_.valid()) return res;
+      if (robust::deadline_expired()) {
+        res.status = LpStatus::kDeadline;
+        res.note = "deadline";
+        return res;
+      }
+      if (!factor_.valid()) {
+        res.status = LpStatus::kNumericalFailure;
+        res.note = "singular-refactorization";
+        return res;
+      }
       if (factor_.needs_refactor()) {
-        if (!refactorize()) return res;
+        if (!refactorize()) {
+          res.status = LpStatus::kNumericalFailure;
+          res.note = "singular-refactorization";
+          return res;
+        }
         recompute_xb();
         xb_pivots = 0;
         y_stale_ = true;
@@ -607,6 +648,11 @@ class RevisedSimplex {
       double viol = 0.0;
       bool above_upper = false;
       for (std::size_t i = 0; i < m_; ++i) {
+        if (!std::isfinite(xb_[i])) {
+          res.status = LpStatus::kNumericalFailure;
+          res.note = "nonfinite-values";
+          return res;
+        }
         double v = -xb_[i];
         bool up = false;
         const double u = upper_[basis_[i]];
@@ -745,7 +791,11 @@ class RevisedSimplex {
         // (update drift): resync everything and retry the row; give up
         // if it keeps happening.
         if (++bad_pivots > 3) return res;
-        if (!refactorize()) return res;
+        if (!refactorize()) {
+          res.status = LpStatus::kNumericalFailure;
+          res.note = "singular-refactorization";
+          return res;
+        }
         recompute_xb();
         xb_pivots = 0;
         y_stale_ = true;
@@ -1137,7 +1187,27 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
   // repair whichever primal infeasibility the perturbation introduced.
   bool warm_done = false;
   if (warm != nullptr && !warm->empty()) {
-    if (engine.install_warm_basis(*warm) && engine.refactorize()) {
+    // Fault injection: a corrupted warm basis is detected before the
+    // install and surfaces as a structured failure — the supervisor's
+    // retry rung re-reads the caller's pristine basis and reproduces
+    // the fault-free pivot trajectory exactly.  (A structurally
+    // incompatible basis below still falls through to the cold path:
+    // that is a stale hand-off, not a fault.)
+    if (robust::probe(robust::FaultSite::kWarmBasis)) {
+      sol.status = LpStatus::kNumericalFailure;
+      sol.note = "warm-basis-corrupted";
+      return sol;
+    }
+    const bool installed = engine.install_warm_basis(*warm);
+    if (installed && !engine.refactorize()) {
+      // A basis that installs but will not factor is numerical trouble,
+      // not staleness: surface it instead of silently going cold, so
+      // the supervised path can retry deterministically.
+      sol.status = LpStatus::kNumericalFailure;
+      sol.note = "singular-refactorization";
+      return sol;
+    }
+    if (installed) {
       // The basis may carry artificials basic at zero: a presolve-
       // recovered basis re-enters removed equality rows that way, and
       // drive-out leaves one on each truly redundant row.  Cap them so
@@ -1151,6 +1221,12 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
           dres = engine.dual(opt.max_dual_iterations);
           sol.iterations += dres.iterations;
         }
+        if (dres.status == LpStatus::kNumericalFailure ||
+            dres.status == LpStatus::kDeadline) {
+          sol.status = dres.status;
+          sol.note = dres.note;
+          return sol;
+        }
         if (dres.status == LpStatus::kInfeasible) {
           sol.status = LpStatus::kInfeasible;
           return sol;
@@ -1160,6 +1236,12 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
           const auto r2 = engine.primal(engine.phase2_cost(),
                                         /*artificial_cap=*/true);
           sol.iterations += r2.iterations;
+          if (r2.status == LpStatus::kNumericalFailure ||
+              r2.status == LpStatus::kDeadline) {
+            sol.status = r2.status;
+            sol.note = r2.note;
+            return sol;
+          }
           if (r2.status == LpStatus::kOptimal) {
             const std::size_t iters = sol.iterations;
             sol = engine.extract(problem);
@@ -1173,7 +1255,8 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
       engine.save_basis(basis_out);
       return sol;
     }
-    // Fall through to a cold solve on any warm-start trouble; the
+    // Fall through to a cold solve on any *semantic* warm-start trouble
+    // (stale shape, dual infeasibility, pivot-budget trouble); the
     // primal phases need the implicit infinite artificial cap back.
     engine.uncap_artificials();
     sol = LpSolution{};
@@ -1182,7 +1265,9 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
   // --- cold path ----------------------------------------------------
   const bool need_phase1 = engine.install_cold_basis();
   if (!engine.refactorize()) {
-    return sol;  // kIterationLimit: pathological initial basis
+    sol.status = LpStatus::kNumericalFailure;  // cold basis wouldn't factor
+    sol.note = "singular-refactorization";
+    return sol;
   }
   engine.recompute_xb();
 
@@ -1196,11 +1281,26 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
     engine.cap_artificials();
     const auto rd = engine.dual(opt.max_iterations);
     sol.iterations += rd.iterations;
+    if (rd.status == LpStatus::kNumericalFailure ||
+        rd.status == LpStatus::kDeadline) {
+      // Numerical trouble (or an expired deadline) must surface, not
+      // silently reroute through the two-phase path with a different
+      // pivot trajectory — the supervised retry reproduces this one.
+      sol.status = rd.status;
+      sol.note = rd.note;
+      return sol;
+    }
     if (rd.status == LpStatus::kOptimal) {
       engine.drive_out_artificials();
       const auto rp = engine.primal(engine.phase2_cost(),
                                     /*artificial_cap=*/true);
       sol.iterations += rp.iterations;
+      if (rp.status == LpStatus::kNumericalFailure ||
+          rp.status == LpStatus::kDeadline) {
+        sol.status = rp.status;
+        sol.note = rp.note;
+        return sol;
+      }
       if (rp.status == LpStatus::kOptimal) {
         const std::size_t iters = sol.iterations;
         sol = engine.extract(problem);
@@ -1212,6 +1312,8 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
     engine.uncap_artificials();
     engine.install_cold_basis();
     if (!engine.refactorize()) {
+      sol.status = LpStatus::kNumericalFailure;
+      sol.note = "singular-refactorization";
       return sol;
     }
     engine.recompute_xb();
@@ -1224,6 +1326,7 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
     if (r1.status != LpStatus::kOptimal) {
       sol.status = r1.status == LpStatus::kUnbounded ? LpStatus::kIterationLimit
                                                      : r1.status;
+      sol.note = r1.note;
       return sol;
     }
     if (engine.phase1_objective() > opt.feas_tol) {
@@ -1237,6 +1340,7 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
                                 /*artificial_cap=*/true);
   sol.iterations += r2.iterations;
   sol.status = r2.status;
+  sol.note = r2.note;
   if (r2.status != LpStatus::kOptimal) return sol;
 
   const std::size_t iters = sol.iterations;
@@ -1253,6 +1357,20 @@ LpSolution solve_once(const LpProblem& problem,
   const LpSolution sol = run_phases(engine, problem, opt, warm, basis_out);
   engine.flush_sweep_telemetry();
   return sol;
+}
+
+/// Final poison audit: an optimal result carrying non-finite numbers
+/// (e.g. a corrupted sweep surviving into extract()'s dual btran, where
+/// no pivot-loop guard runs) must never be reported as success.
+void audit_finite(LpSolution& sol) {
+  if (sol.status != LpStatus::kOptimal) return;
+  bool ok = std::isfinite(sol.objective);
+  for (const double v : sol.x) ok = ok && std::isfinite(v);
+  for (const double v : sol.duals) ok = ok && std::isfinite(v);
+  if (!ok) {
+    sol.status = LpStatus::kNumericalFailure;
+    sol.note = "nonfinite-values";
+  }
 }
 
 // Process-wide pivot odometer (monotone, never reset): lets tests
@@ -1314,11 +1432,13 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
         options.stats->solve_ms = now_ms() - t0;
         options.stats->iterations = out.iterations;
       }
+      audit_finite(out);
       return out;
     }
   }
 
   LpSolution sol = solve_once(problem, options, warm, basis_out);
+  audit_finite(sol);
   if (sol.status != LpStatus::kIterationLimit) {
     if (options.stats != nullptr) {
       options.stats->solve_ms = now_ms() - t0;
@@ -1332,7 +1452,8 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
   // the same remedy (and helper) the dense tableau uses.
   for (const double eps : {1e-11, 1e-9, 1e-7}) {
     const LpProblem copy = perturbed_copy(problem, eps);
-    const LpSolution retry = solve_once(copy, options, nullptr, basis_out);
+    LpSolution retry = solve_once(copy, options, nullptr, basis_out);
+    audit_finite(retry);
     if (retry.status != LpStatus::kIterationLimit) {
       LpSolution out = retry;
       if (out.status == LpStatus::kOptimal) {

@@ -1,0 +1,82 @@
+// Deterministic fault plans and scoped arming for the probe points in
+// robust/probe.h.
+//
+// A FaultPlan says *which* probe site fires and *when* (the N-th time
+// the armed thread passes that probe).  Plans are derived from
+// (scope, index) through sim::derive_seed, so the same unit always
+// sees the same fault regardless of thread count or scheduling — the
+// fault matrix inherits the scenario engine's determinism contract.
+//
+// Arming is per-thread and RAII-scoped: the scenario runner constructs
+// one FaultScope per unit (outside its retry loop, so a single-shot
+// fault consumed on attempt 0 stays consumed and the retry runs
+// clean), tests construct one per solve.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "robust/probe.h"
+
+namespace dpm::robust {
+
+/// One injected fault: `site` fires on probe ordinals
+/// [fire_at, fire_at + count) of the armed thread, then never again.
+/// `count > 1` models refusal *storms* (e.g. consecutive FT update
+/// rejections); the default single shot models a transient.
+struct FaultPlan {
+  FaultSite site = FaultSite::kLuFactorize;
+  std::uint64_t fire_at = 1;  ///< 1-based ordinal of the firing probe
+  std::uint64_t count = 1;    ///< consecutive firings from fire_at
+
+  /// Derives the firing ordinal deterministically from (scope, index)
+  /// via sim::derive_seed, landing in [1, window].  Window 0 or 1 pins
+  /// the fault to the very first probe.
+  static FaultPlan derive(FaultSite site, std::string_view scope,
+                          std::uint64_t index, std::uint64_t window,
+                          std::uint64_t count = 1) noexcept;
+};
+
+/// Parameters for deriving one FaultPlan per unit inside the scenario
+/// runner (RunnerOptions carries an optional FaultSpec; the runner
+/// calls FaultPlan::derive(site, scenario_name, unit_index, window,
+/// count) for each unit).
+struct FaultSpec {
+  FaultSite site = FaultSite::kLuFactorize;
+  std::uint64_t window = 16;  ///< firing ordinal drawn from [1, window]
+  std::uint64_t count = 1;
+};
+
+/// Parses a CLI spec "site[:window[:count]]" (site names as printed by
+/// to_string(FaultSite)).  Returns nullopt on an unknown site or a
+/// malformed number.
+std::optional<FaultSpec> parse_fault_spec(std::string_view text) noexcept;
+
+/// RAII arming of a FaultPlan on the calling thread.  Probe hit
+/// counters live in the scope's thread-local slot and reset when a new
+/// scope is constructed — never in between, so retries inside one
+/// scope see an already-consumed single-shot fault as clean.
+class FaultScope {
+ public:
+  explicit FaultScope(const FaultPlan& plan) noexcept;
+  ~FaultScope();
+
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+
+  /// Probe ordinals of `plan.site` seen by this thread so far.
+  std::uint64_t hits() const noexcept;
+  /// Firings consumed from this scope's plan so far.
+  std::uint64_t fired() const noexcept;
+
+ private:
+  // Saved outer state: scopes nest, and the destructor restores the
+  // enclosing scope's plan together with its counters.
+  FaultPlan prev_plan_;
+  std::uint64_t prev_hits_ = 0;
+  std::uint64_t prev_fired_ = 0;
+  bool prev_armed_ = false;
+};
+
+}  // namespace dpm::robust

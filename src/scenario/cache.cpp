@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "robust/probe.h"
 #include "scenario/json.h"
 #include "sim/hash.h"
 
@@ -222,10 +223,38 @@ bool ResultCache::flush() {
          << hex16(sim::fnv1a(e->payload)) << "\",\"payload\":" << e->payload
          << "}\n";
   }
-  std::ofstream outf(file_, std::ios::trunc);
-  if (!outf) return false;
-  outf << body.str();
-  return static_cast<bool>(outf);
+  std::string text = body.str();
+
+  // Fault injection: flip one byte mid-store, simulating a torn write
+  // that survived the rename.  Whatever the flip lands on (checksum,
+  // quote, even the newline between entries) the damaged line fails the
+  // load-time parse or checksum and is dropped — corruption degrades to
+  // a recompute, never a wrong replay.
+  if (!text.empty() && robust::probe(robust::FaultSite::kCacheLine)) {
+    text[text.size() / 2] ^= 0x20;
+  }
+
+  // Crash-safe compaction: write the whole store to a sibling temp file
+  // and atomically rename it over cache.jsonl.  A crash (or kill) at
+  // any point leaves either the previous cache or the new one — never a
+  // truncated hybrid.
+  const std::string tmp = file_ + ".tmp";
+  {
+    std::ofstream outf(tmp, std::ios::trunc);
+    if (!outf) return false;
+    outf << text;
+    outf.flush();
+    if (!outf) {
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  std::filesystem::rename(tmp, file_, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace dpm::scenario

@@ -17,7 +17,9 @@
 //  * store — one JSONL file `<dir>/cache.jsonl`, one self-checksummed
 //    entry per line, LRU-bounded: the file is rewritten least-recently-
 //    used-first on flush and trimmed to `max_entries`, so the cache
-//    cannot grow without bound;
+//    cannot grow without bound; the rewrite goes to a sibling temp file
+//    first and is atomically renamed into place, so a crash mid-flush
+//    leaves the previous store intact instead of a truncated file;
 //  * integrity — every line carries an FNV-1a checksum of its payload;
 //    a poisoned or truncated line fails the checksum (or the parse) and
 //    is dropped, turning corruption into a recompute instead of a wrong
@@ -70,7 +72,9 @@ class ResultCache {
 
   /// Writes the store back as JSONL, oldest-touched first, trimmed to
   /// `max_entries` (evictions counted).  Creates the directory if
-  /// needed.  Returns false when the file cannot be written.
+  /// needed.  The write goes to `<file>.tmp` and is atomically renamed
+  /// over the store (crash-safe).  Returns false when the file cannot
+  /// be written.
   bool flush();
 
   const CacheStats& stats() const noexcept { return stats_; }

@@ -5,8 +5,11 @@
 #include <cstdio>
 #include <exception>
 #include <memory>
+#include <optional>
 #include <thread>
 
+#include "robust/fault_injection.h"
+#include "robust/probe.h"
 #include "scenario/cache.h"
 
 namespace dpm::scenario {
@@ -50,9 +53,13 @@ std::vector<ScenarioRunResult> ExperimentRunner::run(
 
   std::vector<std::vector<UnitOutput>> outputs(scenarios.size());
   std::vector<std::vector<char>> cached(scenarios.size());
+  std::vector<std::vector<std::size_t>> attempts(scenarios.size());
+  std::vector<std::vector<std::string>> first_error(scenarios.size());
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     outputs[i].resize(units[i].size());
     cached[i].assign(units[i].size(), 0);
+    attempts[i].assign(units[i].size(), 0);
+    first_error[i].resize(units[i].size());
   }
 
   // Content-addressed result cache: resolve hits before the pool starts
@@ -110,19 +117,53 @@ std::vector<ScenarioRunResult> ExperimentRunner::run(
       if (t >= tasks.size()) return;
       const UnitTask task = tasks[t];
       const Scenario& sc = *scenarios[task.scenario];
-      UnitContext ctx(sc.name, task.unit, smoke);
-      const double t0 = now_ms();
-      try {
-        units[task.scenario][task.unit].run(ctx);
-      } catch (const std::exception& e) {
-        ctx.check(false, "unit '" + units[task.scenario][task.unit].label +
-                             "' threw: " + e.what());
-      } catch (...) {
-        ctx.check(false, "unit '" + units[task.scenario][task.unit].label +
-                             "' threw a non-std exception");
+      Unit& unit = units[task.scenario][task.unit];
+
+      // Arm this unit's fault plan once, OUTSIDE the attempt loop: the
+      // plan is derived from the unit's identity (never the worker), so
+      // injection is --jobs-invariant, and a consumed single-shot fault
+      // stays consumed — the retry below solves clean and reproduces
+      // the fault-free output byte-for-byte.
+      std::optional<robust::FaultScope> fault_scope;
+      if (options_.fault.has_value()) {
+        fault_scope.emplace(robust::FaultPlan::derive(
+            options_.fault->site, sc.name, task.unit, options_.fault->window,
+            options_.fault->count));
       }
-      ctx.output().wall_ms = now_ms() - t0;
-      outputs[task.scenario][task.unit] = std::move(ctx.output());
+
+      const std::size_t max_attempts = options_.unit_retries + 1;
+      for (std::size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+        UnitContext ctx(sc.name, task.unit, smoke);
+        if (options_.unit_deadline_ms > 0.0) {
+          robust::set_thread_deadline(options_.unit_deadline_ms);
+        }
+        const double t0 = now_ms();
+        try {
+          unit.run(ctx);
+        } catch (const std::exception& e) {
+          ctx.check(false, "unit '" + unit.label + "' threw: " + e.what());
+        } catch (...) {
+          ctx.check(false,
+                    "unit '" + unit.label + "' threw a non-std exception");
+        }
+        robust::clear_thread_deadline();
+        ctx.output().wall_ms = now_ms() - t0;
+        attempts[task.scenario][task.unit] = attempt;
+        if (attempt == 1 && !ctx.output().failures.empty()) {
+          first_error[task.scenario][task.unit] =
+              ctx.output().failures.front();
+        }
+        const bool clean = ctx.output().failures.empty();
+        if (clean || attempt == max_attempts) {
+          outputs[task.scenario][task.unit] = std::move(ctx.output());
+          break;
+        }
+        if (options_.retry_backoff_ms > 0.0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double, std::milli>(
+                  options_.retry_backoff_ms * static_cast<double>(attempt)));
+        }
+      }
     }
   };
 
@@ -168,6 +209,25 @@ std::vector<ScenarioRunResult> ExperimentRunner::run(
     for (std::size_t u = 0; u < units[i].size(); ++u) {
       UnitOutput& out = outputs[i][u];
       if (cached[i][u] != 0) ++res.units_cached;
+      // Structured failure record for any unit whose first attempt
+      // failed.  Recovery notes go to stderr so stdout (and hence the
+      // --compare harness) stays byte-identical with a clean run.
+      if (attempts[i][u] > 1 || !out.failures.empty()) {
+        UnitFailure uf;
+        uf.unit = units[i][u].label;
+        uf.index = u;
+        uf.attempts = attempts[i][u];
+        uf.recovered = out.failures.empty();
+        uf.detail = first_error[i][u];
+        if (options_.print && uf.recovered) {
+          std::fprintf(stderr,
+                       "  [robust] %s unit '%s' recovered on attempt %zu "
+                       "(first attempt: %s)\n",
+                       sc.name.c_str(), uf.unit.c_str(), uf.attempts,
+                       uf.detail.c_str());
+        }
+        res.unit_failures.push_back(std::move(uf));
+      }
       if (options_.print) {
         if (cached[i][u] != 0) {
           std::printf("\n--- %s ---   (cached)\n", units[i][u].label.c_str());

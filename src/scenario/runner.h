@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "robust/fault_injection.h"
 #include "scenario/scenario.h"
 
 namespace dpm::scenario {
@@ -34,6 +36,35 @@ struct RunnerOptions {
   bool cache = false;
   std::string cache_dir = ".scenario_cache";
   std::size_t cache_max_entries = 4096;
+  /// Per-unit wall-clock deadline in milliseconds (0 = none).
+  /// Cooperative: solvers poll robust::deadline_expired() at iteration
+  /// boundaries, so an expired unit surfaces a structured kDeadline
+  /// failure instead of being killed mid-write.
+  double unit_deadline_ms = 0.0;
+  /// Bounded retry-with-backoff: a unit whose attempt fails (shape
+  /// failure, thrown exception, expired deadline) is re-run up to this
+  /// many more times before its failure is reported.  The unit's fault
+  /// scope is armed once, OUTSIDE the attempt loop, so a consumed
+  /// single-shot injected fault stays consumed and the retry reproduces
+  /// the fault-free output byte-for-byte.
+  std::size_t unit_retries = 0;
+  /// Sleep attempt*backoff ms between retry attempts (0 = immediate).
+  double retry_backoff_ms = 0.0;
+  /// Optional fault injection: each unit arms a FaultPlan derived from
+  /// (site, scenario name, unit index) — deterministic regardless of
+  /// --jobs, because plans are thread-local and derived from the unit's
+  /// identity, never from the worker that happens to run it.
+  std::optional<robust::FaultSpec> fault;
+};
+
+/// Structured record of a unit whose attempt(s) failed.  A failing unit
+/// always yields one of these — never a crashed pool.
+struct UnitFailure {
+  std::string unit;          // unit label
+  std::size_t index = 0;     // unit index within its scenario
+  std::size_t attempts = 0;  // attempts executed (>= 1)
+  bool recovered = false;    // a retry produced a clean result
+  std::string detail;        // first attempt's first failure message
 };
 
 struct ScenarioRunResult {
@@ -46,6 +77,10 @@ struct ScenarioRunResult {
   std::vector<Record> records;            // unit order
   std::vector<std::string> failures;      // shape-assertion failures
   std::map<std::string, double> values;   // merged cross-unit facts
+  /// One entry per unit whose first attempt failed (recovered or not),
+  /// in unit order.  `failures` above stays the pass/fail signal:
+  /// recovered units contribute here but not there.
+  std::vector<UnitFailure> unit_failures;
 };
 
 class ExperimentRunner {
