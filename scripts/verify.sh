@@ -14,7 +14,12 @@
 #                                # Release build, then assert the
 #                                # hypersparse sweep path stays the
 #                                # common case (>50% of triangular
-#                                # sweeps) on the fig08 disk scenario
+#                                # sweeps) on the fig08 disk scenario,
+#                                # the dense-tail block carries >30% of
+#                                # sweeps on a mid-size MDP LP with the
+#                                # crash basis at least halving the cold
+#                                # pivot count, and tiny instances keep
+#                                # the block machinery off
 #   scripts/verify.sh --fault-smoke
 #                                # Release build, then the injected-
 #                                # fault matrix: every probe site over
@@ -83,6 +88,47 @@ check_perf_smoke() {
     return 1
   fi
   echo "perf smoke: ok (sparse sweep share ${pct}%)"
+
+  echo "=== perf smoke: dense-tail block + crash-basis pivots (bench_lp_scale --tail-smoke) ==="
+  # One deterministic mid-size MDP LP (n*na = 8000, fixed seed).  Four
+  # gates, all on pivot/sweep *counts* — never wall-clock:
+  #   1. the dense-block kernels must carry a real share of the sweeps
+  #      (block share > 30%; the tail machinery firing at all);
+  #   2. tiny instances must keep the block off (tiny_block_sweeps == 0
+  #      — the n*na = 500 small-size regression guard);
+  #   3. the crash basis must beat the cold solve by at least 2x in
+  #      pivots (the policy-iteration seed actually helping);
+  #   4. the cold pivot count must not regress past its recorded
+  #      baseline + 2% (2108 pivots at the fixed seed).
+  local tail cold_pivots crash_pivots block_pct tiny
+  tail="$(build/bench_lp_scale --tail-smoke)"
+  echo "${tail}"
+  cold_pivots="$(echo "${tail}" | sed -n 's/.*cold_pivots=\([0-9]*\).*/\1/p')"
+  crash_pivots="$(echo "${tail}" | sed -n 's/.*crash_pivots=\([0-9]*\).*/\1/p')"
+  block_pct="$(echo "${tail}" | sed -n 's/.*block_pct=\([0-9.]*\).*/\1/p')"
+  tiny="$(echo "${tail}" | sed -n 's/.*tiny_block_sweeps=\([0-9]*\).*/\1/p')"
+  if [[ -z "${cold_pivots}" || -z "${crash_pivots}" || -z "${block_pct}" \
+        || -z "${tiny}" ]]; then
+    echo "perf smoke: FAILED (no tail-smoke line in bench_lp_scale output)"
+    return 1
+  fi
+  if ! awk -v p="${block_pct}" 'BEGIN { exit !(p > 30.0) }'; then
+    echo "perf smoke: FAILED (dense-block sweep share ${block_pct}% <= 30%)"
+    return 1
+  fi
+  if [[ "${tiny}" != "0" ]]; then
+    echo "perf smoke: FAILED (dense block engaged on a tiny instance: ${tiny} sweeps)"
+    return 1
+  fi
+  if (( crash_pivots * 2 >= cold_pivots )); then
+    echo "perf smoke: FAILED (crash ${crash_pivots} pivots not 2x under cold ${cold_pivots})"
+    return 1
+  fi
+  if (( cold_pivots > 2150 )); then
+    echo "perf smoke: FAILED (cold pivot count ${cold_pivots} > baseline 2108 + 2%)"
+    return 1
+  fi
+  echo "perf smoke: ok (block share ${block_pct}%, crash ${crash_pivots} vs cold ${cold_pivots} pivots)"
 }
 
 check_fault_smoke() {

@@ -1,0 +1,56 @@
+// Crash bases from MDP structure (the PR 8 cold-solve accelerator).
+//
+// A cold solve of LP2 starts from the all-logical basis and spends
+// thousands of pivots walking toward a vertex whose shape is known in
+// advance: at any basic optimal solution the balance rows are spanned
+// by one occupation-measure column per state — exactly the pattern of a
+// deterministic policy.  A few rounds of (modified) Howard policy
+// iteration produce a near-optimal deterministic policy at O(nnz) cost,
+// and the columns {x_{s, pi(s)}} form the sub-basis (I - gamma P_pi)^T
+// over the balance rows — nonsingular for any policy and gamma < 1, and
+// with nonnegative basic values (the policy's occupation measure).
+// Seeding the revised simplex with that basis (slacks complete the
+// metric rows) turns the cold solve into a short phase-2 polish; see
+// RevisedSimplexOptions::crash_columns for the engine-side contract.
+//
+// The evaluation step is *modified* policy iteration: instead of the
+// exact linear solve classic Howard uses (a factorization per round,
+// unaffordable at crash time), v is improved by a fixed number of
+// value-iteration sweeps v <- c_pi + gamma P_pi v.  The crash only
+// needs a policy whose basis is near the optimum, not exact values.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dpm/metrics.h"
+#include "markov/sparse_chain.h"
+
+namespace dpm {
+
+struct CrashOptions {
+  /// Greedy improvement rounds (Howard steps).
+  std::size_t rounds = 3;
+  /// Truncated-evaluation sweeps per round (applications of
+  /// v <- c_pi + gamma P_pi v); total cost is O(nnz * rounds * sweeps).
+  std::size_t sweeps = 40;
+};
+
+/// Greedy crash policy: one action per state, produced by
+/// `options.rounds` modified-policy-iteration rounds minimizing the
+/// total expected discounted `cost`.  Deterministic: ties keep the
+/// lowest action index (first round) or the incumbent (later rounds).
+std::vector<std::size_t> greedy_crash_actions(
+    const markov::SparseControlledChain& chain, const StateActionMetric& cost,
+    double gamma, const CrashOptions& options = {});
+
+/// Maps crash actions onto the LP2 row layout (balance rows 0..n-1
+/// first, metric rows after): row s is seeded with the occupation-
+/// measure column s * na + actions[s]; the remaining `num_rows - n`
+/// rows carry the no-seed sentinel (anything >= the column count) and
+/// complete with their slack inside the engine.
+std::vector<std::size_t> crash_columns_for_lp(
+    const std::vector<std::size_t>& actions, std::size_t na,
+    std::size_t num_rows);
+
+}  // namespace dpm

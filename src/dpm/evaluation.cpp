@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "markov/occupancy.h"
+
 namespace dpm {
 
 PolicyEvaluation::PolicyEvaluation(const SystemModel& model,
@@ -23,12 +25,14 @@ PolicyEvaluation::PolicyEvaluation(const SystemModel& model,
   if (std::abs(mass - 1.0) > 1e-7) {
     throw ModelError("PolicyEvaluation: p0 must sum to 1");
   }
-  // Sparse path: mix the CSR rows under the policy and solve the
-  // occupancy system with the sparse LU — no dense n x n matrix, no
-  // O(n^3) factorization.
-  std::vector<markov::TransitionRow> mixed_rows;
-  model.chain().sparse().under_policy_rows(policy.matrix(), mixed_rows);
-  occupancy_ = markov::discounted_occupancy_sparse(mixed_rows, p0, gamma);
+  // Sparse path: mix the CSR rows under the policy (fused form) and
+  // evaluate the occupancy by power accumulation — O(nnz * iters), no
+  // dense n x n matrix, no factorization on large models.  Small
+  // models take the exact LU route inside the evaluator.
+  markov::MixedChainCsr mixed;
+  model.chain().sparse().under_policy_csr(policy.matrix(), mixed);
+  markov::OccupancyWorkspace ws;
+  occupancy_ = markov::discounted_occupancy_power(mixed, p0, gamma, ws);
 }
 
 double PolicyEvaluation::total(const StateActionMetric& metric) const {

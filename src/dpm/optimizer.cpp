@@ -4,11 +4,19 @@
 #include <string>
 #include <utility>
 
+#include "dpm/crash.h"
 #include "robust/supervisor.h"
 
 namespace dpm {
 
 namespace {
+
+/// Column count from which minimize() seeds cold solves with a
+/// policy-iteration crash basis (see dpm/crash.h).  Below it the crash
+/// machinery costs more than the pivots it saves, and the small
+/// case-study scenarios keep their historical byte-for-byte pivot
+/// trajectories (golden tier).
+constexpr std::size_t kCrashMinColumns = 4096;
 
 /// Achieved per-step value of each constraint at the LP point x
 /// (columns laid out x[s*A + a]); shared by the cold and warm-started
@@ -39,9 +47,14 @@ std::vector<double> achieved_per_step(
 lp::LpSolution supervised_solve(const lp::LpProblem& problem,
                                 lp::Backend backend,
                                 const lp::SimplexBasis* warm = nullptr,
-                                lp::SimplexBasis* basis_out = nullptr) {
+                                lp::SimplexBasis* basis_out = nullptr,
+                                const std::vector<std::size_t>* crash =
+                                    nullptr) {
   robust::SupervisorOptions opts;
   opts.backend = backend;
+  // Crash seed (revised simplex only; other backends ignore it).  The
+  // supervisor's cold-restart and later rungs drop it themselves.
+  opts.lp.crash_columns = crash;
   const robust::SolveSupervisor supervisor(opts);
   robust::SolveOutcome outcome = supervisor.solve(problem, warm, basis_out);
   if (!outcome.determined()) {
@@ -180,7 +193,24 @@ OptimizationResult PolicyOptimizer::minimize(
     const StateActionMetric& objective,
     const std::vector<OptimizationConstraint>& constraints) const {
   const lp::LpProblem problem = build_lp(objective, constraints);
-  const lp::LpSolution lp_sol = supervised_solve(problem, config_.backend);
+
+  // Large cold solves start from a policy-iteration crash basis: the
+  // greedy deterministic policy's occupation-measure columns seed the
+  // balance rows, turning thousands of phase-1/2 pivots into a short
+  // phase-2 polish (dpm/crash.h).  Constraints are ignored by the
+  // greedy policy on purpose — the engine's repair path absorbs
+  // whatever infeasibility that leaves, or falls back cold.
+  std::vector<std::size_t> crash_cols;
+  if (config_.backend == lp::Backend::kRevisedSimplex &&
+      model_->num_states() * model_->num_commands() >= kCrashMinColumns) {
+    const std::vector<std::size_t> actions = greedy_crash_actions(
+        model_->chain().sparse(), objective, config_.discount);
+    crash_cols = crash_columns_for_lp(actions, model_->num_commands(),
+                                      problem.num_constraints());
+  }
+  const lp::LpSolution lp_sol =
+      supervised_solve(problem, config_.backend, nullptr, nullptr,
+                       crash_cols.empty() ? nullptr : &crash_cols);
 
   OptimizationResult result;
   result.lp_status = lp_sol.status;

@@ -1,0 +1,175 @@
+// This translation unit is compiled with vector-ISA flags plus
+// -ffp-contract=off (see src/CMakeLists rules): the zero-guarded axpy
+// loops below if-convert to masked SIMD, while contraction stays off so
+// every multiply-subtract rounds exactly like the scalar sparse-storage
+// sweeps — the bitwise contract in dense_block.h depends on it.
+#include "linalg/dense_block.h"
+
+#include <algorithm>
+
+namespace dpm::linalg {
+
+void DenseBlock::reset(std::size_t start, std::size_t dim) {
+  start_ = start;
+  dim_ = dim;
+  nnz_ = 0;
+  cm_.assign(dim * dim, 0.0);
+  rm_.assign(dim * dim, 0.0);
+  col_hi_.assign(dim, 0);
+  row_hi_.assign(dim, 0);
+  row_lo_.assign(dim, dim);
+}
+
+void DenseBlock::load_upper(const double* lu, std::size_t r,
+                            std::size_t start) {
+  reset(start, r);
+  for (std::size_t bj = 0; bj < r; ++bj) {
+    const double* src = lu + bj * r;
+    double* dst = cm_.data() + bj * r;
+    for (std::size_t bi = 0; bi < bj; ++bi) {
+      const double v = src[bi];
+      if (v == 0.0) continue;
+      dst[bi] = v;
+      rm_[bj + bi * r] = v;
+      ++nnz_;
+      col_hi_[bj] = bi + 1;
+      if (bj + 1 > row_hi_[bi]) row_hi_[bi] = bj + 1;
+      if (bj < row_lo_[bi]) row_lo_[bi] = bj;
+    }
+  }
+}
+
+std::size_t DenseBlock::zero_col(std::size_t bj) noexcept {
+  double* c = cm_.data() + bj * dim_;
+  double* r = rm_.data() + bj;
+  std::size_t removed = 0;
+  const std::size_t hi = col_hi_[bj];
+  for (std::size_t bi = 0; bi < hi; ++bi) {
+    if (c[bi] != 0.0) {
+      ++removed;
+      c[bi] = 0.0;
+      r[bi * dim_] = 0.0;
+    }
+  }
+  nnz_ -= removed;
+  col_hi_[bj] = 0;
+  return removed;
+}
+
+std::size_t DenseBlock::zero_row(std::size_t bi) noexcept {
+  double* r = rm_.data() + bi * dim_;
+  double* c = cm_.data() + bi;
+  std::size_t removed = 0;
+  const std::size_t hi = row_hi_[bi];
+  for (std::size_t bj = row_lo_[bi]; bj < hi; ++bj) {
+    if (r[bj] != 0.0) {
+      ++removed;
+      r[bj] = 0.0;
+      c[bj * dim_] = 0.0;
+    }
+  }
+  nnz_ -= removed;
+  row_hi_[bi] = 0;
+  row_lo_[bi] = dim_;
+  return removed;
+}
+
+void DenseBlock::col_axpy_sub(std::size_t bj, double xj,
+                              double* z) const noexcept {
+  const double* c = cm_.data() + bj * dim_;
+  const std::size_t hi = col_hi_[bj];
+  for (std::size_t bi = 0; bi < hi; ++bi) {
+    const double u = c[bi];
+    if (u != 0.0) z[bi] -= xj * u;
+  }
+}
+
+void DenseBlock::col_axpy_add(std::size_t bj, double dj,
+                              double* s) const noexcept {
+  const double* c = cm_.data() + bj * dim_;
+  const std::size_t hi = col_hi_[bj];
+  for (std::size_t bi = 0; bi < hi; ++bi) {
+    const double u = c[bi];
+    if (u != 0.0) s[bi] += dj * u;
+  }
+}
+
+void DenseBlock::row_axpy_sub(std::size_t bi, double tj,
+                              double* v) const noexcept {
+  const double* w = rm_.data() + bi * dim_;
+  const std::size_t hi = row_hi_[bi];
+  for (std::size_t bj = row_lo_[bi]; bj < hi; ++bj) {
+    const double u = w[bj];
+    if (u != 0.0) v[bj] -= tj * u;
+  }
+}
+
+void DenseBlock::row_axpy_sub_all(std::size_t bi, double rj,
+                                  double* acc) const noexcept {
+  const double* w = rm_.data() + bi * dim_;
+  const std::size_t hi = row_hi_[bi];
+  for (std::size_t bj = row_lo_[bi]; bj < hi; ++bj) acc[bj] -= rj * w[bj];
+}
+
+void DenseBlock::copy_row(std::size_t bi, double* acc) const noexcept {
+  const double* w = rm_.data() + bi * dim_;
+  const std::size_t hi = row_hi_[bi];
+  for (std::size_t bj = row_lo_[bi]; bj < hi; ++bj) acc[bj] = w[bj];
+}
+
+void tail_lower_solve(const double* tail, std::size_t r, double* w) noexcept {
+  for (std::size_t s = 0; s < r; ++s) {
+    const double zs = w[s];
+    if (zs == 0.0) continue;
+    const double* col = tail + s * r;
+    for (std::size_t i = s + 1; i < r; ++i) {
+      const double lv = col[i];
+      if (lv != 0.0) w[i] -= zs * lv;
+    }
+  }
+}
+
+void tail_lower_transpose_solve(const double* tail, std::size_t r,
+                                double* t) noexcept {
+  for (std::size_t s = r; s-- > 0;) {
+    const double* col = tail + s * r;
+    double acc = t[s];
+    for (std::size_t i = s + 1; i < r; ++i) {
+      const double lv = col[i];
+      if (lv != 0.0) acc -= lv * t[i];
+    }
+    t[s] = acc;
+  }
+}
+
+void tail_upper_solve(const double* tail, std::size_t r, const double* diag,
+                      double* z) noexcept {
+  // Divide-then-skip, the exact form of SparseLu::ftran's sparse loop
+  // (a zero rhs still records the signed zero the division produces).
+  for (std::size_t s = r; s-- > 0;) {
+    const double xs = z[s] / diag[s];
+    z[s] = xs;
+    if (xs == 0.0) continue;
+    const double* col = tail + s * r;
+    for (std::size_t i = 0; i < s; ++i) {
+      const double uv = col[i];
+      if (uv != 0.0) z[i] -= xs * uv;
+    }
+  }
+}
+
+void tail_upper_transpose_solve(const double* tail, std::size_t r,
+                                const double* diag, double* t) noexcept {
+  // Unconditional divide, the exact form of SparseLu::btran's loop.
+  for (std::size_t s = 0; s < r; ++s) {
+    const double* col = tail + s * r;
+    double acc = t[s];
+    for (std::size_t i = 0; i < s; ++i) {
+      const double uv = col[i];
+      if (uv != 0.0) acc -= uv * t[i];
+    }
+    t[s] = acc / diag[s];
+  }
+}
+
+}  // namespace dpm::linalg

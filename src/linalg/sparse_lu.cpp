@@ -62,6 +62,9 @@ bool SparseLu::factorize(std::size_t n,
   if (robust::probe(robust::FaultSite::kLuFactorize)) return false;
   factor_nnz_ = 0;
   factor_ops_ = 0;
+  tail_dim_ = 0;
+  tail_nnz_ = 0;
+  tail_retained_ = false;
   lower_gate_.reset();
   ltrans_gate_.reset();
   l_cols_.assign(n, {});
@@ -272,7 +275,7 @@ bool SparseLu::factorize(std::size_t n,
     prow.shrink_to_fit();
     row_count[rp] = 0;
   }
-  factor_nnz_ = n;  // U diagonal
+  factor_nnz_ = n + tail_nnz_;  // U diagonal + retained-tail off-diagonals
   for (const SparseColumn& c : l_cols_) factor_nnz_ += c.size();
   for (const SparseColumn& c : u_cols_) factor_nnz_ += c.size();
 
@@ -301,6 +304,7 @@ bool SparseLu::dense_tail(std::size_t pos0, std::vector<SparseColumn>& acols,
                           double pivot_tol) {
   const std::size_t n = n_;
   const std::size_t r = n - pos0;
+  tail_dim_ = r;
   // Remaining (unpivoted) rows and active columns, ascending.
   std::vector<std::size_t> rrow;  // dense row slot -> original row
   rrow.reserve(r);
@@ -367,25 +371,47 @@ bool SparseLu::dense_tail(std::size_t pos0, std::vector<SparseColumn>& acols,
   // — overpricing rebuilds would starve the sweeps of fresh factors.
   factor_ops_ += r * r * r / 10;
 
-  // Emit into the factor's sparse structures (exact zeros dropped).
+  // Pivot bookkeeping is identical either way; what differs is where
+  // the block's entries end up living.
   for (std::size_t s = 0; s < r; ++s) {
     const std::size_t p = pos0 + s;
     const std::size_t cj = rcol[s];
-    const double* cs = d.data() + s * r;
-    u_diag_[p] = cs[s];
+    u_diag_[p] = d[s * r + s];
     pivot_row_[p] = rrow[s];
     row_position_[rrow[s]] = p;
     col_of_position_[p] = cj;
     u_cols_[p] = std::move(u_stash[cj]);
-    for (std::size_t t = 0; t < s; ++t) {
-      if (cs[t] != 0.0) u_cols_[p].emplace_back(pos0 + t, cs[t]);
-    }
-    SparseColumn& lcol = l_cols_[p];
-    lcol.reserve(r - s - 1);
-    for (std::size_t i = s + 1; i < r; ++i) {
-      if (cs[i] != 0.0) lcol.emplace_back(rrow[i], cs[i]);
-    }
     col_active[cj] = 0;
+  }
+  if (emit_tail_sparse_) {
+    // Compat path: emit into the factor's sparse pair structures (exact
+    // zeros dropped) — every sweep walks them entry by entry.
+    for (std::size_t s = 0; s < r; ++s) {
+      const std::size_t p = pos0 + s;
+      const double* cs = d.data() + s * r;
+      for (std::size_t t = 0; t < s; ++t) {
+        if (cs[t] != 0.0) u_cols_[p].emplace_back(pos0 + t, cs[t]);
+      }
+      SparseColumn& lcol = l_cols_[p];
+      lcol.reserve(r - s - 1);
+      for (std::size_t i = s + 1; i < r; ++i) {
+        if (cs[i] != 0.0) lcol.emplace_back(rrow[i], cs[i]);
+      }
+    }
+    tail_.clear();
+    return true;
+  }
+  // Retain the elimination buffer: the tail's L and U halves stay
+  // contiguous and the solves run dense kernels over them.  Only the
+  // off-diagonal nonzero count is extracted (the fill accounting must
+  // not depend on the storage mode).
+  tail_retained_ = true;
+  tail_ = std::move(d);
+  for (std::size_t s = 0; s < r; ++s) {
+    const double* cs = tail_.data() + s * r;
+    for (std::size_t i = 0; i < r; ++i) {
+      if (i != s && cs[i] != 0.0) ++tail_nnz_;
+    }
   }
   return true;
 }
@@ -397,11 +423,16 @@ namespace {
 /// (pre-order, unsorted) and clears its marks again before returning.
 /// Returns false — reach emptied, marks cleared — once more than `cap`
 /// nodes are visited; past that point the caller's dense sweep is the
-/// cheaper plan.
+/// cheaper plan.  Nodes at or past `node_limit` bail immediately: the
+/// caller keeps those in a dense block whose edges this graph cannot
+/// see, and any solve whose pattern touches the block is dense-tail
+/// work by definition — the dense sweep's contiguous kernels are the
+/// cheaper plan there anyway.
 template <class SuccCount, class SuccAt>
 bool reach_from(const std::vector<std::size_t>& seeds, std::size_t cap,
-                std::size_t edge_budget, SuccCount succ_count, SuccAt succ_at,
-                std::vector<char>& mark, std::vector<std::size_t>& node_stack,
+                std::size_t edge_budget, std::size_t node_limit,
+                SuccCount succ_count, SuccAt succ_at, std::vector<char>& mark,
+                std::vector<std::size_t>& node_stack,
                 std::vector<std::size_t>& edge_stack,
                 std::vector<std::size_t>& reach) {
   reach.clear();
@@ -423,7 +454,7 @@ bool reach_from(const std::vector<std::size_t>& seeds, std::size_t cap,
   };
   for (const std::size_t seed : seeds) {
     if (mark[seed]) continue;
-    if (reach.size() >= cap) return bail();
+    if (reach.size() >= cap || seed >= node_limit) return bail();
     visit(seed);
     while (!node_stack.empty()) {
       const std::size_t v = node_stack.back();
@@ -442,7 +473,7 @@ bool reach_from(const std::vector<std::size_t>& seeds, std::size_t cap,
       if (++edges > edge_budget) return bail();
       const std::size_t w = succ_at(v, ei);
       if (mark[w]) continue;
-      if (reach.size() >= cap) return bail();
+      if (reach.size() >= cap || w >= node_limit) return bail();
       visit(w);
     }
   }
@@ -460,11 +491,14 @@ bool SparseLu::lower_solve_sparse(IndexedVector& x, IndexedVector& z) const {
   reach_seeds_.clear();
   for (const std::size_t r : x.pattern) reach_seeds_.push_back(row_position_[r]);
   // Position k is lit when x has support in pivot row k, or when a lit
-  // position's L column scatters into k's pivot row.
+  // position's L column scatters into k's pivot row.  A retained dense
+  // tail is invisible to the pair-list graph, so any reach touching it
+  // bails to the dense sweep (whose tail is the contiguous kernel).
+  const std::size_t limit = tail_retained_ ? n_ - tail_dim_ : n_;
   bool sparse = false;
-  if (lower_gate_.allowed()) {
+  if (n_ < ProbeGate::kMinDim || lower_gate_.allowed()) {
     sparse = reach_from(
-        reach_seeds_, sparse_reach_cap(), sparse_edge_budget(),
+        reach_seeds_, sparse_reach_cap(), sparse_edge_budget(), limit,
         [&](std::size_t k) { return l_cols_[k].size(); },
         [&](std::size_t k, std::size_t i) {
           return row_position_[l_cols_[k][i].first];
@@ -476,12 +510,7 @@ bool SparseLu::lower_solve_sparse(IndexedVector& x, IndexedVector& z) const {
     // Dense fallback: the exact loop of lower_solve over the raw values.
     x.densify();
     z.densify();
-    for (std::size_t k = 0; k < n_; ++k) {
-      const double zk = x.values[pivot_row_[k]];
-      if (zk == 0.0) continue;
-      z.values[k] = zk;
-      for (const auto& [r, lv] : l_cols_[k]) x.values[r] -= zk * lv;
-    }
+    lower_solve_core(x.values, z.values, nullptr);
     return false;
   }
   // Topological replay in the dense sweep's ascending-position order —
@@ -507,10 +536,13 @@ bool SparseLu::lower_transpose_solve_sparse(IndexedVector& t,
   }
   // t's pattern is already in position space; position k is lit when an
   // L entry in a lit pivot row belongs to column k (the l_rows_ edges).
+  // As in the forward solve, a pattern that reaches the retained tail
+  // bails to the dense sweep.
+  const std::size_t limit = tail_retained_ ? n_ - tail_dim_ : n_;
   bool sparse = false;
-  if (ltrans_gate_.allowed()) {
+  if (n_ < ProbeGate::kMinDim || ltrans_gate_.allowed()) {
     sparse = reach_from(
-        t.pattern, sparse_reach_cap(), sparse_edge_budget(),
+        t.pattern, sparse_reach_cap(), sparse_edge_budget(), limit,
         [&](std::size_t m) { return l_rows_[m].size(); },
         [&](std::size_t m, std::size_t i) { return l_rows_[m][i]; },
         reach_mark_, reach_stack_, reach_edge_, reach_);
@@ -519,14 +551,7 @@ bool SparseLu::lower_transpose_solve_sparse(IndexedVector& t,
   if (!sparse) {
     t.densify();
     x.densify();
-    for (std::size_t kk = n_; kk-- > 0;) {
-      double acc = t.values[kk];
-      for (const auto& [r, lv] : l_cols_[kk]) {
-        acc -= lv * t.values[row_position_[r]];
-      }
-      t.values[kk] = acc;
-    }
-    for (std::size_t k = 0; k < n_; ++k) x.values[pivot_row_[k]] = t.values[k];
+    lower_transpose_solve_core(t.values, x.values);
     return false;
   }
   // Descending-position replay: position kk gathers from positions
@@ -548,14 +573,15 @@ bool SparseLu::lower_transpose_solve_sparse(IndexedVector& t,
   return true;
 }
 
-void SparseLu::lower_solve(Vector& x, Vector& z,
-                           std::vector<std::size_t>* support) const {
-  if (x.size() != n_) throw LinalgError("sparse-lu: ftran size mismatch");
+void SparseLu::lower_solve_core(Vector& x, Vector& z,
+                                std::vector<std::size_t>* support) const {
   // Forward solve L z = P x, column oriented over original row indices;
-  // x is the scatter workspace and is clobbered.
-  z.assign(n_, 0.0);
-  if (support != nullptr) support->clear();
-  for (std::size_t k = 0; k < n_; ++k) {
+  // x is the scatter workspace and is clobbered.  The sparse phase runs
+  // the pair lists; a retained tail finishes in a contiguous gather /
+  // dense-kernel / write-back sequence that accumulates the exact same
+  // subtractions into the exact same slots in the same order.
+  const std::size_t limit = tail_retained_ ? n_ - tail_dim_ : n_;
+  for (std::size_t k = 0; k < limit; ++k) {
     const double zk = x[pivot_row_[k]];
     if (zk == 0.0) continue;  // z[k] stays the exact +0.0 of the assign —
                               // the invariant the sparse replay matches
@@ -563,16 +589,39 @@ void SparseLu::lower_solve(Vector& x, Vector& z,
     if (support != nullptr) support->push_back(k);
     for (const auto& [r, lv] : l_cols_[k]) x[r] -= zk * lv;
   }
+  if (tail_retained_ && tail_dim_ > 0) {
+    const std::size_t r = tail_dim_;
+    tail_work_.resize(r);
+    double* w = tail_work_.data();
+    for (std::size_t s = 0; s < r; ++s) w[s] = x[pivot_row_[limit + s]];
+    tail_lower_solve(tail_.data(), r, w);
+    for (std::size_t s = 0; s < r; ++s) {
+      const double zs = w[s];
+      if (zs == 0.0) continue;
+      z[limit + s] = zs;
+      if (support != nullptr) support->push_back(limit + s);
+    }
+  }
 }
 
-void SparseLu::lower_transpose_solve(Vector& t, Vector& x) const {
-  if (t.size() != n_ || x.size() != n_) {
-    throw LinalgError("sparse-lu: btran size mismatch");
-  }
+void SparseLu::lower_solve(Vector& x, Vector& z,
+                           std::vector<std::size_t>* support) const {
+  if (x.size() != n_) throw LinalgError("sparse-lu: ftran size mismatch");
+  z.assign(n_, 0.0);
+  if (support != nullptr) support->clear();
+  lower_solve_core(x, z, support);
+}
+
+void SparseLu::lower_transpose_solve_core(Vector& t, Vector& x) const {
   // Back solve L^T s = t: s[k] = t[k] - sum_{m > k} L(m, k) s[m], where
   // the L entry at original row r belongs to pivot position
-  // row_position_[r] > k.
-  for (std::size_t kk = n_; kk-- > 0;) {
+  // row_position_[r] > k.  Tail positions gather first (they only read
+  // later tail positions, contiguous in t), then the pair lists.
+  const std::size_t limit = tail_retained_ ? n_ - tail_dim_ : n_;
+  if (tail_retained_ && tail_dim_ > 0) {
+    tail_lower_transpose_solve(tail_.data(), tail_dim_, t.data() + limit);
+  }
+  for (std::size_t kk = limit; kk-- > 0;) {
     double acc = t[kk];
     for (const auto& [r, lv] : l_cols_[kk]) acc -= lv * t[row_position_[r]];
     t[kk] = acc;
@@ -581,11 +630,32 @@ void SparseLu::lower_transpose_solve(Vector& t, Vector& x) const {
   for (std::size_t k = 0; k < n_; ++k) x[pivot_row_[k]] = t[k];
 }
 
+void SparseLu::lower_transpose_solve(Vector& t, Vector& x) const {
+  if (t.size() != n_ || x.size() != n_) {
+    throw LinalgError("sparse-lu: btran size mismatch");
+  }
+  lower_transpose_solve_core(t, x);
+}
+
 void SparseLu::ftran(Vector& x) const {
   Vector z;
   lower_solve(x, z);
-  // Back substitution U out = z, column oriented.
-  for (std::size_t jj = n_; jj-- > 0;) {
+  // Back substitution U out = z, column oriented.  A retained tail runs
+  // the dense kernel (descending columns, divide-then-skip), then
+  // scatters the tail columns' sparse heads — head slots are only read
+  // below the tail boundary, so the contribution order per slot is
+  // unchanged: descending column position either way.
+  const std::size_t limit = tail_retained_ ? n_ - tail_dim_ : n_;
+  if (tail_retained_ && tail_dim_ > 0) {
+    tail_upper_solve(tail_.data(), tail_dim_, u_diag_.data() + limit,
+                     z.data() + limit);
+    for (std::size_t jj = n_; jj-- > limit;) {
+      const double xj = z[jj];
+      if (xj == 0.0) continue;
+      for (const auto& [k, ukj] : u_cols_[jj]) z[k] -= xj * ukj;
+    }
+  }
+  for (std::size_t jj = limit; jj-- > 0;) {
     const double xj = z[jj] / u_diag_[jj];
     z[jj] = xj;
     if (xj == 0.0) continue;
@@ -600,12 +670,25 @@ void SparseLu::btran(Vector& x) const {
   if (x.size() != n_) throw LinalgError("sparse-lu: btran size mismatch");
   // Forward solve U^T t = c: u_cols_[j] holds exactly the U(k, j), k < j.
   // Input is indexed by caller column; map it through the fill-reducing
-  // column permutation first.
+  // column permutation first.  Tail columns gather their sparse heads
+  // here (those slots are final by then), then the dense kernel folds
+  // the tail-tail terms and divides — the same per-slot term order as
+  // the single interleaved pair list.
   Vector t(n_);
-  for (std::size_t j = 0; j < n_; ++j) {
+  const std::size_t limit = tail_retained_ ? n_ - tail_dim_ : n_;
+  for (std::size_t j = 0; j < limit; ++j) {
     double acc = x[col_of_position_[j]];
     for (const auto& [k, ukj] : u_cols_[j]) acc -= ukj * t[k];
     t[j] = acc / u_diag_[j];
+  }
+  if (tail_retained_ && tail_dim_ > 0) {
+    for (std::size_t j = limit; j < n_; ++j) {
+      double acc = x[col_of_position_[j]];
+      for (const auto& [k, ukj] : u_cols_[j]) acc -= ukj * t[k];
+      t[j] = acc;
+    }
+    tail_upper_transpose_solve(tail_.data(), tail_dim_,
+                               u_diag_.data() + limit, t.data() + limit);
   }
   lower_transpose_solve(t, x);
 }
@@ -623,14 +706,25 @@ bool BasisFactorization::refactorize(std::size_t n,
   partial_valid_ = false;
   uftran_gate_.reset();
   ubtran_gate_.reset();
+  // Block off (or the basis too small to earn it) => the tail must
+  // land in the pair lists (pre-PR 8 path).
+  lu_.set_emit_tail_sparse(!use_dense_block_ || n < kBlockMinBasis);
   if (!lu_.factorize(n, columns, pivot_tol_)) return false;
   n_ = n;
 
   // Move U into the dynamic (label-indexed) structure — the SparseLu
   // keeps only its L half and permutations, which is all the split
   // solves need.  Labels start as elimination positions, the order as
-  // the identity; updates only ever rewrite the order arrays.
+  // the identity; updates only ever rewrite the order arrays.  A
+  // retained dense tail becomes the dense block: its labels are exactly
+  // the suffix [tail_start, n), so block offsets are label offsets.
   lu_.take_upper(ucols_, udiag_);
+  if (lu_.tail_retained()) {
+    block_.load_upper(lu_.tail_values().data(), lu_.tail_dim(),
+                      lu_.tail_start());
+  } else {
+    block_.clear();
+  }
   // Rebuild the row mirror, keeping each row's capacity across
   // refactorizations (a fresh assign would free + reallocate thousands
   // of small buffers per refactor).
@@ -639,7 +733,7 @@ bool BasisFactorization::refactorize(std::size_t n,
   } else {
     for (SparseColumn& row : urows_) row.clear();
   }
-  u_nonzeros_ = 0;
+  u_nonzeros_ = block_.nonzeros();
   for (std::size_t j = 0; j < n; ++j) {
     u_nonzeros_ += ucols_[j].size();
     for (const auto& [k, v] : ucols_[j]) urows_[k].emplace_back(j, v);
@@ -688,11 +782,15 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
     s_support.swap(partial_support_);
   } else {
     s.assign(n_, 0.0);
+    const std::size_t bstart = block_.start();
     for (std::size_t j = 0; j < n_; ++j) {
       const double dj = d[slot_of_label_[j]];
       if (dj == 0.0) continue;
       s[j] += udiag_[j] * dj;
       for (const auto& [k, u] : ucols_[j]) s[k] += u * dj;
+      if (block_.contains(j)) {
+        block_.col_axpy_add(j - bstart, dj, s.data() + bstart);
+      }
     }
     s_support.resize(n_);
     for (std::size_t k = 0; k < n_; ++k) s_support[k] = k;
@@ -714,16 +812,37 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
   std::priority_queue<OrderedLabel, std::vector<OrderedLabel>,
                       std::greater<OrderedLabel>>
       heap;
+  const std::size_t bstart = block_.start();
   for (const auto& [j, u] : urows_[p]) {
     acc_[j] = u;
     heap.emplace(order_of_label_[j], j);
+  }
+  if (block_.active()) {
+    // Block rows are near-dense, so per-entry push-if-zero bookkeeping
+    // (and its branchy row walks) costs more than it saves.  Instead,
+    // pre-push every tail label ordered after p once: pops with a zero
+    // accumulator are skipped below exactly like duplicate pops, so the
+    // popped sequence of *nonzero* labels — and hence eta_terms — is
+    // bit-for-bit what the lazy pushes produce.  The block-row
+    // accumulations then run unguarded (branchless, vectorized): absent
+    // slots contribute exact-zero terms, which cannot change a nonzero
+    // accumulator and at worst flip the sign of a zero one — invisible
+    // to the `aj == 0.0` skip.
+    for (std::size_t bj = 0; bj < block_.dim(); ++bj) {
+      const std::size_t l = bstart + bj;
+      const std::size_t ol = order_of_label_[l];
+      if (ol > op) heap.emplace(ol, l);
+    }
+    if (block_.contains(p)) {
+      block_.copy_row(p - bstart, acc_.data() + bstart);
+    }
   }
   SparseColumn eta_terms;
   while (!heap.empty()) {
     const auto [oi, j] = heap.top();
     heap.pop();
     const double aj = acc_[j];
-    if (aj == 0.0) continue;  // duplicate pop or exact cancellation
+    if (aj == 0.0) continue;  // duplicate / pre-pushed pop or cancellation
     acc_[j] = 0.0;
     const double rj = aj / udiag_[j];
     if (std::abs(rj) < kDropTol) continue;
@@ -731,6 +850,9 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
     for (const auto& [l, u] : urows_[j]) {
       if (acc_[l] == 0.0) heap.emplace(order_of_label_[l], l);
       acc_[l] -= rj * u;
+    }
+    if (block_.contains(j)) {
+      block_.row_axpy_sub_all(j - bstart, rj, acc_.data() + bstart);
     }
   }
 
@@ -745,7 +867,14 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
   }
 
   // --- commit: drop old column p and old row p ------------------------
-  const std::size_t removed = ucols_[p].size() + urows_[p].size();
+  // The block's share of row/column p is a pair of in-place zero-fills
+  // (contiguous in one layout, strided in the other) — no pair-list or
+  // mirror churn for the dense tail.
+  std::size_t removed = ucols_[p].size() + urows_[p].size();
+  if (block_.contains(p)) {
+    removed += block_.zero_col(p - bstart);
+    removed += block_.zero_row(p - bstart);
+  }
   for (const auto& [k, u] : ucols_[p]) {
     SparseColumn& mirror = urows_[k];
     for (std::size_t i = 0; i < mirror.size(); ++i) {
@@ -780,11 +909,20 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
   std::sort(s_support.begin(), s_support.end());
   const double drop = kDropTol * std::max(smax, 1.0);
   SparseColumn& spike_col = ucols_[p];
+  std::size_t added = 0;
+  const bool spike_in_block = block_.contains(p);
   for (const std::size_t k : s_support) {
     const double v = s[k];
     if (k == p || std::abs(v) <= drop) continue;
-    spike_col.emplace_back(k, v);
-    urows_[k].emplace_back(p, v);
+    // The spike's tail segment patches the block column directly (it
+    // was just zeroed); everything else goes through the pair lists.
+    if (spike_in_block && block_.contains(k)) {
+      block_.set(k - bstart, p - bstart, v);
+    } else {
+      spike_col.emplace_back(k, v);
+      urows_[k].emplace_back(p, v);
+    }
+    ++added;
     s[k] = 0.0;
   }
   udiag_[p] = new_diag;
@@ -801,7 +939,7 @@ bool BasisFactorization::update(std::size_t r, const Vector& d) {
   order_of_label_[p] = n_ - 1;
 
   // --- bookkeeping ----------------------------------------------------
-  u_nonzeros_ += spike_col.size();
+  u_nonzeros_ += added;
   u_nonzeros_ -= removed;
   eta_nonzeros_ += eta_terms.size();
   // The adaptive-refactorization metric tracks what a sweep actually
@@ -837,7 +975,11 @@ void BasisFactorization::ftran(Vector& x, bool cache_spike) const {
   }
   // Back substitution over the dynamic U in current order.  Zero
   // entries are skipped *before* the divide so untouched positions keep
-  // an exact +0.0 — the form the hypersparse replay reproduces.
+  // an exact +0.0 — the form the hypersparse replay reproduces.  A
+  // column inside the dense block scatters its tail segment through the
+  // contiguous column kernel (same entry set, same per-target single
+  // contribution, so bitwise identical to the pair-list walk).
+  const std::size_t bstart = block_.start();
   for (std::size_t oi = n_; oi-- > 0;) {
     const std::size_t j = label_at_order_[oi];
     const double zj = z[j];
@@ -846,10 +988,17 @@ void BasisFactorization::ftran(Vector& x, bool cache_spike) const {
     z[j] = xj;
     if (xj == 0.0) continue;
     for (const auto& [k, u] : ucols_[j]) z[k] -= xj * u;
+    if (block_.contains(j)) {
+      block_.col_axpy_sub(j - bstart, xj, z.data() + bstart);
+    }
   }
   for (std::size_t lbl = 0; lbl < n_; ++lbl) x[slot_of_label_[lbl]] = z[lbl];
   ++dense_sweeps_;
   touched_entries_ += n_;
+  if (block_.active()) {
+    ++block_sweeps_;
+    block_entries_ += block_.nonzeros();
+  }
   if (robust::probe(robust::FaultSite::kFtranSpike)) injected_spike("ftran");
 }
 
@@ -859,14 +1008,25 @@ void BasisFactorization::btran(Vector& x) const {
   Vector& v = work_;
   v.resize(n_);
   for (std::size_t lbl = 0; lbl < n_; ++lbl) v[lbl] = x[slot_of_label_[lbl]];
-  // Forward solve U^T in current order.  Zero accumulations are
-  // normalized to exact +0.0 instead of divided — same reason as the
-  // ftran back substitution: the hypersparse replay never visits them.
+  // Forward solve U^T in current order, scatter form: once v[j] is
+  // final it is pushed through row j (the mirror, plus the block row's
+  // contiguous kernel).  Per accumulator, terms arrive in ascending
+  // current order of their source — a canonical order shared with the
+  // hypersparse replay, and independent of how the entries are stored
+  // (each (j, l) entry lives in exactly one of mirror/block).  Zero
+  // accumulations are normalized to exact +0.0 instead of divided, so
+  // positions the replay never visits match bit for bit.
+  const std::size_t bstart = block_.start();
   for (std::size_t oi = 0; oi < n_; ++oi) {
     const std::size_t j = label_at_order_[oi];
-    double a = v[j];
-    for (const auto& [k, u] : ucols_[j]) a -= u * v[k];
-    v[j] = (a == 0.0) ? 0.0 : a / udiag_[j];
+    const double a = v[j];
+    const double tj = (a == 0.0) ? 0.0 : a / udiag_[j];
+    v[j] = tj;
+    if (tj == 0.0) continue;
+    for (const auto& [l, u] : urows_[j]) v[l] -= u * tj;
+    if (block_.contains(j)) {
+      block_.row_axpy_sub(j - bstart, tj, v.data() + bstart);
+    }
   }
   // Row etas transposed, reverse chronological.
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
@@ -877,6 +1037,10 @@ void BasisFactorization::btran(Vector& x) const {
   lu_.lower_transpose_solve(v, x);
   ++dense_sweeps_;
   touched_entries_ += n_;
+  if (block_.active()) {
+    ++block_sweeps_;
+    block_entries_ += block_.nonzeros();
+  }
   if (robust::probe(robust::FaultSite::kBtranSpike)) injected_spike("btran");
 }
 
@@ -930,10 +1094,14 @@ void BasisFactorization::ftran_sparse(IndexedVector& x, bool cache_spike) const 
   // dense() afterwards would run the substitution twice.
   bool u_replayed = false;
   if (!z.dense()) {
+    // Block labels are a bail trigger, exactly like SparseLu's retained
+    // tail: their edges live in the dense block, invisible to the pair
+    // lists, and a pattern that lights the block is dense-tail work.
+    const std::size_t ulimit = block_.active() ? block_.start() : n_;
     bool usparse = false;
-    if (uftran_gate_.allowed()) {
+    if (n_ < ProbeGate::kMinDim || uftran_gate_.allowed()) {
       usparse = reach_from(
-          z.pattern, lu_.sparse_reach_cap(), u_edge_budget(),
+          z.pattern, lu_.sparse_reach_cap(), u_edge_budget(), ulimit,
           [&](std::size_t j) { return ucols_[j].size(); },
           [&](std::size_t j, std::size_t i) { return ucols_[j][i].first; },
           umark_, ustack_, uedge_, ureach_);
@@ -959,6 +1127,7 @@ void BasisFactorization::ftran_sparse(IndexedVector& x, bool cache_spike) const 
     }
   }
   if (!u_replayed) {
+    const std::size_t bstart = block_.start();
     for (std::size_t oi = n_; oi-- > 0;) {
       const std::size_t j = label_at_order_[oi];
       const double zj = z.values[j];
@@ -967,6 +1136,9 @@ void BasisFactorization::ftran_sparse(IndexedVector& x, bool cache_spike) const 
       z.values[j] = xj;
       if (xj == 0.0) continue;
       for (const auto& [k, u] : ucols_[j]) z.values[k] -= xj * u;
+      if (block_.contains(j)) {
+        block_.col_axpy_sub(j - bstart, xj, z.values.data() + bstart);
+      }
     }
   }
 
@@ -981,6 +1153,10 @@ void BasisFactorization::ftran_sparse(IndexedVector& x, bool cache_spike) const 
     }
     ++dense_sweeps_;
     touched_entries_ += n_;
+    if (block_.active()) {
+      ++block_sweeps_;
+      block_entries_ += block_.nonzeros();
+    }
   } else {
     for (const std::size_t lbl : z.pattern) {
       x.set(slot_of_label_[lbl], z.values[lbl]);
@@ -1004,11 +1180,13 @@ void BasisFactorization::btran_sparse(IndexedVector& x) const {
     v.set(label_of_slot_[slot], val);
   }
 
-  // U^T forward solve: DFS over the row graph, ascending-order replay.
+  // U^T forward solve: DFS over the row graph, ascending-order replay
+  // in the dense sweep's scatter form (block labels bail, as in ftran).
+  const std::size_t ulimit = block_.active() ? block_.start() : n_;
   bool usparse = false;
-  if (ubtran_gate_.allowed()) {
+  if (n_ < ProbeGate::kMinDim || ubtran_gate_.allowed()) {
     usparse = reach_from(
-        v.pattern, lu_.sparse_reach_cap(), u_edge_budget(),
+        v.pattern, lu_.sparse_reach_cap(), u_edge_budget(), ulimit,
         [&](std::size_t k) { return urows_[k].size(); },
         [&](std::size_t k, std::size_t i) { return urows_[k][i].first; },
         umark_, ustack_, uedge_, ureach_);
@@ -1021,17 +1199,27 @@ void BasisFactorization::btran_sparse(IndexedVector& x) const {
               });
     for (const std::size_t lbl : ureach_) v.touch(lbl);
     for (const std::size_t lbl : ureach_) {
-      double a = v.values[lbl];
-      for (const auto& [k, u] : ucols_[lbl]) a -= u * v.values[k];
-      v.values[lbl] = (a == 0.0) ? 0.0 : a / udiag_[lbl];
+      const double a = v.values[lbl];
+      const double tj = (a == 0.0) ? 0.0 : a / udiag_[lbl];
+      v.values[lbl] = tj;
+      if (tj == 0.0) continue;
+      // Every scatter target is a DFS successor of lbl, hence reached
+      // and pre-touched.
+      for (const auto& [l, u] : urows_[lbl]) v.values[l] -= u * tj;
     }
   } else {
     v.densify();
+    const std::size_t bstart = block_.start();
     for (std::size_t oi = 0; oi < n_; ++oi) {
       const std::size_t j = label_at_order_[oi];
-      double a = v.values[j];
-      for (const auto& [k, u] : ucols_[j]) a -= u * v.values[k];
-      v.values[j] = (a == 0.0) ? 0.0 : a / udiag_[j];
+      const double a = v.values[j];
+      const double tj = (a == 0.0) ? 0.0 : a / udiag_[j];
+      v.values[j] = tj;
+      if (tj == 0.0) continue;
+      for (const auto& [l, u] : urows_[j]) v.values[l] -= u * tj;
+      if (block_.contains(j)) {
+        block_.row_axpy_sub(j - bstart, tj, v.values.data() + bstart);
+      }
     }
   }
 
@@ -1068,6 +1256,10 @@ void BasisFactorization::btran_sparse(IndexedVector& x) const {
   } else {
     ++dense_sweeps_;
     touched_entries_ += n_;
+    if (block_.active()) {
+      ++block_sweeps_;
+      block_entries_ += block_.nonzeros();
+    }
   }
   if (robust::probe(robust::FaultSite::kBtranSpike)) injected_spike("btran");
 }

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "linalg/dense_block.h"
 #include "linalg/indexed_vector.h"
 #include "linalg/matrix.h"
 
@@ -46,6 +47,14 @@ using SparseColumn = std::vector<std::pair<std::size_t, double>>;
 struct ProbeGate {
   static constexpr std::size_t kStrikeLimit = 4;
   static constexpr std::size_t kRetryPeriod = 128;
+  /// Below this dimension the gate is bypassed entirely (call sites
+  /// short-circuit before allowed()): a doomed probe on a tiny basis
+  /// costs next to nothing, while a lockout would send the small
+  /// case-study models — which are genuinely hypersparse — through
+  /// dense sweeps for up to kRetryPeriod iterations after one bad
+  /// stretch.  Size-awareness added in PR 8 after the n*na = 500 bench
+  /// point showed the lockout machinery costing more than it saved.
+  static constexpr std::size_t kMinDim = 256;
   std::size_t strikes = 0;
   std::size_t skipped = 0;
   bool allowed() noexcept {
@@ -178,7 +187,10 @@ class SparseLu {
   /// host that maintains its own dynamic U (BasisFactorization).  After
   /// the call only lower_solve / lower_transpose_solve and the
   /// accessors below remain usable; ftran/btran would read the gutted
-  /// U and must not be called.
+  /// U and must not be called.  When the dense tail was retained the
+  /// moved columns hold only the sparse heads of tail columns; the
+  /// above-diagonal tail entries stay in `tail_values()` for the host
+  /// to load into its own DenseBlock.
   void take_upper(std::vector<SparseColumn>& u_cols, Vector& u_diag) {
     u_cols = std::move(u_cols_);
     u_diag = std::move(u_diag_);
@@ -189,6 +201,28 @@ class SparseLu {
   const std::vector<std::size_t>& col_of_position() const noexcept {
     return col_of_position_;
   }
+
+  /// Extent of the dense-tail elimination of the last factorization:
+  /// positions [order() - tail_dim(), order()) were eliminated by the
+  /// contiguous kernel (0 when the whole factorization stayed sparse).
+  std::size_t tail_dim() const noexcept { return tail_dim_; }
+  std::size_t tail_start() const noexcept { return n_ - tail_dim_; }
+
+  /// When true (compat/test hook), the dense-tail elimination re-emits
+  /// its block into the sparse L/U pair storage as before PR 8, instead
+  /// of retaining the contiguous buffer.  Takes effect at the next
+  /// factorize().
+  void set_emit_tail_sparse(bool emit) noexcept { emit_tail_sparse_ = emit; }
+
+  /// True when the last factorization kept its dense tail in the
+  /// contiguous buffer (tail columns' L entries and above-diagonal U
+  /// entries live in tail_values(), not in the pair lists).
+  bool tail_retained() const noexcept { return tail_retained_; }
+
+  /// The retained elimination buffer: column-major tail_dim() x
+  /// tail_dim(), tail slot s <-> elimination position tail_start() + s.
+  /// L multipliers strictly below the diagonal, U on and above.
+  const Vector& tail_values() const noexcept { return tail_; }
 
  private:
   // Dense-tail elimination: once the active submatrix of a
@@ -206,10 +240,23 @@ class SparseLu {
                   std::vector<char>& col_active,
                   std::vector<SparseColumn>& u_stash, double pivot_tol);
 
+  /// Dense sweep cores shared by the plain solves and the hypersparse
+  /// fallbacks (both must run the exact same loop over the exact same
+  /// storage for the bitwise contract).
+  void lower_solve_core(Vector& x, Vector& z,
+                        std::vector<std::size_t>* support) const;
+  void lower_transpose_solve_core(Vector& t, Vector& x) const;
+
   std::size_t n_ = 0;
   bool valid_ = false;
   std::size_t factor_nnz_ = 0;
   std::size_t factor_ops_ = 0;
+  std::size_t tail_dim_ = 0;
+  std::size_t tail_nnz_ = 0;      // off-diagonal nonzeros of a retained tail
+  bool emit_tail_sparse_ = false;
+  bool tail_retained_ = false;
+  Vector tail_;                    // retained elimination buffer (col-major)
+  mutable Vector tail_work_;       // lower_solve tail gather workspace
   // L column k: multipliers at *original* row indices (unit diagonal
   // implicit).  U column k: entries U(k', k) at pivot positions k' < k,
   // plus the diagonal.  Positions follow the elimination order;
@@ -259,6 +306,28 @@ class BasisFactorization {
   /// (Re)factorizes from scratch; clears the update transforms.
   /// Returns false on a singular basis.
   bool refactorize(std::size_t n, const std::vector<SparseColumn>& columns);
+
+  /// Dense-block toggle (default on): when enabled, the factorization's
+  /// dense tail is kept as a real dense block — ftran/btran route it
+  /// through contiguous kernels and update() patches it in place.  When
+  /// disabled the tail is re-emitted into sparse pair storage (the
+  /// pre-PR 8 path); results are bitwise identical either way, which is
+  /// exactly what the property tests assert.  Takes effect at the next
+  /// refactorize().
+  void set_dense_block_enabled(bool enabled) noexcept {
+    use_dense_block_ = enabled;
+  }
+
+  /// Smallest basis dimension that gets the dense block even when
+  /// enabled: below it the whole factor fits in cache and the block's
+  /// bookkeeping (load, FT patch-in-place, extent hints) costs more
+  /// than its kernels save, so tiny instances keep the plain sparse
+  /// tail (block_sweeps stays 0 — asserted by the bench smoke).
+  static constexpr std::size_t kBlockMinBasis = 384;
+
+  /// Dimension of the active dense block (0 when the basis has no dense
+  /// tail or the block is disabled).
+  std::size_t block_dim() const noexcept { return block_.dim(); }
 
   /// Forrest–Tomlin basis change: slot `r` is replaced by a column whose
   /// ftran image is `d` (i.e. d = B^{-1} a_entering, as produced by
@@ -362,6 +431,10 @@ class BasisFactorization {
   std::uint64_t sparse_sweeps() const noexcept { return sparse_sweeps_; }
   std::uint64_t dense_sweeps() const noexcept { return dense_sweeps_; }
   std::uint64_t touched_entries() const noexcept { return touched_entries_; }
+  // Dense-block telemetry: dense sweeps that routed their tail through
+  // the block kernels, and the block nonzeros those sweeps applied.
+  std::uint64_t block_sweeps() const noexcept { return block_sweeps_; }
+  std::uint64_t block_entries() const noexcept { return block_entries_; }
 
  private:
   struct RowEta {
@@ -372,9 +445,14 @@ class BasisFactorization {
   SparseLu lu_;
   std::size_t n_ = 0;
   // Dynamic U by stable label.  Invariant: every entry (row k, col j)
-  // satisfies order_of_label_[k] < order_of_label_[j].
+  // satisfies order_of_label_[k] < order_of_label_[j].  When the dense
+  // block is active, entries with row *and* column label inside
+  // [block_.start(), block_.end()) live in block_ instead of the pair
+  // lists — same value set, contiguous storage.
   std::vector<SparseColumn> ucols_;  // (row label, value) off-diagonals
   std::vector<SparseColumn> urows_;  // mirror: (col label, value)
+  DenseBlock block_;                 // dense tail of U (label suffix)
+  bool use_dense_block_ = true;
   Vector udiag_;
   std::vector<std::size_t> order_of_label_;
   std::vector<std::size_t> label_at_order_;
@@ -416,6 +494,8 @@ class BasisFactorization {
   mutable std::uint64_t sparse_sweeps_ = 0;
   mutable std::uint64_t dense_sweeps_ = 0;
   mutable std::uint64_t touched_entries_ = 0;
+  mutable std::uint64_t block_sweeps_ = 0;
+  mutable std::uint64_t block_entries_ = 0;
 };
 
 }  // namespace dpm::linalg

@@ -47,6 +47,8 @@ double now_ms() {
 std::atomic<std::uint64_t> g_sparse_sweeps{0};
 std::atomic<std::uint64_t> g_dense_sweeps{0};
 std::atomic<std::uint64_t> g_touched_entries{0};
+std::atomic<std::uint64_t> g_block_sweeps{0};
+std::atomic<std::uint64_t> g_block_entries{0};
 
 // Standard-form engine: columns [structural | slack/surplus | artificial]
 // over equality rows A x = b, 0 <= x <= u (u = +inf unless the problem
@@ -167,6 +169,51 @@ class RevisedSimplex {
     }
     rebuild_in_basis();
     return need_phase1;
+  }
+
+  /// Crash start: for each original constraint row the caller nominated
+  /// a structural column (see RevisedSimplexOptions::crash_columns);
+  /// rows without a valid, unused nomination complete with their slack,
+  /// or an artificial where the row has none (equality rows).  Returns
+  /// false when the nomination array has the wrong length or no seed
+  /// landed — the caller falls back to install_cold_basis.  Whether the
+  /// seeded set actually factors is decided by the refactorize that
+  /// follows, exactly as for a warm basis.
+  bool install_crash_basis(const std::vector<std::size_t>& crash) {
+    if (crash.size() != row_map_.size()) return false;
+    basis_.assign(m_, kNone);
+    std::fill(at_upper_.begin(), at_upper_.end(), 0);
+    crash_seeded_.assign(n_struct_, 0);
+    std::size_t seeded = 0;
+    for (std::size_t i0 = 0; i0 < row_map_.size(); ++i0) {
+      const std::size_t i = row_map_[i0];
+      if (i == kNone) continue;
+      const std::size_t j = crash[i0];
+      if (j < n_struct_ && !crash_seeded_[j] && !cols_[j].empty() &&
+          upper_[j] > 0.0) {
+        crash_seeded_[j] = 1;
+        basis_[i] = j;
+        ++seeded;
+        continue;
+      }
+      const std::size_t s = slack_of_row_[i];
+      basis_[i] = s != kNone ? s : first_artificial_ + i;
+    }
+    if (seeded == 0) return false;
+    rebuild_in_basis();
+    return true;
+  }
+
+  /// Crash-seeded structural columns still basic right now.  Read at
+  /// optimality, each one is a basic column the simplex never had to
+  /// pivot in — the deterministic "pivots saved" proxy behind
+  /// SimplexStats::crash_pivots_saved.
+  std::size_t crash_survivors() const {
+    std::size_t count = 0;
+    for (const std::size_t j : basis_) {
+      if (j < n_struct_ && crash_seeded_[j]) ++count;
+    }
+    return count;
   }
 
   bool install_warm_basis(const SimplexBasis& warm) {
@@ -411,14 +458,20 @@ class RevisedSimplex {
     const std::uint64_t s = factor_.sparse_sweeps();
     const std::uint64_t dn = factor_.dense_sweeps();
     const std::uint64_t t = factor_.touched_entries();
+    const std::uint64_t bs = factor_.block_sweeps();
+    const std::uint64_t be = factor_.block_entries();
     if (opt_.stats != nullptr) {
       opt_.stats->sparse_sweeps += s;
       opt_.stats->dense_sweeps += dn;
       opt_.stats->touched_entries += t;
+      opt_.stats->block_sweeps += bs;
+      opt_.stats->block_entries += be;
     }
     g_sparse_sweeps.fetch_add(s, std::memory_order_relaxed);
     g_dense_sweeps.fetch_add(dn, std::memory_order_relaxed);
     g_touched_entries.fetch_add(t, std::memory_order_relaxed);
+    g_block_sweeps.fetch_add(bs, std::memory_order_relaxed);
+    g_block_entries.fetch_add(be, std::memory_order_relaxed);
   }
 
   struct PhaseResult {
@@ -747,27 +800,41 @@ class RevisedSimplex {
       // --- long step: flip fully absorbed candidates, pivot the rest --
       std::size_t enter = kNone;
       double enter_rc = 0.0;
+      double enter_ratio = 0.0;
       double remaining = viol;
       linalg::IndexedVector& flip = flipwork_;
       flip.clear();
       bool any_flip = false;
       for (const Cand& c : cands) {
         const double range = upper_[c.j];
-        if (std::isfinite(range) && c.alpha_abs * range < remaining) {
-          // Dual bound flip: no basis change.  Batch the basic-value
-          // shift u_j * a_j (signed by the flip direction) for one
-          // collective ftran below.
-          const double s = at_upper_[c.j] ? -1.0 : 1.0;
-          at_upper_[c.j] ^= 1;
-          remaining -= c.alpha_abs * range;
-          for (const auto& [r, v] : cols_[c.j]) flip.add(r, s * range * v);
-          any_flip = true;
-          if (opt_.stats != nullptr) opt_.stats->bound_flips += 1;
+        const bool absorbable =
+            std::isfinite(range) && c.alpha_abs * range < remaining;
+        if (enter != kNone) {
+          // Flip-rich extension: candidates *tied* with the chosen
+          // blocker's ratio sit exactly on their reduced-cost sign
+          // boundary at the dual step about to be taken, so flipping
+          // them preserves dual feasibility — and each flip absorbs
+          // more of the violation before the pivot, shrinking the
+          // primal step (degenerate ratio-0 ties, the common case on
+          // the bound-tightened MDP sweeps, cost nothing at all).
+          // The sort makes ties adjacent; past them, stop.
+          if (c.ratio > enter_ratio) break;
+          if (!absorbable) continue;
+        } else if (!absorbable) {
+          enter = c.j;
+          enter_rc = c.rc;
+          enter_ratio = c.ratio;
           continue;
         }
-        enter = c.j;
-        enter_rc = c.rc;
-        break;
+        // Dual bound flip: no basis change.  Batch the basic-value
+        // shift u_j * a_j (signed by the flip direction) for one
+        // collective ftran below.
+        const double s = at_upper_[c.j] ? -1.0 : 1.0;
+        at_upper_[c.j] ^= 1;
+        remaining -= c.alpha_abs * range;
+        for (const auto& [r, v] : cols_[c.j]) flip.add(r, s * range * v);
+        any_flip = true;
+        if (opt_.stats != nullptr) opt_.stats->bound_flips += 1;
       }
       if (enter == kNone) {
         // Every candidate's whole range was absorbed and violation
@@ -1149,6 +1216,7 @@ class RevisedSimplex {
   linalg::Vector cost1_, cost2_;
   std::vector<std::size_t> basis_;
   std::vector<char> in_basis_;
+  std::vector<char> crash_seeded_;  // structural columns a crash seeded
   linalg::Vector xb_;
   linalg::Vector devex_;
   std::size_t price_start_ = 0;
@@ -1258,6 +1326,87 @@ LpSolution run_phases(RevisedSimplex& engine, const LpProblem& problem,
     // Fall through to a cold solve on any *semantic* warm-start trouble
     // (stale shape, dual infeasibility, pivot-budget trouble); the
     // primal phases need the implicit infinite artificial cap back.
+    engine.uncap_artificials();
+    sol = LpSolution{};
+  }
+
+  // --- crash-started path ------------------------------------------
+  // A policy-iteration crash seed: the caller nominates one structural
+  // column per original row (the occupation-measure columns of a greedy
+  // deterministic policy; slacks complete the rest).  The nominated
+  // (I - gamma P_pi)^T sub-basis is nonsingular for any policy and
+  // gamma < 1, and its basic values are the policy's occupation measure
+  // — nonnegative by construction — so the common outcome is a primal
+  // feasible near-optimal vertex that phase 2 polishes in a fraction of
+  // the cold pivot count.  A seed that leaves primal infeasibility
+  // (greedy policy violating a metric row) is repaired by the boxed
+  // dual when the basis prices dual feasible; anything less — singular
+  // factorization, neither feasibility — falls back to the ordinary
+  // cold start.
+  if ((warm == nullptr || warm->empty()) && opt.crash_columns != nullptr) {
+    // Fault injection: same site as a warm hand-off (the crash seed IS
+    // a warm start the optimizer fabricated).  The supervised retry
+    // re-reads the caller's pristine crash columns and reproduces the
+    // fault-free trajectory exactly.
+    if (robust::probe(robust::FaultSite::kWarmBasis)) {
+      sol.status = LpStatus::kNumericalFailure;
+      sol.note = "crash-basis-corrupted";
+      return sol;
+    }
+    bool attempted = false;
+    RevisedSimplex::PhaseResult pres = {LpStatus::kIterationLimit, 0,
+                                        nullptr};
+    if (engine.install_crash_basis(*opt.crash_columns) &&
+        engine.refactorize()) {
+      // A crash seed that will not factor is *expected* occasionally
+      // (caller heuristics are allowed to be wrong) — unlike the warm
+      // path this silently falls back cold instead of surfacing a
+      // numerical failure.
+      engine.cap_artificials();
+      engine.recompute_xb();
+      bool dual_ok = true;
+      if (engine.primal_infeasibility() > opt.feas_tol) {
+        dual_ok = engine.dual_infeasibility() <= 1e-6;
+        if (dual_ok) {
+          attempted = true;
+          const auto dres = engine.dual(opt.max_dual_iterations);
+          sol.iterations += dres.iterations;
+          if (dres.status == LpStatus::kNumericalFailure ||
+              dres.status == LpStatus::kDeadline) {
+            sol.status = dres.status;
+            sol.note = dres.note;
+            return sol;
+          }
+          if (dres.status == LpStatus::kInfeasible) {
+            sol.status = LpStatus::kInfeasible;
+            return sol;
+          }
+          dual_ok = dres.status == LpStatus::kOptimal;
+        }
+      }
+      if (dual_ok) {
+        attempted = true;
+        pres = engine.primal(engine.phase2_cost(), /*artificial_cap=*/true);
+        sol.iterations += pres.iterations;
+        if (pres.status == LpStatus::kNumericalFailure ||
+            pres.status == LpStatus::kDeadline) {
+          sol.status = pres.status;
+          sol.note = pres.note;
+          return sol;
+        }
+      }
+    }
+    if (attempted && pres.status == LpStatus::kOptimal) {
+      const std::size_t iters = sol.iterations;
+      sol = engine.extract(problem);
+      sol.iterations = iters;
+      if (opt.stats != nullptr) {
+        opt.stats->crash_basis_used = true;
+        opt.stats->crash_pivots_saved = engine.crash_survivors();
+      }
+      engine.save_basis(basis_out);
+      return sol;
+    }
     engine.uncap_artificials();
     sol = LpSolution{};
   }
@@ -1389,6 +1538,8 @@ SweepTelemetry sweep_telemetry() noexcept {
   t.sparse_sweeps = g_sparse_sweeps.load(std::memory_order_relaxed);
   t.dense_sweeps = g_dense_sweeps.load(std::memory_order_relaxed);
   t.touched_entries = g_touched_entries.load(std::memory_order_relaxed);
+  t.block_sweeps = g_block_sweeps.load(std::memory_order_relaxed);
+  t.block_entries = g_block_entries.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -1405,7 +1556,11 @@ LpSolution solve_revised_simplex(const LpProblem& problem,
   // --- structural presolve (cold solves only) ------------------------
   // Warm starts skip it: the caller's basis is laid out over the *full*
   // problem's standard form, and a short dual repair beats re-reducing.
-  if (options.presolve && (warm == nullptr || warm->empty())) {
+  // Crash seeds skip it for the same reason — the nominated columns
+  // index the full problem, and the seed already does presolve's job of
+  // shortcutting the solve.
+  if (options.presolve && (warm == nullptr || warm->empty()) &&
+      options.crash_columns == nullptr) {
     Presolve ps;
     const PresolveStatus pst = ps.reduce(problem, options.feas_tol);
     if (pst != PresolveStatus::kUnchanged) {

@@ -54,9 +54,23 @@ struct SimplexStats {
   std::uint64_t sparse_sweeps = 0;
   std::uint64_t dense_sweeps = 0;
   std::uint64_t touched_entries = 0;
+  // Dense-block telemetry: sweeps whose tail segment ran through the
+  // contiguous DenseBlock kernels, and the block nonzeros those sweeps
+  // processed (counted separately from touched_entries, which accrues
+  // the basis dimension per dense sweep — block_entries is the actual
+  // dense-tail arithmetic volume).
+  std::uint64_t block_sweeps = 0;
+  std::uint64_t block_entries = 0;
   // Presolve reductions applied before the simplex saw the problem.
   std::size_t presolve_rows_removed = 0;
   std::size_t presolve_cols_removed = 0;
+  // Crash-basis telemetry: whether a crash seed survived installation
+  // (nonsingular, adopted), and how many crash-seeded structural
+  // columns were still basic at optimality — each one is a column the
+  // simplex never had to price in, a deterministic proxy for pivots
+  // the seed saved versus the all-logical cold start.
+  bool crash_basis_used = false;
+  std::size_t crash_pivots_saved = 0;
 };
 
 /// Process-wide hypersparsity odometer, aggregated across every
@@ -68,6 +82,8 @@ struct SweepTelemetry {
   std::uint64_t sparse_sweeps = 0;
   std::uint64_t dense_sweeps = 0;
   std::uint64_t touched_entries = 0;
+  std::uint64_t block_sweeps = 0;   // sweeps routed through the dense block
+  std::uint64_t block_entries = 0;  // block nonzeros those sweeps processed
 };
 SweepTelemetry sweep_telemetry() noexcept;
 
@@ -135,6 +151,16 @@ struct RevisedSimplexOptions {
   /// Optional instrumentation sink (bench harnesses); reset and filled
   /// by solve_revised_simplex when non-null.
   SimplexStats* stats = nullptr;
+  /// Optional crash basis: for each *original* constraint row, the
+  /// structural column to seed basic (any value >= num_variables means
+  /// "no seed; complete with a slack or artificial").  The MDP
+  /// optimizer derives these from a few policy-iteration steps — the
+  /// occupation-measure columns of the greedy deterministic policy form
+  /// a nonsingular (I - gamma P)^T sub-basis over the balance rows.  A
+  /// crash solve bypasses presolve (like a warm start, the seed spans
+  /// the full problem); a singular or malformed seed falls back to the
+  /// ordinary cold start.  Ignored when a warm basis is supplied.
+  const std::vector<std::size_t>* crash_columns = nullptr;
 };
 
 /// Opaque warm-start handle: the basic column set over the solver's

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "linalg/sparse_lu.h"
+#include "markov/occupancy.h"
 
 namespace dpm::markov {
 
@@ -171,6 +172,48 @@ void SparseControlledChain::under_policy_rows(
     // unique row.  na is small, so one sort of the concatenation beats a
     // k-way merge.
     sort_and_merge(mixed);
+  }
+}
+
+void SparseControlledChain::under_policy_csr(const linalg::Matrix& policy,
+                                             MixedChainCsr& out) const {
+  const std::size_t na = num_commands();
+  if (policy.rows() != n_ || policy.cols() != na) {
+    throw MarkovError("under_policy: policy matrix shape mismatch");
+  }
+  out.row_ptr.resize(n_ + 1);
+  out.entries.clear();  // keeps capacity
+  out.row_ptr[0] = 0;
+  for (std::size_t s = 0; s < n_; ++s) {
+    const std::size_t begin = out.entries.size();
+    double row_sum = 0.0;
+    for (std::size_t a = 0; a < na; ++a) {
+      const double w = policy(s, a);
+      if (w < -1e-9) {
+        throw MarkovError("under_policy: negative decision probability");
+      }
+      row_sum += w;
+      if (w == 0.0) continue;
+      for (const auto& [t, p] : row(a, s)) out.entries.emplace_back(t, w * p);
+    }
+    if (std::abs(row_sum - 1.0) > 1e-7) {
+      throw MarkovError("under_policy: decision row " + std::to_string(s) +
+                        " does not sum to 1");
+    }
+    // Sort + merge the row's slice in place (mirrors sort_and_merge,
+    // but on the fused array — no per-row vector).
+    std::sort(out.entries.begin() + begin, out.entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::size_t w_out = begin;
+    for (std::size_t k = begin; k < out.entries.size(); ++k) {
+      auto [to, p] = out.entries[k];
+      while (k + 1 < out.entries.size() && out.entries[k + 1].first == to) {
+        p += out.entries[++k].second;
+      }
+      if (p != 0.0) out.entries[w_out++] = {to, p};
+    }
+    out.entries.resize(w_out);
+    out.row_ptr[s + 1] = w_out;
   }
 }
 

@@ -22,6 +22,8 @@
 
 namespace dpm::markov {
 
+struct MixedChainCsr;  // fused policy-mixed rows (markov/occupancy.h)
+
 /// One sparse transition row: (successor state, probability) pairs with
 /// unique, sorted successor indices.
 using TransitionRow = std::vector<std::pair<std::size_t, double>>;
@@ -75,6 +77,15 @@ class SparseControlledChain {
   /// mismatch, negative decision weights, or rows not summing to 1.
   void under_policy_rows(const linalg::Matrix& policy,
                          std::vector<TransitionRow>& rows_out) const;
+
+  /// Fused-CSR variant of under_policy_rows: mixes directly into one
+  /// contiguous entry array (`out.entries` + `out.row_ptr`), the form
+  /// the power-accumulation occupancy evaluator consumes.  Capacity is
+  /// reused across calls — a caller sweeping many policies over one
+  /// model stops allocating after the first mix.  Same validation and
+  /// the same sorted-unique row content as under_policy_rows.
+  void under_policy_csr(const linalg::Matrix& policy,
+                        MixedChainCsr& out) const;
 
   /// Convenience wrapper returning a dense validated MarkovChain (the
   /// historical contract; reference paths only).

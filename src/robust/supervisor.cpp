@@ -27,7 +27,8 @@ FailureReason reason_from(const lp::LpSolution& sol) noexcept {
   }
   if (sol.note != nullptr) {
     if (std::strcmp(sol.note, "singular-refactorization") == 0 ||
-        std::strcmp(sol.note, "warm-basis-corrupted") == 0) {
+        std::strcmp(sol.note, "warm-basis-corrupted") == 0 ||
+        std::strcmp(sol.note, "crash-basis-corrupted") == 0) {
       return FailureReason::kSingularBasis;
     }
     if (std::strcmp(sol.note, "cholesky-breakdown") == 0) {
@@ -184,11 +185,17 @@ SolveOutcome SolveSupervisor::solve(const lp::LpProblem& problem,
     return done();
   }
 
-  // Rung 3: the exact same problem, cold.  Clears persistent
-  // warm-start trouble (stale or corrupted basis) with a bit-identical
+  // Rung 3: the exact same problem, cold — no warm basis AND no crash
+  // seed, so persistent hand-off trouble (stale, corrupted, or
+  // unfactorable seeds of either kind) clears with a bit-identical
   // objective on success.
+  const auto cold_opts = [&] {
+    lp::RevisedSimplexOptions opts = options_.lp;
+    opts.crash_columns = nullptr;
+    return opts;
+  };
   if (attempt(RecoveryRung::kColdRestart, [&] {
-        return lp::solve_revised_simplex(problem, options_.lp, nullptr,
+        return lp::solve_revised_simplex(problem, cold_opts(), nullptr,
                                          basis_out);
       })) {
     return done();
@@ -199,7 +206,7 @@ SolveOutcome SolveSupervisor::solve(const lp::LpProblem& problem,
   if (options_.allow_perturb &&
       attempt(RecoveryRung::kPerturb, [&] {
         lp::LpSolution sol = lp::solve_revised_simplex(
-            lp::perturbed_copy(problem, 1e-7), options_.lp, nullptr,
+            lp::perturbed_copy(problem, 1e-7), cold_opts(), nullptr,
             basis_out);
         if (sol.status == lp::LpStatus::kOptimal) {
           sol.objective = problem.objective(sol.x);
@@ -212,7 +219,7 @@ SolveOutcome SolveSupervisor::solve(const lp::LpProblem& problem,
   // Rung 5: presolve off — isolates presolve/postsolve trouble and
   // changes the pivot trajectory from the first iteration.
   if (attempt(RecoveryRung::kNoPresolve, [&] {
-        lp::RevisedSimplexOptions opts = options_.lp;
+        lp::RevisedSimplexOptions opts = cold_opts();
         opts.presolve = false;
         return lp::solve_revised_simplex(problem, opts, nullptr, basis_out);
       })) {

@@ -1,0 +1,237 @@
+// Bitwise agreement property tests for the dense-block tail: with
+// set_dense_block_enabled(false) the factorization emits its dense
+// tail into sparse pair storage (the pre-block representation) and
+// every sweep walks pair lists; with the block enabled the same tail
+// lives in contiguous dense storage and the sweeps run the kernels in
+// dense_block.cpp.  The two configurations must be *bit-identical* —
+// same ftran/btran/ftran_sparse/btran_sparse results, same
+// Forrest–Tomlin accept/refuse decisions, same refactorization cadence
+// — across long FT update chains.  memcmp, not tolerance: the kernels
+// execute the same floating-point operations in the same order, only
+// the storage walked differs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "linalg/dense_block.h"
+#include "linalg/indexed_vector.h"
+#include "linalg/sparse_lu.h"
+
+namespace dpm::linalg {
+namespace {
+
+testing::AssertionResult bitwise_equal(const Vector& a, const Vector& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return testing::AssertionFailure()
+             << "entry " << i << ": block=" << a[i] << " sparse=" << b[i];
+    }
+  }
+  return testing::AssertionSuccess();
+}
+
+// A basis whose trailing block is dense enough to trip the dense-tail
+// elimination switch (and therefore the retained DenseBlock).
+std::vector<SparseColumn> dense_tail_basis(std::mt19937& rng, std::size_t n,
+                                           std::size_t tail) {
+  std::uniform_real_distribution<double> uval(-1.0, 1.0);
+  std::uniform_int_distribution<std::size_t> urow(0, n - 1);
+  std::vector<SparseColumn> cols(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    cols[j].emplace_back(j, 4.0 + uval(rng));
+    const int extra = static_cast<int>(rng() % 4);
+    for (int e = 0; e < extra; ++e) cols[j].emplace_back(urow(rng), uval(rng));
+  }
+  for (std::size_t j = n - tail; j < n; ++j) {
+    cols[j].clear();
+    cols[j].emplace_back(j, 4.0 + uval(rng));
+    for (std::size_t i = n - tail; i < n; ++i)
+      if (i != j) cols[j].emplace_back(i, uval(rng));
+  }
+  return cols;
+}
+
+// Drives two factorizations of the same basis — dense block on vs off —
+// through identical ftran/btran traffic and a long FT update chain,
+// asserting bitwise agreement at every step on all four sweep paths.
+TEST(DenseBlock, BitwiseMatchesSparseStorageAcrossFtChains) {
+  std::mt19937 rng(4321);
+  std::uniform_real_distribution<double> uval(-1.0, 1.0);
+  for (int trial = 0; trial < 6; ++trial) {
+    // Sizes start above BasisFactorization::kBlockMinBasis — smaller
+    // bases never retain a block (see the SizeGate test below).
+    const std::size_t n = 400 + trial * 60;
+    const std::size_t tail = 150 + trial * 20;
+    std::uniform_int_distribution<std::size_t> urow(0, n - 1);
+    std::vector<SparseColumn> cols = dense_tail_basis(rng, n, tail);
+
+    BasisFactorization on(64, 1e-11, 1.0);
+    BasisFactorization off(64, 1e-11, 1.0);
+    on.set_dense_block_enabled(true);
+    off.set_dense_block_enabled(false);
+    ASSERT_TRUE(on.refactorize(n, cols));
+    ASSERT_TRUE(off.refactorize(n, cols));
+    ASSERT_GT(on.block_dim(), 0u) << "tail not retained: test is vacuous";
+    ASSERT_EQ(off.block_dim(), 0u);
+
+    for (int step = 0; step < 80; ++step) {
+      // Dense-path ftran/btran.
+      Vector fd_on(n, 0.0), fd_off(n, 0.0);
+      IndexedVector fs_on(n), fs_off(n);
+      const int k = 1 + static_cast<int>(rng() % 3);
+      for (int e = 0; e < k; ++e) {
+        const std::size_t r = urow(rng);
+        const double v = uval(rng);
+        fd_on[r] += v;
+        fd_off[r] += v;
+        fs_on.add(r, v);
+        fs_off.add(r, v);
+      }
+      on.ftran(fd_on, false);
+      off.ftran(fd_off, false);
+      ASSERT_TRUE(bitwise_equal(fd_on, fd_off))
+          << "ftran trial=" << trial << " step=" << step;
+      on.ftran_sparse(fs_on, false);
+      off.ftran_sparse(fs_off, false);
+      ASSERT_TRUE(bitwise_equal(fs_on.values, fs_off.values))
+          << "ftran_sparse trial=" << trial << " step=" << step;
+
+      const std::size_t slot = urow(rng);
+      Vector bd_on(n, 0.0), bd_off(n, 0.0);
+      bd_on[slot] = bd_off[slot] = 1.0;
+      IndexedVector bs_on(n), bs_off(n);
+      bs_on.set(slot, 1.0);
+      bs_off.set(slot, 1.0);
+      on.btran(bd_on);
+      off.btran(bd_off);
+      ASSERT_TRUE(bitwise_equal(bd_on, bd_off))
+          << "btran trial=" << trial << " step=" << step;
+      on.btran_sparse(bs_on);
+      off.btran_sparse(bs_off);
+      ASSERT_TRUE(bitwise_equal(bs_on.values, bs_off.values))
+          << "btran_sparse trial=" << trial << " step=" << step;
+
+      // FT update: both must take the same accept/refuse decision and
+      // stay on the same refactorization cadence (the nonzero
+      // accounting feeding needs_refactor must agree exactly).
+      SparseColumn enter;
+      enter.emplace_back(urow(rng), 4.0 + uval(rng));
+      enter.emplace_back(urow(rng), uval(rng));
+      Vector d_on(n, 0.0), d_off(n, 0.0);
+      for (const auto& [r, v] : enter) {
+        d_on[r] += v;
+        d_off[r] += v;
+      }
+      on.ftran(d_on, /*cache_spike=*/true);
+      off.ftran(d_off, /*cache_spike=*/true);
+      ASSERT_TRUE(bitwise_equal(d_on, d_off));
+      const std::size_t leave = urow(rng);
+      const bool ok_on = on.update(leave, d_on);
+      const bool ok_off = off.update(leave, d_off);
+      ASSERT_EQ(ok_on, ok_off) << "update decision diverged, trial=" << trial
+                               << " step=" << step;
+      if (ok_on) {
+        cols[leave] = enter;
+        ASSERT_EQ(on.needs_refactor(), off.needs_refactor())
+            << "refactor cadence diverged, trial=" << trial
+            << " step=" << step;
+        if (on.needs_refactor()) {
+          if (!on.refactorize(n, cols)) break;
+          ASSERT_TRUE(off.refactorize(n, cols));
+        }
+      } else {
+        if (!on.refactorize(n, cols)) break;
+        ASSERT_TRUE(off.refactorize(n, cols));
+      }
+    }
+  }
+}
+
+// The retained-tail SparseLu solves (standalone ftran/btran, used by
+// scenario evaluation) must match the sparse-emission configuration
+// bit for bit as well.
+TEST(DenseBlock, RetainedTailLuSolvesBitwiseMatchEmitted) {
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<double> uval(-1.0, 1.0);
+  const std::size_t n = 380, tail = 160;
+  std::vector<SparseColumn> cols = dense_tail_basis(rng, n, tail);
+
+  SparseLu keep, emit;
+  emit.set_emit_tail_sparse(true);
+  ASSERT_TRUE(keep.factorize(n, cols));
+  ASSERT_TRUE(emit.factorize(n, cols));
+  ASSERT_TRUE(keep.tail_retained());
+  ASSERT_FALSE(emit.tail_retained());
+  // The retained representation must not change the nonzero accounting
+  // (refactorization cadence depends on it).
+  ASSERT_EQ(keep.factor_nonzeros(), emit.factor_nonzeros());
+
+  std::uniform_int_distribution<std::size_t> urow(0, n - 1);
+  for (int rep = 0; rep < 30; ++rep) {
+    Vector b(n, 0.0);
+    for (int e = 0; e < 4; ++e) b[urow(rng)] += uval(rng);
+    Vector x_keep = b, x_emit = b;
+    keep.ftran(x_keep);
+    emit.ftran(x_emit);
+    ASSERT_TRUE(bitwise_equal(x_keep, x_emit)) << "ftran rep " << rep;
+    Vector y_keep = b, y_emit = b;
+    keep.btran(y_keep);
+    emit.btran(y_emit);
+    ASSERT_TRUE(bitwise_equal(y_keep, y_emit)) << "btran rep " << rep;
+  }
+}
+
+// Size gate: a basis below kBlockMinBasis keeps the sparse tail even
+// with the block enabled — tiny instances must not pay the block's
+// bookkeeping (the n*na = 500 bench regression this PR fixes).
+TEST(DenseBlock, SmallBasesSkipTheBlock) {
+  std::mt19937 rng(99);
+  const std::size_t n = BasisFactorization::kBlockMinBasis - 60;
+  const std::size_t tail = 140;
+  std::vector<SparseColumn> cols = dense_tail_basis(rng, n, tail);
+  BasisFactorization f(64, 1e-11, 1.0);
+  f.set_dense_block_enabled(true);
+  ASSERT_TRUE(f.refactorize(n, cols));
+  EXPECT_EQ(f.block_dim(), 0u);
+  EXPECT_EQ(f.block_sweeps(), 0u);
+  Vector x(n, 0.0);
+  x[n / 2] = 1.0;
+  f.ftran(x, false);
+  EXPECT_EQ(f.block_sweeps(), 0u);
+}
+
+// DenseBlock bookkeeping unit checks: nnz accounting through
+// set/zero_col/zero_row is exact, and the extent hints never exclude a
+// nonzero (the kernels iterate only the hinted range).
+TEST(DenseBlock, NonzeroAccountingAndHints) {
+  DenseBlock blk;
+  blk.reset(10, 5);
+  EXPECT_TRUE(blk.active());
+  EXPECT_EQ(blk.nonzeros(), 0u);
+  blk.set(0, 3, 2.0);
+  blk.set(1, 3, -1.0);
+  blk.set(4, 4, 5.0);
+  EXPECT_EQ(blk.nonzeros(), 3u);
+  blk.set(0, 3, 0.0);  // overwrite with zero removes
+  EXPECT_EQ(blk.nonzeros(), 2u);
+  blk.set(1, 3, 7.0);  // overwrite nonzero with nonzero keeps count
+  EXPECT_EQ(blk.nonzeros(), 2u);
+  EXPECT_EQ(blk.zero_col(3), 1u);
+  EXPECT_EQ(blk.nonzeros(), 1u);
+  EXPECT_EQ(blk.zero_row(4), 1u);
+  EXPECT_EQ(blk.nonzeros(), 0u);
+
+  // Kernels see entries written after a zero_col/zero_row reset.
+  blk.set(2, 4, 3.0);
+  Vector z(5, 0.0);
+  blk.col_axpy_sub(4, 2.0, z.data());
+  EXPECT_EQ(z[2], -6.0);
+  Vector v(5, 0.0);
+  blk.row_axpy_sub(2, 1.0, v.data());
+  EXPECT_EQ(v[4], -3.0);
+}
+
+}  // namespace
+}  // namespace dpm::linalg
