@@ -1,0 +1,218 @@
+// dpmd — the policy-optimization serving daemon (docs/serving.md).
+//
+// Server mode (default): bind a TCP port, serve line-delimited JSON
+// optimize / reoptimize / evaluate / stats requests through one
+// PolicyEngine until SIGTERM/SIGINT or a shutdown request, then flush
+// the response cache and exit 0.
+//
+//   dpmd [--port N] [--cache-dir DIR] [--no-cache] [--deadline-ms X]
+//        [--batch-window-us N]
+//
+// Client mode: replay a request transcript against a running server and
+// print one response line per request (the serve smoke test's driver).
+//
+//   dpmd --connect HOST:PORT --transcript FILE
+//
+// Transcript helper: emit the canned example transcript (serve/fleet.h)
+// so scripts need no embedded model JSON.
+//
+//   dpmd --print-example-transcript
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "serve/fleet.h"
+#include "serve/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int sig) { g_signal = sig; }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--cache-dir DIR] [--no-cache]\n"
+               "          [--deadline-ms X] [--batch-window-us N]\n"
+               "       %s --connect HOST:PORT --transcript FILE\n"
+               "       %s --print-example-transcript\n",
+               argv0, argv0, argv0);
+  return 2;
+}
+
+/// Client mode: send every transcript line, print every response line.
+int run_client(const std::string& endpoint, const std::string& transcript) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "dpmd: --connect expects HOST:PORT\n");
+    return 2;
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "dpmd: bad port in '%s'\n", endpoint.c_str());
+    return 2;
+  }
+
+  std::ifstream in(transcript);
+  if (!in) {
+    std::fprintf(stderr, "dpmd: cannot read transcript '%s'\n",
+                 transcript.c_str());
+    return 2;
+  }
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) {
+    if (!line.empty()) lines.push_back(line);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("dpmd: socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    std::fprintf(stderr, "dpmd: cannot connect to %s\n", endpoint.c_str());
+    ::close(fd);
+    return 1;
+  }
+
+  std::string pending;
+  char buf[4096];
+  std::size_t answered = 0;
+  for (const std::string& line : lines) {
+    std::string out = line;
+    out.push_back('\n');
+    for (std::size_t sent = 0; sent < out.size();) {
+      const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        std::perror("dpmd: send");
+        ::close(fd);
+        return 1;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    // One response line per request, in order.
+    while (answered < lines.size()) {
+      const std::size_t nl = pending.find('\n');
+      if (nl != std::string::npos) {
+        std::fwrite(pending.data(), 1, nl, stdout);
+        std::fputc('\n', stdout);
+        pending.erase(0, nl + 1);
+        ++answered;
+        break;
+      }
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        std::fprintf(stderr, "dpmd: server closed mid-transcript\n");
+        ::close(fd);
+        return 1;
+      }
+      pending.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  std::fflush(stdout);
+  return answered == lines.size() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  dpm::serve::EngineOptions engine_options;
+  dpm::serve::ServerOptions server_options;
+  std::string connect_endpoint;
+  std::string transcript_path;
+  bool print_transcript = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "dpmd: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      server_options.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--cache-dir") {
+      engine_options.cache_dir = next();
+    } else if (arg == "--no-cache") {
+      engine_options.cache = false;
+    } else if (arg == "--deadline-ms") {
+      engine_options.request_deadline_ms = std::atof(next());
+    } else if (arg == "--batch-window-us") {
+      engine_options.batch_window_us =
+          static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--connect") {
+      connect_endpoint = next();
+    } else if (arg == "--transcript") {
+      transcript_path = next();
+    } else if (arg == "--print-example-transcript") {
+      print_transcript = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "dpmd: unknown flag '%s'\n", arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  if (print_transcript) {
+    for (const std::string& line : dpm::serve::example_transcript()) {
+      std::puts(line.c_str());
+    }
+    return 0;
+  }
+  if (!connect_endpoint.empty() || !transcript_path.empty()) {
+    if (connect_endpoint.empty() || transcript_path.empty()) {
+      std::fprintf(stderr,
+                   "dpmd: client mode needs both --connect and --transcript\n");
+      return 2;
+    }
+    return run_client(connect_endpoint, transcript_path);
+  }
+
+  dpm::serve::PolicyEngine engine(engine_options);
+  dpm::serve::PolicyServer server(engine, server_options);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "dpmd: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("dpmd: listening on %s:%u\n", server_options.bind_address.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGINT, handle_signal);
+  while (g_signal == 0 && !engine.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.stop();
+  engine.flush_cache();
+  std::printf("dpmd: shutdown clean\n");
+  std::fflush(stdout);
+  return 0;
+}

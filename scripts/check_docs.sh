@@ -3,7 +3,7 @@
 #
 #   scripts/check_docs.sh <path-to-bench_scenarios>
 #
-# Four checks:
+# Five checks:
 #   1. The scenario table in src/scenario/README.md lists exactly the
 #      scenarios `bench_scenarios --list` reports (both directions).
 #   2. Every repo-relative file or directory referenced from docs/*.md
@@ -14,6 +14,9 @@
 #      documented regeneration procedure always names the real set.
 #   4. The solver README documents every SimplexStats counter by name,
 #      so instrumentation added to the solver cannot ship undocumented.
+#   5. docs/serving.md documents every dpmd wire op and every
+#      EngineCounters telemetry field by name, so the serving protocol
+#      and its counters cannot drift undocumented.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,7 +116,41 @@ while IFS= read -r field; do
   fi
 done <<< "${stats_fields}"
 
+# --- 5. dpmd ops and serve telemetry counters are documented ---------
+# Op wire names from the protocol table in src/serve/protocol.cpp and
+# counter fields from the EngineCounters struct; each must appear in
+# docs/serving.md (in backticks or table rows).
+serve_ops="$(sed -n '/^enum class Op/,/^};/p' src/serve/protocol.h |
+             grep -o 'k[A-Z][A-Za-z]*' |
+             sed 's/^k//' | tr '[:upper:]' '[:lower:]' || true)"
+if [[ -z "${serve_ops}" ]]; then
+  echo "check_docs: FAIL — could not parse Op values from src/serve/protocol.h" >&2
+  fail=1
+fi
+while IFS= read -r op; do
+  [[ -z "${op}" ]] && continue
+  if ! grep -q "\`${op}\`" docs/serving.md; then
+    echo "check_docs: FAIL — dpmd op \`${op}\` is not documented in docs/serving.md" >&2
+    fail=1
+  fi
+done <<< "${serve_ops}"
+
+serve_counters="$(sed -n '/^struct EngineCounters/,/^};/p' src/serve/engine.h |
+                  grep -o '^  [a-z:]*[a-z_0-9<> ]* [a-z_0-9]* =' |
+                  awk '{print $(NF-1)}' || true)"
+if [[ -z "${serve_counters}" ]]; then
+  echo "check_docs: FAIL — could not parse EngineCounters fields from src/serve/engine.h" >&2
+  fail=1
+fi
+while IFS= read -r field; do
+  [[ -z "${field}" ]] && continue
+  if ! grep -q "${field}" docs/serving.md; then
+    echo "check_docs: FAIL — EngineCounters::${field} is not documented in docs/serving.md" >&2
+    fail=1
+  fi
+done <<< "${serve_counters}"
+
 if [[ "${fail}" -ne 0 ]]; then
   exit 1
 fi
-echo "check_docs: OK (scenario table in sync, doc references exist, golden list in sync, SimplexStats documented)"
+echo "check_docs: OK (scenario table in sync, doc references exist, golden list in sync, SimplexStats documented, serving protocol documented)"

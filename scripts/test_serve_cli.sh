@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the dpmd serving daemon, run as a ctest entry
+# (cli_dpmd_serve) and by scripts/verify.sh --serve-smoke.  Everything
+# here is observable only at the process boundary — exit codes, stdout
+# banners, response bytes on a real socket — so it lives in a script:
+#
+#   1. dpmd binds an ephemeral port and prints the listening banner;
+#   2. replaying the canned example transcript answers every request
+#      with exit 0 and no error/failed statuses;
+#   3. a second replay is served from the response cache: byte-identical
+#      non-stats responses and an exact-hit ratio > 0.5 for the pass;
+#   4. SIGTERM shuts the server down cleanly (exit 0, "shutdown clean",
+#      cache flushed to disk).
+#
+#   scripts/test_serve_cli.sh <path-to-dpmd>
+set -euo pipefail
+
+dpmd="${1:?usage: test_serve_cli.sh <path-to-dpmd>}"
+dpmd="$(readlink -f "${dpmd}")"
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "${server_pid}" ]] && kill -KILL "${server_pid}" 2>/dev/null || true
+  rm -rf "${workdir}"
+}
+trap cleanup EXIT
+cd "${workdir}"
+
+fail() {
+  echo "test_serve_cli: FAIL — $*" >&2
+  [[ -f server.out ]] && sed 's/^/  server: /' server.out >&2
+  exit 1
+}
+
+# --- 1. start the server on an ephemeral port -------------------------
+"${dpmd}" --print-example-transcript > transcript.txt ||
+  fail "--print-example-transcript failed"
+requests="$(wc -l < transcript.txt)"
+[[ "${requests}" -ge 10 ]] ||
+  fail "example transcript has ${requests} lines, want >= 10"
+
+"${dpmd}" --port 0 --cache-dir cachedir > server.out 2>&1 &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+  port="$(sed -n 's/^dpmd: listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+            server.out)"
+  [[ -n "${port}" ]] && break
+  kill -0 "${server_pid}" 2>/dev/null || fail "server exited before binding"
+  sleep 0.05
+done
+[[ -n "${port}" ]] || fail "no listening banner within 5s"
+
+# --- 2. first pass: every request answered, none rejected -------------
+"${dpmd}" --connect "127.0.0.1:${port}" --transcript transcript.txt \
+  > pass1.out || fail "first transcript replay exited nonzero"
+answers="$(wc -l < pass1.out)"
+[[ "${answers}" -eq "${requests}" ]] ||
+  fail "first pass answered ${answers}/${requests} requests"
+grep -q '"status":"error"' pass1.out &&
+  fail "first pass rejected a canned request: $(grep '"status":"error"' pass1.out | head -1)"
+grep -q '"status":"failed"' pass1.out &&
+  fail "first pass failed a solve: $(grep '"status":"failed"' pass1.out | head -1)"
+
+# --- 3. second pass: cache replay, exact-hit ratio > 0.5 --------------
+"${dpmd}" --connect "127.0.0.1:${port}" --transcript transcript.txt \
+  > pass2.out || fail "second transcript replay exited nonzero"
+
+# Non-stats responses must replay byte-identically (the stats line is
+# the one legitimately request-count-dependent response).
+grep -v '"counters"' pass1.out > pass1.cmp
+grep -v '"counters"' pass2.out > pass2.cmp
+cmp -s pass1.cmp pass2.cmp ||
+  fail "second pass responses are not byte-identical to the first"
+
+hits1="$(grep -o '"exact_hits":[0-9]*' pass1.out | tail -1 | cut -d: -f2)"
+hits2="$(grep -o '"exact_hits":[0-9]*' pass2.out | tail -1 | cut -d: -f2)"
+[[ -n "${hits1}" && -n "${hits2}" ]] ||
+  fail "stats responses carry no exact_hits counter"
+pass_hits=$(( hits2 - hits1 ))
+# The stats request itself is never cached; everything else can hit.
+if (( 2 * pass_hits <= requests )); then
+  fail "second-pass exact-hit ratio ${pass_hits}/${requests} is not > 0.5"
+fi
+
+# --- 4. SIGTERM: clean shutdown, cache flushed ------------------------
+kill -TERM "${server_pid}"
+server_exit=0
+wait "${server_pid}" || server_exit=$?
+server_pid=""
+[[ "${server_exit}" -eq 0 ]] ||
+  fail "server exited ${server_exit} on SIGTERM, want 0"
+grep -q '^dpmd: shutdown clean$' server.out ||
+  fail "server did not print the clean-shutdown banner"
+ls cachedir/* >/dev/null 2>&1 ||
+  fail "no response cache flushed to cachedir on shutdown"
+
+echo "test_serve_cli: OK (${requests} requests, ${pass_hits} exact hits on replay)"

@@ -27,6 +27,13 @@
 #                                # with JSON byte-identical to a clean
 #                                # run, --jobs 1 == --jobs 4 under
 #                                # injection included
+#   scripts/verify.sh --serve-smoke
+#                                # Release build, then the dpmd serving
+#                                # smoke: start the daemon, replay the
+#                                # example transcript twice over TCP,
+#                                # assert exit codes, an exact-hit ratio
+#                                # > 0.5 on the replay pass, and a clean
+#                                # SIGTERM shutdown
 #
 # Full mode is the tier-1 gate plus the sanitizer sweep and the fault
 # matrix; --quick is the edit-compile-check loop (every gtest suite
@@ -131,6 +138,11 @@ check_perf_smoke() {
   echo "perf smoke: ok (block share ${block_pct}%, crash ${crash_pivots} vs cold ${cold_pivots} pivots)"
 }
 
+check_serve_smoke() {
+  echo "=== serve smoke: dpmd transcript replay, cache hits, clean shutdown ==="
+  scripts/test_serve_cli.sh build/dpmd
+}
+
 check_fault_smoke() {
   echo "=== fault smoke: injected-fault matrix over the smoke registry ==="
   # Acceptance bar from docs/robustness.md: under every single-fault
@@ -194,12 +206,17 @@ case "${1:-}" in
     build_release
     check_fault_smoke
     ;;
+  --serve-smoke)
+    build_release
+    check_serve_smoke
+    ;;
   *)
     run_preset release
     check_docs
     check_golden
     check_perf_smoke
     check_fault_smoke
+    check_serve_smoke
     run_preset debug
     ;;
 esac

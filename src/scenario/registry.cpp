@@ -42,6 +42,7 @@ void register_builtin() {
     register_webserver_scenarios();
     register_sensitivity_scenarios();
     register_extension_scenarios();
+    register_serve_scenarios();
     return true;
   }();
   (void)once;

@@ -37,5 +37,6 @@ void register_cpu_scenarios();          // fig09b, fig10, adaptive
 void register_webserver_scenarios();    // fig09a
 void register_sensitivity_scenarios();  // fig12a/b, fig13a/b, fig14a/b
 void register_extension_scenarios();    // average_cost
+void register_serve_scenarios();        // serve (dpmd fleet mix)
 
 }  // namespace dpm::scenario

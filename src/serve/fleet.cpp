@@ -1,0 +1,107 @@
+#include "serve/fleet.h"
+
+namespace dpm::serve {
+
+ModelSpec fleet_model_spec(std::size_t variant, std::size_t queue_capacity) {
+  // Small deterministic parameter tables cycled by variant: distinct
+  // designs with the same shape, in the neighborhood of the paper's
+  // running example (service rate 0.8, wake expectation 10 slices).
+  static constexpr double kServiceRate[] = {0.80, 0.70, 0.90, 0.75};
+  static constexpr double kWakeProb[] = {0.10, 0.12, 0.08, 0.15};
+  static constexpr double kShutdownProb[] = {0.80, 0.70, 0.90, 0.60};
+  static constexpr double kPowerOn[] = {3.0, 3.5, 2.8, 3.2};
+  static constexpr double kPowerTransition[] = {4.0, 4.5, 3.6, 4.2};
+  static constexpr double kBurstPersist[] = {0.85, 0.80, 0.90, 0.75};
+  static constexpr double kBurstStart[] = {0.05, 0.08, 0.04, 0.10};
+  constexpr std::size_t kNumTables = 4;
+  const std::size_t v = variant % kNumTables;
+
+  const double sr = kServiceRate[v];
+  const double wake = kWakeProb[v];
+  const double shutdown = kShutdownProb[v];
+  const double p_on = kPowerOn[v];
+  const double p_tr = kPowerTransition[v];
+
+  ModelSpec spec;
+  spec.commands = {"s_on", "s_off"};
+
+  // Provider states: 0 = on, 1 = off; commands: 0 = s_on, 1 = s_off.
+  spec.power = linalg::Matrix(2, 2);
+  spec.power(0, 0) = p_on;  // keep running
+  spec.power(0, 1) = p_tr;  // shutting down
+  spec.power(1, 0) = p_tr;  // waking up
+  spec.power(1, 1) = 0.0;   // staying off
+
+  spec.service_rate = linalg::Matrix(2, 2);
+  spec.service_rate(0, 0) = sr;  // serves only while on under s_on
+
+  linalg::Matrix t_on(2, 2);
+  t_on(0, 0) = 1.0;
+  t_on(1, 0) = wake;
+  t_on(1, 1) = 1.0 - wake;
+  linalg::Matrix t_off(2, 2);
+  t_off(0, 0) = 1.0 - shutdown;
+  t_off(0, 1) = shutdown;
+  t_off(1, 1) = 1.0;
+  spec.transitions = {t_on, t_off};
+
+  // Bursty two-state requester: state 1 issues one request per slice.
+  spec.requester_transitions = linalg::Matrix(2, 2);
+  spec.requester_transitions(0, 0) = 1.0 - kBurstStart[v];
+  spec.requester_transitions(0, 1) = kBurstStart[v];
+  spec.requester_transitions(1, 0) = 1.0 - kBurstPersist[v];
+  spec.requester_transitions(1, 1) = kBurstPersist[v];
+  spec.requests_per_state = {0, 1};
+
+  spec.queue_capacity = queue_capacity;
+  return spec;
+}
+
+std::vector<std::string> example_transcript() {
+  std::vector<std::string> lines;
+  std::size_t next_id = 0;
+  const auto with_id = [&next_id](Request r) {
+    r.id = "t" + std::to_string(next_id++);
+    return format_request(r);
+  };
+
+  for (std::size_t variant = 0; variant < 2; ++variant) {
+    Request optimize;
+    optimize.op = Op::kOptimize;
+    optimize.model = fleet_model_spec(variant, /*queue_capacity=*/2);
+    optimize.discount = 0.999;
+    optimize.objective = "power";
+    ConstraintSpec queue;
+    queue.metric = "queue_length";
+    queue.bound = 0.5;
+    optimize.constraints.push_back(queue);
+    lines.push_back(with_id(optimize));
+
+    // Moved-bound re-optimizations: same structure, different rhs —
+    // near hits on first sight, exact hits on a replay.
+    for (const double bound : {0.45, 0.55, 0.65}) {
+      Request reopt = optimize;
+      reopt.op = Op::kReoptimize;
+      reopt.constraints[0].bound = bound;
+      lines.push_back(with_id(reopt));
+    }
+  }
+
+  Request evaluate;
+  evaluate.op = Op::kEvaluate;
+  evaluate.model = fleet_model_spec(0, /*queue_capacity=*/2);
+  evaluate.discount = 0.999;
+  const SystemModel model = evaluate.model->compose();
+  evaluate.policy.assign(model.num_states(),
+                         std::vector<double>(model.num_commands(), 0.0));
+  for (auto& row : evaluate.policy) row[0] = 1.0;  // always-on policy
+  evaluate.metrics = {"power", "queue_length"};
+  lines.push_back(with_id(evaluate));
+
+  Request stats;
+  stats.op = Op::kStats;
+  lines.push_back(with_id(stats));
+  return lines;
+}
+
+}  // namespace dpm::serve

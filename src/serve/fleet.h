@@ -1,0 +1,34 @@
+// Deterministic fleet request material for the serving tier.
+//
+// A fleet in the paper's setting is millions of devices running a
+// handful of distinct power-managed designs: the model *structures*
+// number a few, while the per-device constraint points (bounds, initial
+// states) vary.  These helpers generate that shape deterministically —
+// the same variant index always yields the same ModelSpec, so the
+// bench_serve scenario, the dpmd example transcript, and the protocol
+// tests all speak about identical models without sharing files.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace dpm::serve {
+
+/// A two-state on/off provider x two-state bursty requester design in
+/// the style of the paper's running example, with service rate, wake
+/// probability, and power table varied per `variant` (cycled from small
+/// deterministic tables).  `queue_capacity` scales the composed state
+/// space: 2 x 2 x (capacity + 1) states, 2 commands.
+ModelSpec fleet_model_spec(std::size_t variant, std::size_t queue_capacity);
+
+/// A canned request transcript over fleet_model_spec(0..1, capacity 2):
+/// optimize, reoptimize with moved bounds, an evaluate, and a stats
+/// probe — the replay material of `scripts/test_serve_cli.sh`, emitted
+/// by `dpmd --print-example-transcript`.  Sending the transcript twice
+/// makes every solve line an exact cache hit on the second pass.
+std::vector<std::string> example_transcript();
+
+}  // namespace dpm::serve

@@ -1,0 +1,159 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace dpm::serve {
+
+namespace {
+
+/// Writes the whole buffer, retrying on short writes and EINTR.
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+PolicyServer::PolicyServer(PolicyEngine& engine, ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+PolicyServer::~PolicyServer() { stop(); }
+
+bool PolicyServer::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return fail("inet_pton(" + options_.bind_address + ")");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.backlog) < 0) return fail("listen");
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+
+  stopping_.store(false);
+  running_.store(true);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void PolicyServer::stop() {
+  if (!running_.exchange(false)) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    // Shut the sockets down so blocked reads return; the workers then
+    // close their own fds and exit.
+    for (const int fd : worker_fds_) ::shutdown(fd, SHUT_RDWR);
+    workers = std::move(workers_);
+    workers_.clear();
+  }
+  for (std::thread& worker : workers) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void PolicyServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check the stop flag
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    if (stopping_.load()) {
+      ::close(fd);
+      break;
+    }
+    worker_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void PolicyServer::serve_connection(int fd) {
+  std::string pending;
+  char buf[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed, error, or shutdown() from stop()
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n', start); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      std::string response = engine_.submit(line);
+      response.push_back('\n');
+      if (!write_all(fd, response.data(), response.size())) {
+        open = false;
+        break;
+      }
+    }
+    pending.erase(0, start);
+  }
+  // Deregister before closing so stop() never shuts down a reused
+  // descriptor.
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    for (std::size_t i = 0; i < worker_fds_.size(); ++i) {
+      if (worker_fds_[i] == fd) {
+        worker_fds_.erase(worker_fds_.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace dpm::serve

@@ -1,0 +1,68 @@
+// PolicyServer: the TCP front of dpmd.
+//
+// Plain TCP, one JSON request per line, one JSON response per line
+// (protocol.h).  The server owns only sockets and threads — every
+// request is forwarded to a PolicyEngine, whose admission layer
+// coalesces concurrent connections into batches.  One acceptor thread
+// polls with a short timeout so stop() (SIGTERM path in apps/dpmd.cpp)
+// is honored promptly; each connection gets a worker thread, joined on
+// stop, so shutdown is deterministic and leak-free under ASan/TSan.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+
+namespace dpm::serve {
+
+struct ServerOptions {
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  /// Loopback by default: dpmd is a local accelerator daemon, not an
+  /// internet-facing service.
+  std::string bind_address = "127.0.0.1";
+  int backlog = 64;
+};
+
+class PolicyServer {
+ public:
+  PolicyServer(PolicyEngine& engine, ServerOptions options = {});
+  ~PolicyServer();
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor thread.  Returns false and
+  /// fills `error` (when non-null) on bind/listen failure.
+  bool start(std::string* error = nullptr);
+
+  /// Stops accepting, closes every connection, joins all threads.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// The bound port (resolves port 0 after start()).
+  std::uint16_t port() const noexcept { return port_; }
+  bool running() const noexcept { return running_.load(); }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  PolicyEngine& engine_;
+  ServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  std::vector<int> worker_fds_;
+};
+
+}  // namespace dpm::serve

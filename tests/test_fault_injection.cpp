@@ -16,7 +16,12 @@
 //    turns into a recompute instead of a wrong replay;
 //  * the ExperimentRunner converts injected faults into structured
 //    UnitFailure records (recovered via bounded retry, byte-identical
-//    records) and keeps --jobs invariance under injection.
+//    records) and keeps --jobs invariance under injection;
+//  * the serving tier (src/serve/): a kDeadline fault inside a dpmd
+//    worker degrades to a typed {"status":"failed"} response and the
+//    worker's next answer is byte-identical to an uninjected run; a
+//    kCacheLine-poisoned response cache recomputes instead of
+//    replaying garbage.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -35,6 +40,9 @@
 #include "scenario/cache.h"
 #include "scenario/registry.h"
 #include "scenario/runner.h"
+#include "serve/engine.h"
+#include "serve/fleet.h"
+#include "serve/protocol.h"
 
 namespace dpm {
 namespace {
@@ -511,6 +519,93 @@ TEST(RunnerFaults, ExpiredDeadlineYieldsStructuredUnitFailures) {
     EXPECT_EQ(uf.attempts, 1u) << uf.unit;
     EXPECT_NE(uf.detail.find("deadline"), std::string::npos) << uf.detail;
   }
+}
+
+
+// ---------------------------------------------------------------------
+// Serving tier: faults fired inside a dpmd worker (ISSUE PR 9).
+
+// One feasible fleet optimize request (variant 0, capacity 2, queue
+// bound 0.45 — comfortably above the ~0.28 achievable minimum).
+std::string fleet_optimize_line() {
+  serve::Request r;
+  r.id = "f0";
+  r.op = serve::Op::kOptimize;
+  r.model = serve::fleet_model_spec(0, /*queue_capacity=*/2);
+  r.discount = 0.999;
+  r.objective = "power";
+  serve::ConstraintSpec queue;
+  queue.metric = "queue_length";
+  queue.bound = 0.45;
+  r.constraints.push_back(queue);
+  r.want_policy = true;
+  return serve::format_request(r);
+}
+
+// A kDeadline fault fired inside a serve worker is a hard stop for that
+// one request: the response is a typed "failed" body (never cached),
+// the engine survives, and its next answer for the same line is
+// byte-identical to an engine that never saw the fault.
+TEST(ServeFaults, InjectedDeadlineIsATypedResponseAndTheWorkerSurvives) {
+  const std::string line = fleet_optimize_line();
+  serve::PolicyEngine clean{serve::EngineOptions{}};
+  const std::string want = clean.handle_line(line);
+  ASSERT_NE(want.find("\"status\":\"ok\""), std::string::npos) << want;
+
+  serve::PolicyEngine engine{serve::EngineOptions{}};
+  {
+    FaultPlan plan;
+    plan.site = FaultSite::kDeadline;
+    plan.fire_at = 1;
+    FaultScope scope(plan);
+    const std::string failed = engine.handle_line(line);
+    EXPECT_NE(failed.find("\"status\":\"failed\""), std::string::npos)
+        << failed;
+    EXPECT_NE(failed.find("deadline-expired"), std::string::npos) << failed;
+    EXPECT_GE(scope.fired(), 1u);
+  }
+  EXPECT_EQ(engine.counters().failures, 1u);
+  EXPECT_EQ(engine.counters().cold_solves, 0u);
+
+  // Retry on the surviving engine: the failure was not cached, the
+  // session basis was not corrupted, and the recomputed response is
+  // indistinguishable from the uninjected engine's.
+  EXPECT_EQ(engine.handle_line(line), want);
+  EXPECT_EQ(engine.counters().failures, 1u);
+  EXPECT_EQ(engine.counters().cold_solves, 1u);
+}
+
+// kCacheLine poisons the serialized response store on flush; on the
+// next boot the checksummed loader drops the poisoned entry and the
+// engine recomputes the response — byte-identical, never a wrong
+// replay.
+TEST(ServeFaults, PoisonedResponseCacheRecomputesByteIdentically) {
+  TempCacheDir tmp;
+  const std::string line = fleet_optimize_line();
+  std::string first;
+  {
+    serve::EngineOptions opts;
+    opts.cache_dir = tmp.path();
+    serve::PolicyEngine engine(opts);
+    first = engine.handle_line(line);
+    ASSERT_NE(first.find("\"status\":\"ok\""), std::string::npos) << first;
+
+    FaultPlan plan;
+    plan.site = FaultSite::kCacheLine;
+    plan.fire_at = 1;
+    FaultScope scope(plan);
+    ASSERT_TRUE(engine.flush_cache());
+    EXPECT_EQ(scope.fired(), 1u);
+  }
+
+  serve::EngineOptions opts;
+  opts.cache_dir = tmp.path();
+  serve::PolicyEngine reload(opts);
+  EXPECT_GE(reload.cache_stats().rejected, 1u);
+  const std::string again = reload.handle_line(line);
+  EXPECT_EQ(again, first);
+  EXPECT_EQ(reload.counters().exact_hits, 0u);  // recomputed, not replayed
+  EXPECT_EQ(reload.counters().cold_solves, 1u);
 }
 
 }  // namespace

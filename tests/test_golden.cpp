@@ -1,7 +1,8 @@
 // Golden-baseline regression tier.
 //
-// Four representative scenarios (the running example, disk, CPU, and
-// web-server case studies) have smoke-size baseline JSON checked in
+// Five representative scenarios (the running example, disk, CPU, and
+// web-server case studies, plus the dpmd serving tier) have smoke-size
+// baseline JSON checked in
 // under tests/golden/.  Each test runs its scenario in-process on the
 // ExperimentRunner and drives the --compare comparator
 // (scenario/compare.h) against the baseline under the scenario's
@@ -15,7 +16,7 @@
 //   build/bench_scenarios --smoke --quiet \
 //     --exact example_a2 --exact fig08_disk \
 //     --exact fig09b_cpu --exact fig09a_webserver \
-//     --baseline-out tests/golden
+//     --exact serve --baseline-out tests/golden
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -48,6 +49,7 @@ constexpr const char* kGoldenScenarios[] = {
     "fig08_disk",
     "fig09b_cpu",
     "fig09a_webserver",
+    "serve",
 };
 
 std::string golden_path(const std::string& name) {

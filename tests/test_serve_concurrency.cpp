@@ -1,0 +1,256 @@
+// dpmd serving tier, multi-client contracts (src/serve/):
+//   * N client threads against one in-process PolicyServer produce
+//     responses bitwise-equal to per-request cold solves on a fresh
+//     engine — the serving restatement of --jobs invariance;
+//   * the admission layer's batched results equal the unbatched ones,
+//     at any thread count;
+//   * engine pivot counters reconcile exactly with the process-wide
+//     lp::pivots_executed() odometer.
+//
+// Sized for the tsan preset: capacity-2 fleet designs solve in tens of
+// pivots, so the whole suite stays fast under instrumentation.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lp/revised_simplex.h"
+#include "serve/engine.h"
+#include "serve/fleet.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+namespace dpm {
+namespace {
+
+using serve::ConstraintSpec;
+using serve::EngineCounters;
+using serve::EngineOptions;
+using serve::Op;
+using serve::PolicyEngine;
+using serve::PolicyServer;
+using serve::Request;
+using serve::ServerOptions;
+
+// A fleet-shaped request mix: few designs, several constraint points
+// each, plus an interleaved evaluate — every line feasible at
+// capacity 2 (worst variant minimum queue ~0.38).
+std::vector<std::string> fleet_lines() {
+  std::vector<std::string> lines;
+  std::size_t next_id = 0;
+  for (std::size_t variant = 0; variant < 2; ++variant) {
+    for (const double bound : {0.45, 0.50, 0.55, 0.60}) {
+      Request r;
+      r.id = "c" + std::to_string(next_id++);
+      r.op = Op::kOptimize;
+      r.model = serve::fleet_model_spec(variant, /*queue_capacity=*/2);
+      r.discount = 0.999;
+      r.objective = "power";
+      ConstraintSpec queue;
+      queue.metric = "queue_length";
+      queue.bound = bound;
+      r.constraints.push_back(queue);
+      r.want_policy = true;
+      lines.push_back(serve::format_request(r));
+    }
+  }
+  Request eval;
+  eval.id = "c" + std::to_string(next_id++);
+  eval.op = Op::kEvaluate;
+  eval.model = serve::fleet_model_spec(0, 2);
+  eval.discount = 0.999;
+  const SystemModel model = eval.model->compose();
+  eval.policy.assign(model.num_states(),
+                     std::vector<double>(model.num_commands(), 0.0));
+  for (auto& row : eval.policy) row[0] = 1.0;
+  eval.metrics = {"power", "queue_length"};
+  lines.push_back(serve::format_request(eval));
+  return lines;
+}
+
+// The reference answer for one line: a fresh single-session engine with
+// no cache and no warm state — a pure cold solve.
+std::string cold_reference(const std::string& line) {
+  EngineOptions opts;
+  opts.cache = false;
+  PolicyEngine fresh(opts);
+  return fresh.handle_line(line);
+}
+
+std::string response_body(const std::string& response) {
+  const std::size_t at = response.find("\"status\"");
+  EXPECT_NE(at, std::string::npos) << response;
+  return response.substr(at);
+}
+
+// --- admission batching ----------------------------------------------
+
+TEST(ServeConcurrency, ThreadedSubmitMatchesColdSolvesBitwise) {
+  const std::vector<std::string> lines = fleet_lines();
+  std::vector<std::string> want(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    want[i] = cold_reference(lines[i]);
+  }
+
+  for (const std::size_t threads : {1u, 4u}) {
+    PolicyEngine engine{EngineOptions{}};
+    std::vector<std::string> got(lines.size());
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        for (std::size_t i = t; i < lines.size(); i += threads) {
+          got[i] = engine.submit(lines[i]);
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+
+    // Same bytes as a cold solve for every request, whether the engine
+    // served it cold, warm-repaired it in a batch, or replayed it.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      EXPECT_EQ(got[i], want[i]) << "request " << i << " at " << threads
+                                 << " threads";
+    }
+
+    const EngineCounters counters = engine.counters();
+    EXPECT_EQ(counters.requests, lines.size());
+    EXPECT_EQ(counters.rejections, 0u);
+    EXPECT_EQ(counters.failures, 0u);
+    EXPECT_EQ(counters.evaluations, 1u);
+    // 8 solve requests over 2 structures: however they were batched,
+    // every one either solved cold, warm-repaired, or hit the cache.
+    EXPECT_EQ(counters.cold_solves + counters.near_hits + counters.exact_hits,
+              lines.size() - 1);
+    EXPECT_GE(counters.cold_solves, 1u);
+  }
+}
+
+TEST(ServeConcurrency, BatchedAndSequentialCountersReconcileWithOdometer) {
+  const std::vector<std::string> lines = fleet_lines();
+
+  PolicyEngine engine{EngineOptions{}};
+  const std::uint64_t pivots_before = lp::pivots_executed();
+  std::vector<std::string> batched = engine.handle_batch(lines);
+  const std::uint64_t pivots_spent = lp::pivots_executed() - pivots_before;
+
+  // The engine's own accounting must explain every pivot the process
+  // odometer saw while serving the batch.
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.cold_pivots + counters.repair_pivots, pivots_spent);
+  EXPECT_GT(counters.cold_pivots, 0u);
+
+  // Replaying the same batch is all exact hits: zero new pivots, same
+  // bytes.
+  const std::uint64_t replay_before = lp::pivots_executed();
+  std::vector<std::string> replay = engine.handle_batch(lines);
+  EXPECT_EQ(lp::pivots_executed() - replay_before, 0u);
+  ASSERT_EQ(replay.size(), batched.size());
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(replay[i], batched[i]) << "replay " << i;
+  }
+
+  // And the batch answers match sequential handle_line on a twin.
+  PolicyEngine twin{EngineOptions{}};
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(twin.handle_line(lines[i]), batched[i]) << "sequential " << i;
+  }
+}
+
+// --- sockets: N clients, one server ----------------------------------
+
+int connect_to(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+std::string roundtrip(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  for (std::size_t sent = 0; sent < out.size();) {
+    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+    if (n < 0 && errno == EINTR) continue;
+    EXPECT_GT(n, 0);
+    if (n <= 0) return {};
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    EXPECT_GT(n, 0);
+    if (n <= 0) return {};
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response.substr(0, response.find('\n'));
+}
+
+TEST(ServeConcurrency, SocketClientsGetColdSolveBytes) {
+  const std::vector<std::string> lines = fleet_lines();
+  std::vector<std::string> want(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    want[i] = cold_reference(lines[i]);
+  }
+
+  PolicyEngine engine{EngineOptions{}};
+  PolicyServer server(engine, ServerOptions{});  // ephemeral port
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  constexpr std::size_t kClients = 3;
+  std::vector<std::string> got(lines.size());
+  std::vector<std::thread> clients;
+  for (std::size_t t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      const int fd = connect_to(server.port());
+      for (std::size_t i = t; i < lines.size(); i += kClients) {
+        got[i] = roundtrip(fd, lines[i]);
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& th : clients) th.join();
+  server.stop();
+  EXPECT_FALSE(server.running());
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    EXPECT_EQ(got[i], want[i]) << "socket request " << i;
+  }
+  EXPECT_EQ(engine.counters().requests, lines.size());
+}
+
+TEST(ServeConcurrency, StopWithLiveConnectionsShutsDownCleanly) {
+  PolicyEngine engine{EngineOptions{}};
+  PolicyServer server(engine, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Idle connections that never send a full line: stop() must still
+  // return (it shuts the sockets down) and stay idempotent.
+  const int idle1 = connect_to(server.port());
+  const int idle2 = connect_to(server.port());
+  const std::string stats =
+      roundtrip(idle1, R"({"id":"s","op":"stats"})");
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(server.running());
+  ::close(idle1);
+  ::close(idle2);
+}
+
+}  // namespace
+}  // namespace dpm
