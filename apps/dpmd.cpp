@@ -18,8 +18,7 @@
 //
 //   dpmd --print-example-transcript
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
+#include <netdb.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -56,12 +55,19 @@ int usage(const char* argv0) {
 /// Client mode: send every transcript line, print every response line.
 int run_client(const std::string& endpoint, const std::string& transcript) {
   const std::size_t colon = endpoint.rfind(':');
-  if (colon == std::string::npos) {
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == endpoint.size()) {
     std::fprintf(stderr, "dpmd: --connect expects HOST:PORT\n");
     return 2;
   }
   const std::string host = endpoint.substr(0, colon);
-  const int port = std::atoi(endpoint.c_str() + colon + 1);
+  const std::string port_str = endpoint.substr(colon + 1);
+  if (port_str.find_first_not_of("0123456789") != std::string::npos ||
+      port_str.size() > 5) {
+    std::fprintf(stderr, "dpmd: bad port in '%s'\n", endpoint.c_str());
+    return 2;
+  }
+  const long port = std::strtol(port_str.c_str(), nullptr, 10);
   if (port <= 0 || port > 65535) {
     std::fprintf(stderr, "dpmd: bad port in '%s'\n", endpoint.c_str());
     return 2;
@@ -78,18 +84,29 @@ int run_client(const std::string& endpoint, const std::string& transcript) {
     if (!line.empty()) lines.push_back(line);
   }
 
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("dpmd: socket");
+  // Resolve hostnames (incl. "localhost") and IPv4/IPv6 literals alike.
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints,
+                               &resolved);
+  if (rc != 0) {
+    std::fprintf(stderr, "dpmd: cannot resolve '%s': %s\n", endpoint.c_str(),
+                 ::gai_strerror(rc));
     return 1;
   }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    std::fprintf(stderr, "dpmd: cannot connect to %s\n", endpoint.c_str());
+  int fd = -1;
+  for (const addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
     ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  if (fd < 0) {
+    std::fprintf(stderr, "dpmd: cannot connect to %s\n", endpoint.c_str());
     return 1;
   }
 
@@ -100,7 +117,8 @@ int run_client(const std::string& endpoint, const std::string& transcript) {
     std::string out = line;
     out.push_back('\n');
     for (std::size_t sent = 0; sent < out.size();) {
-      const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+      const ssize_t n =
+          ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         std::perror("dpmd: send");
@@ -137,6 +155,10 @@ int run_client(const std::string& endpoint, const std::string& transcript) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Belt and braces next to MSG_NOSIGNAL: a peer disconnect must never
+  // deliver a process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
   dpm::serve::EngineOptions engine_options;
   dpm::serve::ServerOptions server_options;
   std::string connect_endpoint;

@@ -305,12 +305,35 @@ std::string PolicyEngine::submit(const std::string& line) {
     adm_leader_ = false;
     lock.unlock();
 
-    std::vector<std::string> batch_lines;
-    batch_lines.reserve(batch.size());
-    for (const auto& s : batch) batch_lines.push_back(s->line);
-    std::vector<std::string> batch_responses = handle_batch(batch_lines);
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch[i]->promise.set_value(std::move(batch_responses[i]));
+    // Every slot's promise must be fulfilled no matter what: a follower
+    // blocked in get() on a destroyed-unfulfilled promise would see a
+    // future_error escape its connection thread and terminate the
+    // daemon.
+    std::size_t delivered = 0;
+    try {
+      std::vector<std::string> batch_lines;
+      batch_lines.reserve(batch.size());
+      for (const auto& s : batch) batch_lines.push_back(s->line);
+      std::vector<std::string> batch_responses = handle_batch(batch_lines);
+      for (; delivered < batch.size(); ++delivered) {
+        batch[delivered]->promise.set_value(
+            std::move(batch_responses[delivered]));
+      }
+    } catch (...) {
+      for (std::size_t i = delivered; i < batch.size(); ++i) {
+        try {
+          batch[i]->promise.set_value(compose_response(
+              "", error_body("internal", "batch processing failed")));
+        } catch (...) {
+          // Even the error body failed to build (allocation exhaustion):
+          // hand the exception itself over; serve_connection's catch
+          // around submit() is the final backstop.
+          try {
+            batch[i]->promise.set_exception(std::current_exception());
+          } catch (...) {
+          }
+        }
+      }
     }
   } else {
     lock.unlock();
@@ -423,10 +446,24 @@ std::string PolicyEngine::process_solve(Parsed& parsed) {
                           "model structure");
     }
   }
-  if (parsed.model && request.objective != session.objective_name) {
+  // A model_ref request cannot re-derive the structural inputs, so any
+  // it supplies explicitly must agree with the session — silently
+  // solving with the session's values would answer a different problem
+  // than the one the client described.  Omitted fields default to the
+  // session's.  (With an inline model these cannot mismatch: discount
+  // and objective are part of the structural key that found the
+  // session.)
+  if (request.has_discount && request.discount != session.discount) {
     throw ProtocolError("bad-request",
-                        "objective does not match the referenced model "
-                        "structure");
+                        "'discount' does not match the referenced model "
+                        "(the structural key fixes the discount; omit the "
+                        "field to reuse the session's)");
+  }
+  if (request.has_objective && request.objective != session.objective_name) {
+    throw ProtocolError("bad-request",
+                        "'objective' does not match the referenced model "
+                        "(the structural key fixes the objective; omit the "
+                        "field to reuse the session's)");
   }
 
   return solve_in_session(session, request);

@@ -264,6 +264,7 @@ Request parse_request(const std::string& line) {
   if (const JsonValue* discount = doc.get("discount")) {
     if (!discount->is_number()) bad_request("'discount' must be a number");
     req.discount = discount->as_number();
+    req.has_discount = true;
     if (!(req.discount > 0.0) || !(req.discount < 1.0)) {
       bad_request("'discount' must lie in (0,1)");
     }
@@ -283,6 +284,7 @@ Request parse_request(const std::string& line) {
     if (const JsonValue* objective = doc.get("objective")) {
       if (!objective->is_string()) bad_request("'objective' must be a string");
       req.objective = objective->as_string();
+      req.has_objective = true;
     }
     require_metric_name(req.objective);
     if (const JsonValue* constraints = doc.get("constraints")) {

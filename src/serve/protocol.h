@@ -20,7 +20,9 @@
 //   "ok"     — the request was served; payload depends on the op;
 //   "error"  — the request was rejected before any solve (typed code:
 //              bad-json, bad-request, unknown-op, bad-model,
-//              unknown-metric, unknown-model);
+//              unknown-metric, unknown-model; plus "internal" when the
+//              daemon itself could not process the line, e.g. resource
+//              exhaustion mid-batch);
 //   "failed" — the solve ran but the supervisor could not determine the
 //              model (robust::SolveFailure: reason, rung, detail).
 //
@@ -116,8 +118,10 @@ struct Request {
   std::optional<ModelSpec> model;          // optimize/evaluate; reoptimize may omit
   std::string model_ref;                   // reoptimize: 16-hex structural key
   double discount = 0.99999;
+  bool has_discount = false;               // 'discount' present on the wire
   std::vector<double> initial;             // empty = uniform
   std::string objective = "power";         // metric name
+  bool has_objective = false;              // 'objective' present on the wire
   std::vector<ConstraintSpec> constraints;
   bool want_policy = false;                // include the policy matrix
   // evaluate only:

@@ -15,9 +15,11 @@ namespace dpm::serve {
 namespace {
 
 /// Writes the whole buffer, retrying on short writes and EINTR.
+/// MSG_NOSIGNAL: a client that disconnects mid-response must surface as
+/// EPIPE here, not as a SIGPIPE that terminates the whole daemon.
 bool write_all(int fd, const char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::send(fd, data, size, 0);
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -90,16 +92,37 @@ void PolicyServer::stop() {
     // Shut the sockets down so blocked reads return; the workers then
     // close their own fds and exit.
     for (const int fd : worker_fds_) ::shutdown(fd, SHUT_RDWR);
-    workers = std::move(workers_);
+    for (auto& [fd, worker] : workers_) workers.push_back(std::move(worker));
     workers_.clear();
+    for (std::thread& worker : reaped_) workers.push_back(std::move(worker));
+    reaped_.clear();
   }
   for (std::thread& worker : workers) {
     if (worker.joinable()) worker.join();
   }
 }
 
+std::size_t PolicyServer::live_connections() const {
+  std::lock_guard<std::mutex> lock(workers_mutex_);
+  return workers_.size() + reaped_.size();
+}
+
+void PolicyServer::reap_finished() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(workers_mutex_);
+    finished.swap(reaped_);
+  }
+  // These threads have already deregistered themselves; joining only
+  // waits out their final close().
+  for (std::thread& worker : finished) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
 void PolicyServer::accept_loop() {
   while (!stopping_.load()) {
+    reap_finished();
     pollfd pfd{};
     pfd.fd = listen_fd_;
     pfd.events = POLLIN;
@@ -113,7 +136,9 @@ void PolicyServer::accept_loop() {
       break;
     }
     worker_fds_.push_back(fd);
-    workers_.emplace_back([this, fd] { serve_connection(fd); });
+    // The new thread cannot reach its own cleanup (which needs
+    // workers_mutex_, held here) before this emplace completes.
+    workers_.emplace(fd, std::thread([this, fd] { serve_connection(fd); }));
   }
 }
 
@@ -133,7 +158,21 @@ void PolicyServer::serve_connection(int fd) {
       start = nl + 1;
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      std::string response = engine_.submit(line);
+      std::string response;
+      try {
+        response = engine_.submit(line);
+      } catch (...) {
+        // Last-resort backstop (the engine's own error paths failed,
+        // e.g. allocation exhaustion mid-batch): answer with a static
+        // typed error and drop the connection instead of letting the
+        // exception terminate the daemon.
+        static constexpr char kInternalError[] =
+            "{\"id\":\"\",\"status\":\"error\",\"error\":{\"code\":"
+            "\"internal\",\"detail\":\"request processing failed\"}}\n";
+        write_all(fd, kInternalError, sizeof kInternalError - 1);
+        open = false;
+        break;
+      }
       response.push_back('\n');
       if (!write_all(fd, response.data(), response.size())) {
         open = false;
@@ -143,7 +182,9 @@ void PolicyServer::serve_connection(int fd) {
     pending.erase(0, start);
   }
   // Deregister before closing so stop() never shuts down a reused
-  // descriptor.
+  // descriptor, and hand this thread's own handle to the acceptor for
+  // joining — workers_ stays bounded by the live connection count under
+  // arbitrary connection churn.
   {
     std::lock_guard<std::mutex> lock(workers_mutex_);
     for (std::size_t i = 0; i < worker_fds_.size(); ++i) {
@@ -151,6 +192,11 @@ void PolicyServer::serve_connection(int fd) {
         worker_fds_.erase(worker_fds_.begin() + static_cast<long>(i));
         break;
       }
+    }
+    const auto self = workers_.find(fd);
+    if (self != workers_.end()) {
+      reaped_.push_back(std::move(self->second));
+      workers_.erase(self);
     }
   }
   ::close(fd);

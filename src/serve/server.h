@@ -5,8 +5,10 @@
 // request is forwarded to a PolicyEngine, whose admission layer
 // coalesces concurrent connections into batches.  One acceptor thread
 // polls with a short timeout so stop() (SIGTERM path in apps/dpmd.cpp)
-// is honored promptly; each connection gets a worker thread, joined on
-// stop, so shutdown is deterministic and leak-free under ASan/TSan.
+// is honored promptly; each connection gets a worker thread, reaped by
+// the acceptor when the connection closes and joined on stop, so
+// shutdown is deterministic and leak-free under ASan/TSan and memory
+// stays bounded under connection churn.
 #pragma once
 
 #include <atomic>
@@ -14,6 +16,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "serve/engine.h"
@@ -49,9 +52,14 @@ class PolicyServer {
   std::uint16_t port() const noexcept { return port_; }
   bool running() const noexcept { return running_.load(); }
 
+  /// Connection workers not yet joined (live + awaiting reap).  Churn
+  /// test surface: returns to 0 once closed connections are reaped.
+  std::size_t live_connections() const;
+
  private:
   void accept_loop();
   void serve_connection(int fd);
+  void reap_finished();
 
   PolicyEngine& engine_;
   ServerOptions options_;
@@ -60,8 +68,12 @@ class PolicyServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  mutable std::mutex workers_mutex_;
+  /// Live connection workers, keyed by their socket.  A worker moves
+  /// its own handle to reaped_ when its connection closes; the acceptor
+  /// joins reaped handles each loop iteration.
+  std::unordered_map<int, std::thread> workers_;
+  std::vector<std::thread> reaped_;
   std::vector<int> worker_fds_;
 };
 

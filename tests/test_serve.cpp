@@ -389,6 +389,45 @@ TEST(ServeEngine, ModelRefReoptimizeWarmStartsTheSession) {
   EXPECT_EQ(engine.num_sessions(), 1u);
 }
 
+TEST(ServeEngine, ModelRefMismatchedDiscountOrObjectiveIsRejected) {
+  PolicyEngine engine{EngineOptions{}};
+  Request r = rich_optimize();
+  r.constraints[0].bound = 0.45;
+  const std::string cold = engine.handle_line(serve::format_request(r));
+  const JsonValue parsed = JsonValue::parse(cold);
+  ASSERT_NE(parsed.get("model_ref"), nullptr) << cold;
+  const std::string ref = parsed.get("model_ref")->as_string();
+
+  Request reopt;
+  reopt.op = Op::kReoptimize;
+  reopt.model_ref = ref;
+  reopt.discount = r.discount;
+  reopt.objective = r.objective;
+  reopt.constraints = r.constraints;
+  reopt.constraints[0].bound = 0.55;
+
+  // An explicit discount or objective that disagrees with the session
+  // would silently answer a different problem: typed rejection instead.
+  Request bad = reopt;
+  bad.discount = 0.9;
+  EXPECT_EQ(expect_error_code(engine, serve::format_request(bad)),
+            "bad-request");
+  bad = reopt;
+  bad.objective = "queue_length";
+  EXPECT_EQ(expect_error_code(engine, serve::format_request(bad)),
+            "bad-request");
+  EXPECT_EQ(engine.counters().near_hits, 0u);
+
+  // Omitting the fields reuses the session's values: still a near hit.
+  const std::string sparse =
+      "{\"op\":\"reoptimize\",\"model_ref\":\"" + ref +
+      "\",\"constraints\":[{\"metric\":\"queue_length\",\"bound\":0.55},"
+      "{\"metric\":\"throughput\",\"bound\":0.01,\"sense\":\"ge\"}]}";
+  const std::string warm = engine.handle_line(sparse);
+  EXPECT_NE(warm.find("\"status\":\"ok\""), std::string::npos) << warm;
+  EXPECT_EQ(engine.counters().near_hits, 1u);
+}
+
 TEST(ServeEngine, StatsAndShutdownAreServed) {
   PolicyEngine engine{EngineOptions{}};
   const std::string stats = engine.handle_line(R"({"id":"s","op":"stats"})");

@@ -16,6 +16,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -179,7 +180,8 @@ std::string roundtrip(int fd, const std::string& line) {
   std::string out = line;
   out.push_back('\n');
   for (std::size_t sent = 0; sent < out.size();) {
-    const ssize_t n = ::send(fd, out.data() + sent, out.size() - sent, 0);
+    const ssize_t n =
+        ::send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
     EXPECT_GT(n, 0);
     if (n <= 0) return {};
@@ -229,6 +231,62 @@ TEST(ServeConcurrency, SocketClientsGetColdSolveBytes) {
     EXPECT_EQ(got[i], want[i]) << "socket request " << i;
   }
   EXPECT_EQ(engine.counters().requests, lines.size());
+}
+
+TEST(ServeConcurrency, ConnectionChurnReapsWorkerThreads) {
+  PolicyEngine engine{EngineOptions{}};
+  PolicyServer server(engine, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Many short-lived connections: each worker deregisters itself on
+  // disconnect and the acceptor joins the handle, so the server's
+  // thread bookkeeping must drain back to zero instead of growing by
+  // one dead thread per connection.
+  constexpr std::size_t kConnections = 20;
+  for (std::size_t i = 0; i < kConnections; ++i) {
+    const int fd = connect_to(server.port());
+    const std::string stats = roundtrip(fd, R"({"id":"s","op":"stats"})");
+    EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+    ::close(fd);
+  }
+  for (int tries = 0; server.live_connections() != 0 && tries < 500;
+       ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.live_connections(), 0u);
+  EXPECT_EQ(engine.counters().requests, kConnections);
+  server.stop();
+}
+
+TEST(ServeConcurrency, ClientDisconnectMidResponseDoesNotKillTheServer) {
+  PolicyEngine engine{EngineOptions{}};
+  PolicyServer server(engine, ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Clients that fire a burst of solve requests and walk away without
+  // reading: the workers' response writes land on a closed socket
+  // (RST/EPIPE).  Without MSG_NOSIGNAL that raised SIGPIPE, whose
+  // default action terminated the whole daemon.
+  const std::vector<std::string> lines = fleet_lines();
+  for (int round = 0; round < 3; ++round) {
+    const int fd = connect_to(server.port());
+    std::string burst;
+    for (const std::string& line : lines) {
+      burst += line;
+      burst.push_back('\n');
+    }
+    (void)::send(fd, burst.data(), burst.size(), MSG_NOSIGNAL);
+    ::close(fd);  // never reads the multi-KB responses
+  }
+
+  // The daemon must survive and keep serving fresh clients.
+  const int fd = connect_to(server.port());
+  const std::string stats = roundtrip(fd, R"({"id":"s","op":"stats"})");
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+  ::close(fd);
+  server.stop();
 }
 
 TEST(ServeConcurrency, StopWithLiveConnectionsShutsDownCleanly) {
