@@ -5,8 +5,10 @@
 // PolicyEngine until SIGTERM/SIGINT or a shutdown request, then flush
 // the response cache and exit 0.
 //
-//   dpmd [--port N] [--cache-dir DIR] [--no-cache] [--deadline-ms X]
-//        [--batch-window-us N]
+//   dpmd [--port N] [--bind ADDR] [--cache-dir DIR] [--no-cache]
+//        [--cache-entries N] [--deadline-ms X] [--batch-window-us N]
+//        [--max-inflight N] [--max-connections N] [--max-sessions N]
+//        [--max-line-bytes N]
 //
 // Client mode: replay a request transcript against a running server and
 // print one response line per request (the serve smoke test's driver).
@@ -44,8 +46,11 @@ void handle_signal(int sig) { g_signal = sig; }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--port N] [--cache-dir DIR] [--no-cache]\n"
-               "          [--deadline-ms X] [--batch-window-us N]\n"
+               "usage: %s [--port N] [--bind ADDR] [--cache-dir DIR]\n"
+               "          [--no-cache] [--cache-entries N] [--deadline-ms X]\n"
+               "          [--batch-window-us N] [--max-inflight N]\n"
+               "          [--max-connections N] [--max-sessions N]\n"
+               "          [--max-line-bytes N]\n"
                "       %s --connect HOST:PORT --transcript FILE\n"
                "       %s --print-example-transcript\n",
                argv0, argv0, argv0);
@@ -176,10 +181,24 @@ int main(int argc, char** argv) {
     };
     if (arg == "--port") {
       server_options.port = static_cast<std::uint16_t>(std::atoi(next()));
+    } else if (arg == "--bind") {
+      server_options.bind_address = next();
     } else if (arg == "--cache-dir") {
       engine_options.cache_dir = next();
     } else if (arg == "--no-cache") {
       engine_options.cache = false;
+    } else if (arg == "--cache-entries") {
+      engine_options.cache_entries = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--max-inflight") {
+      engine_options.max_inflight = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--max-connections") {
+      server_options.max_connections =
+          static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--max-sessions") {
+      engine_options.max_sessions = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--max-line-bytes") {
+      server_options.max_line_bytes =
+          static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--deadline-ms") {
       engine_options.request_deadline_ms = std::atof(next());
     } else if (arg == "--batch-window-us") {
@@ -218,9 +237,11 @@ int main(int argc, char** argv) {
   dpm::serve::PolicyEngine engine(engine_options);
   dpm::serve::PolicyServer server(engine, server_options);
   std::string error;
-  if (!server.start(&error)) {
+  dpm::serve::PolicyServer::StartFailure failure;
+  if (!server.start(&error, &failure)) {
     std::fprintf(stderr, "dpmd: %s\n", error.c_str());
-    return 1;
+    // Unresolvable --bind is a usage error; socket/bind trouble is not.
+    return failure == dpm::serve::PolicyServer::StartFailure::kResolve ? 2 : 1;
   }
   std::printf("dpmd: listening on %s:%u\n", server_options.bind_address.c_str(),
               static_cast<unsigned>(server.port()));

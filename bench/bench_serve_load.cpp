@@ -1,0 +1,613 @@
+// bench_serve_load — open-loop Poisson load driver for the dpmd serving
+// stack (docs/serving.md, "Limits & overload").
+//
+// The closed-loop transcript replay (scripts/test_serve_cli.sh) keeps
+// exactly one request in flight, so its latency numbers say nothing
+// about overload.  This driver offers load at a *rate*: Poisson
+// arrivals — deterministic via sim::derive_seed — are pushed over a
+// small pool of persistent TCP connections without waiting for
+// responses, exactly the traffic a fleet of independent clients
+// produces.  Three levels run back to back at 0.5x / 1x / 2x of a
+// measured closed-loop saturation estimate, and the report separates
+// offered vs sent vs admitted vs completed and prints p50/p99/max
+// latency of the *admitted* requests per level.  A dedicated probe
+// connection round-trips `{"op":"stats"}` throughout, asserting the
+// daemon stays responsive while it sheds.
+//
+// Default target is an in-process PolicyServer on an ephemeral port
+// with a deliberately small admission budget, so `--smoke` exercises
+// typed `overloaded` shedding end to end with no external setup;
+// `--connect HOST:PORT` drives a live external daemon instead (the
+// serve CLI smoke uses this against dpmd --max-inflight 2).
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/engine.h"
+#include "serve/fleet.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "sim/rng.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+bool send_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+int connect_to(const std::string& host, const std::string& port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  if (::getaddrinfo(host.c_str(), port.c_str(), &hints, &resolved) != 0) {
+    return -1;
+  }
+  int fd = -1;
+  for (const addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(resolved);
+  return fd;
+}
+
+/// Blocking read of one response line with an overall timeout.
+bool read_line(int fd, std::string& pending, std::string& line,
+               int timeout_ms) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
+  char buf[4096];
+  while (true) {
+    const std::size_t nl = pending.find('\n');
+    if (nl != std::string::npos) {
+      line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      return true;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    pending.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+/// One fleet solve request line (same shape the serve scenario drives).
+std::string solve_line(std::size_t variant, double bound,
+                       std::size_t capacity, const std::string& id) {
+  dpm::serve::Request r;
+  r.id = id;
+  r.op = dpm::serve::Op::kOptimize;
+  r.model = dpm::serve::fleet_model_spec(variant, capacity);
+  r.discount = 0.999;
+  r.objective = "power";
+  dpm::serve::ConstraintSpec c;
+  c.metric = "queue_length";
+  c.bound = bound;
+  r.constraints.push_back(c);
+  return format_request(r);
+}
+
+double percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// Per-connection work and results; sender and reader threads share the
+/// send-timestamp queue under `mu`, everything else is owned by exactly
+/// one thread until both are joined.
+struct ConnWork {
+  int fd = -1;
+  std::vector<const std::string*> lines;
+  std::vector<double> at_ms;
+
+  std::mutex mu;
+  std::deque<Clock::time_point> sends;
+  bool io_error = false;
+
+  std::size_t sent = 0;       // sender-owned
+  std::size_t responses = 0;  // reader-owned below
+  std::size_t ok = 0;
+  std::size_t overloaded = 0;
+  std::size_t failed = 0;
+  std::vector<double> latencies_ms;
+};
+
+void run_sender(ConnWork& w, Clock::time_point t0) {
+  for (std::size_t i = 0; i < w.lines.size(); ++i) {
+    std::this_thread::sleep_until(
+        t0 + std::chrono::microseconds(
+                 static_cast<long long>(w.at_ms[i] * 1000.0)));
+    std::string out = *w.lines[i];
+    out.push_back('\n');
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.sends.push_back(Clock::now());
+    }
+    if (!send_all(w.fd, out.data(), out.size())) {
+      std::lock_guard<std::mutex> lock(w.mu);
+      w.io_error = true;
+      break;
+    }
+    ++w.sent;
+  }
+  // Half-close: the server drains every complete line (answering each)
+  // before recv reports EOF, so the reader still sees all responses.
+  ::shutdown(w.fd, SHUT_WR);
+}
+
+void run_reader(ConnWork& w) {
+  std::string pending;
+  char buf[4096];
+  Clock::time_point last_progress = Clock::now();
+  while (true) {
+    pollfd pfd{w.fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      // Stalled-server guard only: the normal exit is EOF after the
+      // sender's half-close.
+      if (ms_between(last_progress, Clock::now()) > 10000.0) break;
+      continue;
+    }
+    const ssize_t n = ::recv(w.fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    last_progress = Clock::now();
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = pending.find('\n'); nl != std::string::npos;
+         nl = pending.find('\n', start)) {
+      const std::string line = pending.substr(start, nl - start);
+      start = nl + 1;
+      if (line.empty()) continue;
+      const Clock::time_point now = Clock::now();
+      Clock::time_point sent_at{};
+      bool have_send_time = false;
+      {
+        std::lock_guard<std::mutex> lock(w.mu);
+        if (!w.sends.empty()) {
+          sent_at = w.sends.front();
+          w.sends.pop_front();
+          have_send_time = true;
+        }
+      }
+      ++w.responses;
+      if (line.find("\"code\":\"overloaded\"") != std::string::npos) {
+        ++w.overloaded;
+      } else if (line.find("\"status\":\"ok\"") != std::string::npos) {
+        ++w.ok;
+        if (have_send_time) w.latencies_ms.push_back(ms_between(sent_at, now));
+      } else {
+        ++w.failed;
+      }
+    }
+    pending.erase(0, start);
+  }
+}
+
+struct LevelResult {
+  double offered_rate = 0.0;
+  double achieved_rate = 0.0;
+  std::size_t arrivals = 0;
+  std::size_t sent = 0;
+  std::size_t responses = 0;
+  std::size_t ok = 0;
+  std::size_t overloaded = 0;
+  std::size_t failed = 0;
+  std::size_t lost = 0;
+  bool io_error = false;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t stats_roundtrips = 0;
+};
+
+struct LevelConfig {
+  double rate = 100.0;         // offered arrivals per second
+  double duration_ms = 500.0;  // arrival window
+  std::size_t connections = 4;
+  std::size_t capacity = 6;      // fleet queue capacity (model size)
+  std::size_t max_arrivals = 2000;
+  std::uint64_t seed = 0;
+  std::size_t level_index = 0;
+};
+
+LevelResult run_level(const std::string& host, const std::string& port,
+                      const LevelConfig& cfg,
+                      const std::vector<std::string>& warm_pool) {
+  // Deterministic arrival schedule and request mix, computed before the
+  // clock starts: Poisson gaps at cfg.rate; ~70% replays of the warmed
+  // pool (exact hits), ~30% moved bounds (near-hit warm starts).
+  dpm::sim::Rng rng(
+      dpm::sim::derive_seed("bench_serve_load", cfg.level_index, cfg.seed));
+  std::vector<double> at_ms;
+  std::vector<std::string> lines;
+  double t = 0.0;
+  while (at_ms.size() < cfg.max_arrivals) {
+    t += -std::log(1.0 - rng.uniform()) * 1000.0 / cfg.rate;
+    if (t >= cfg.duration_ms) break;
+    at_ms.push_back(t);
+    const std::string id = "L" + std::to_string(cfg.level_index) + "-" +
+                           std::to_string(at_ms.size());
+    if (rng.uniform() < 0.7) {
+      std::string line = warm_pool[rng.uniform_index(warm_pool.size())];
+      lines.push_back(std::move(line));
+    } else {
+      const double bound =
+          0.9 + 0.002 * static_cast<double>(1 + rng.uniform_index(120));
+      lines.push_back(solve_line(rng.uniform_index(2), bound, cfg.capacity, id));
+    }
+  }
+
+  LevelResult result;
+  result.offered_rate = cfg.rate;
+  result.arrivals = at_ms.size();
+  if (at_ms.empty()) return result;
+
+  std::vector<std::unique_ptr<ConnWork>> conns;
+  for (std::size_t c = 0; c < cfg.connections; ++c) {
+    auto work = std::make_unique<ConnWork>();
+    work->fd = connect_to(host, port);
+    if (work->fd < 0) {
+      result.io_error = true;
+      break;
+    }
+    conns.push_back(std::move(work));
+  }
+  if (conns.size() < cfg.connections) {
+    for (auto& c : conns) ::close(c->fd);
+    return result;
+  }
+  for (std::size_t i = 0; i < at_ms.size(); ++i) {
+    ConnWork& w = *conns[i % conns.size()];
+    w.lines.push_back(&lines[i]);
+    w.at_ms.push_back(at_ms[i]);
+  }
+
+  // Stats probe: its own connection, one stats round trip every 100 ms
+  // for the whole level.  A typed overloaded answer still counts — the
+  // property under test is that the daemon answers *something* quickly.
+  std::atomic<bool> probe_stop{false};
+  std::size_t probe_roundtrips = 0;
+  std::thread probe([&] {
+    const int fd = connect_to(host, port);
+    if (fd < 0) return;
+    std::string pending;
+    static const std::string kStats = "{\"id\":\"probe\",\"op\":\"stats\"}\n";
+    while (!probe_stop.load()) {
+      if (!send_all(fd, kStats.data(), kStats.size())) break;
+      std::string line;
+      if (!read_line(fd, pending, line, 5000)) break;
+      ++probe_roundtrips;
+      for (int i = 0; i < 10 && !probe_stop.load(); ++i) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    }
+    ::close(fd);
+  });
+
+  const Clock::time_point t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (auto& c : conns) {
+    threads.emplace_back([&c, t0] { run_sender(*c, t0); });
+    threads.emplace_back([&c] { run_reader(*c); });
+  }
+  for (std::thread& th : threads) th.join();
+  const double elapsed_ms = ms_between(t0, Clock::now());
+  probe_stop.store(true);
+  probe.join();
+
+  std::vector<double> latencies;
+  for (auto& c : conns) {
+    ::close(c->fd);
+    result.sent += c->sent;
+    result.responses += c->responses;
+    result.ok += c->ok;
+    result.overloaded += c->overloaded;
+    result.failed += c->failed;
+    result.io_error = result.io_error || c->io_error;
+    latencies.insert(latencies.end(), c->latencies_ms.begin(),
+                     c->latencies_ms.end());
+  }
+  result.lost = result.sent - std::min(result.sent, result.responses);
+  result.achieved_rate =
+      elapsed_ms > 0.0
+          ? 1000.0 * static_cast<double>(result.responses) / elapsed_ms
+          : 0.0;
+  result.p50_ms = percentile(latencies, 0.50);
+  result.p99_ms = percentile(latencies, 0.99);
+  for (const double l : latencies) result.max_ms = std::max(result.max_ms, l);
+  result.stats_roundtrips = probe_roundtrips;
+  return result;
+}
+
+/// Closed-loop saturation estimate: warm every pool line (cold solves +
+/// session registration), then time a steady replay+moved-bound mix one
+/// request at a time.  1000/mean-ms is the rate past which an open-loop
+/// offered load must queue or shed.
+double calibrate_saturation(const std::string& host, const std::string& port,
+                            const std::vector<std::string>& warm_pool,
+                            std::size_t capacity, bool* ok) {
+  *ok = false;
+  const int fd = connect_to(host, port);
+  if (fd < 0) return 0.0;
+  std::string pending;
+  std::string line;
+  const auto roundtrip = [&](const std::string& request) {
+    std::string out = request;
+    out.push_back('\n');
+    return send_all(fd, out.data(), out.size()) &&
+           read_line(fd, pending, line, 30000);
+  };
+  // Warm pass: pays the cold solves, fills cache and sessions.
+  for (const std::string& request : warm_pool) {
+    if (!roundtrip(request)) {
+      ::close(fd);
+      return 0.0;
+    }
+  }
+  // Measured passes: the same exact-hit/near-hit mix the levels offer.
+  std::size_t count = 0;
+  const Clock::time_point t0 = Clock::now();
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < warm_pool.size(); ++i) {
+      if (!roundtrip(warm_pool[i])) {
+        ::close(fd);
+        return 0.0;
+      }
+      ++count;
+    }
+    const double moved = 0.9 + 0.002 * static_cast<double>(pass + 1);
+    if (!roundtrip(solve_line(0, moved, capacity, "cal"))) {
+      ::close(fd);
+      return 0.0;
+    }
+    ++count;
+  }
+  const double elapsed_ms = ms_between(t0, Clock::now());
+  ::close(fd);
+  if (elapsed_ms <= 0.0 || count == 0) return 0.0;
+  *ok = true;
+  return 1000.0 * static_cast<double>(count) / elapsed_ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = dpm::bench::smoke_mode(argc, argv);
+  std::string connect_endpoint;
+  std::size_t connections = smoke ? 4 : 8;
+  double duration_ms = smoke ? 500.0 : 2000.0;
+  double forced_rate = 0.0;
+  std::uint64_t seed = 0;
+  bool expect_sheds = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_serve_load: %s needs a value\n",
+                     arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--connect") {
+      connect_endpoint = next();
+    } else if (arg == "--connections") {
+      connections = static_cast<std::size_t>(std::atol(next()));
+    } else if (arg == "--duration-ms") {
+      duration_ms = std::atof(next());
+    } else if (arg == "--rate") {
+      forced_rate = std::atof(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--expect-sheds") {
+      expect_sheds = true;
+    } else if (arg != "--smoke") {
+      std::fprintf(stderr,
+                   "usage: bench_serve_load [--smoke] [--connect HOST:PORT]\n"
+                   "         [--connections N] [--duration-ms X] [--rate R]\n"
+                   "         [--seed N] [--expect-sheds]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    }
+  }
+
+  // In-process target unless --connect: small admission budget so the
+  // 2x level demonstrably sheds instead of queuing.
+  dpm::serve::PolicyEngine* engine = nullptr;
+  std::unique_ptr<dpm::serve::PolicyEngine> owned_engine;
+  std::unique_ptr<dpm::serve::PolicyServer> owned_server;
+  std::string host;
+  std::string port;
+  if (connect_endpoint.empty()) {
+    dpm::serve::EngineOptions eo;
+    eo.max_inflight = 2;
+    dpm::serve::ServerOptions so;
+    so.max_connections = 32;
+    owned_engine = std::make_unique<dpm::serve::PolicyEngine>(eo);
+    owned_server =
+        std::make_unique<dpm::serve::PolicyServer>(*owned_engine, so);
+    std::string error;
+    if (!owned_server->start(&error)) {
+      std::fprintf(stderr, "bench_serve_load: cannot start server: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    engine = owned_engine.get();
+    host = "127.0.0.1";
+    port = std::to_string(owned_server->port());
+    expect_sheds = true;
+  } else {
+    const std::size_t colon = connect_endpoint.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == connect_endpoint.size()) {
+      std::fprintf(stderr, "bench_serve_load: --connect expects HOST:PORT\n");
+      return 2;
+    }
+    host = connect_endpoint.substr(0, colon);
+    port = connect_endpoint.substr(colon + 1);
+  }
+
+  dpm::bench::banner(
+      "serve open-loop load (bench_serve_load)",
+      "Poisson arrivals at 0.5x/1x/2x saturation; offered vs admitted vs "
+      "completed; p50/p99/max of admitted requests");
+
+  const std::size_t capacity = smoke ? 6 : 8;
+  std::vector<std::string> warm_pool;
+  for (std::size_t variant = 0; variant < 2; ++variant) {
+    warm_pool.push_back(solve_line(variant, 0.9, capacity, "warm"));
+    warm_pool.push_back(solve_line(variant, 0.95, capacity, "warm"));
+  }
+
+  bool calibrated = false;
+  double sat_rate = forced_rate;
+  if (sat_rate <= 0.0) {
+    sat_rate = calibrate_saturation(host, port, warm_pool, capacity,
+                                    &calibrated);
+    if (!calibrated) {
+      std::fprintf(stderr,
+                   "bench_serve_load: calibration against %s:%s failed\n",
+                   host.c_str(), port.c_str());
+      return 1;
+    }
+  } else {
+    // Still warm the pool so level one is not dominated by cold solves.
+    bool warm_ok = false;
+    calibrate_saturation(host, port, warm_pool, capacity, &warm_ok);
+    if (!warm_ok) {
+      std::fprintf(stderr, "bench_serve_load: warmup against %s:%s failed\n",
+                   host.c_str(), port.c_str());
+      return 1;
+    }
+  }
+  dpm::bench::section("calibration");
+  dpm::bench::fact("closed-loop saturation estimate (req/s)", sat_rate);
+
+  const double kLevels[] = {0.5, 1.0, 2.0};
+  std::vector<LevelResult> results;
+  for (std::size_t level = 0; level < 3; ++level) {
+    LevelConfig cfg;
+    cfg.rate = std::max(1.0, sat_rate * kLevels[level]);
+    cfg.duration_ms = duration_ms;
+    cfg.connections = connections;
+    cfg.capacity = capacity;
+    cfg.max_arrivals = smoke ? 2000 : 20000;
+    cfg.seed = seed;
+    cfg.level_index = level;
+    results.push_back(run_level(host, port, cfg, warm_pool));
+    const LevelResult& r = results.back();
+    dpm::bench::section(
+        std::to_string(kLevels[level]).substr(0, 3) + "x saturation (" +
+        std::to_string(static_cast<long>(cfg.rate)) + " req/s offered)");
+    std::printf(
+        "  arrivals %5zu  sent %5zu  responses %5zu  ok %5zu  "
+        "overloaded %5zu  failed %4zu  lost %3zu\n",
+        r.arrivals, r.sent, r.responses, r.ok, r.overloaded, r.failed,
+        r.lost);
+    std::printf(
+        "  completed %7.0f req/s   latency p50 %8.3f ms  p99 %8.3f ms  "
+        "max %8.3f ms   stats round-trips %zu\n",
+        r.achieved_rate, r.p50_ms, r.p99_ms, r.max_ms, r.stats_roundtrips);
+  }
+
+  // Acceptance checks (ISSUE 10): responsive at every level, typed sheds
+  // at 2x, and shedding — not queuing — keeps the admitted-request p99
+  // at 2x within 5x of the 0.5x p99 (floored against timer noise on
+  // tiny smoke runs).
+  std::vector<std::string> problems;
+  for (std::size_t level = 0; level < results.size(); ++level) {
+    const LevelResult& r = results[level];
+    const std::string tag = "level " + std::to_string(kLevels[level]) + "x: ";
+    if (r.io_error) problems.push_back(tag + "socket error");
+    if (r.arrivals == 0) problems.push_back(tag + "no arrivals scheduled");
+    if (r.responses == 0) problems.push_back(tag + "no responses");
+    if (r.lost > 0) {
+      problems.push_back(tag + std::to_string(r.lost) + " requests unanswered");
+    }
+    if (r.stats_roundtrips == 0) {
+      problems.push_back(tag + "stats probe got no round trips");
+    }
+  }
+  if (expect_sheds && !results.empty()) {
+    const std::uint64_t engine_sheds =
+        engine != nullptr ? engine->counters().sheds : 0;
+    if (results.back().overloaded == 0 && engine_sheds == 0) {
+      problems.push_back(
+          "2x saturation produced no overloaded sheds (expected with a "
+          "small admission budget)");
+    }
+  }
+  if (results.size() == 3 && results[0].ok >= 20 && results[2].ok >= 20) {
+    const double base = std::max(results[0].p99_ms, 10.0);
+    if (results[2].p99_ms > 5.0 * base) {
+      problems.push_back(
+          "admitted p99 at 2x (" + std::to_string(results[2].p99_ms) +
+          " ms) exceeds 5x the 0.5x p99 (base " + std::to_string(base) +
+          " ms): shedding is not protecting admitted latency");
+    }
+  }
+
+  dpm::bench::section("verdict");
+  for (const std::string& p : problems) {
+    std::printf("  FAIL %s\n", p.c_str());
+  }
+  if (problems.empty()) std::printf("  all load-level checks passed\n");
+
+  {
+    dpm::bench::JsonReport report("serve_load", /*enabled=*/!smoke);
+    for (std::size_t level = 0; level < results.size(); ++level) {
+      const LevelResult& r = results[level];
+      report.add("load " + std::to_string(kLevels[level]) + "x p99",
+                 r.p99_ms, r.ok, r.achieved_rate);
+    }
+  }
+
+  if (owned_server) owned_server->stop();
+  return problems.empty() ? 0 : 1;
+}

@@ -139,8 +139,8 @@ check_perf_smoke() {
 }
 
 check_serve_smoke() {
-  echo "=== serve smoke: dpmd transcript replay, cache hits, clean shutdown ==="
-  scripts/test_serve_cli.sh build/dpmd
+  echo "=== serve smoke: dpmd replay, cache hits, overload sheds, clean shutdown ==="
+  scripts/test_serve_cli.sh build/dpmd build/bench_serve_load
 }
 
 check_fault_smoke() {

@@ -281,6 +281,76 @@ Scenario make_serve() {
         }});
 
     units.push_back(Unit{
+        "bounded sessions: LRU eviction demotes to byte-identical cold "
+        "solves",
+        [](UnitContext& ctx) {
+          // Three designs through a two-session engine: the LRU bound
+          // must evict the stalest structure, the demoted re-solve must
+          // be a cold solve, and — the canonical-finish invariant — its
+          // response bytes must equal a never-warm engine's bytes.
+          const std::size_t capacity = 6;
+          EngineOptions opts;
+          opts.max_sessions = 2;
+          opts.batch_window_us = 0;
+          PolicyEngine engine(opts);
+
+          const auto solve_ok = [&](std::size_t variant, double bound,
+                                    const std::string& id) {
+            const std::string response = engine.handle_line(
+                device_request_line(variant, bound, capacity, id));
+            ctx.check(response.find("\"status\":\"ok\"") != std::string::npos,
+                      "eviction unit solve failed: " + response);
+            return response;
+          };
+
+          solve_ok(0, 0.90, "a0");  // session A
+          const std::string b0 = solve_ok(1, 0.90, "b0");  // session B
+          solve_ok(0, 0.85, "a1");  // near hit: A is now most recent
+          solve_ok(2, 0.90, "c0");  // session C evicts B (the LRU)
+          EngineCounters counters = engine.counters();
+          ctx.check(counters.session_evictions == 1,
+                    "inserting past max_sessions must evict exactly once");
+          ctx.check(counters.near_hits == 1,
+                    "the touched session must have warm-started");
+
+          // The would-be near hit on the evicted structure: demoted to
+          // a cold solve whose bytes match a fresh engine's cold solve.
+          const std::string demoted_line =
+              device_request_line(1, 0.85, capacity, "b1");
+          const std::string demoted = engine.handle_line(demoted_line);
+          counters = engine.counters();
+          ctx.check(counters.cold_solves == 4,
+                    "evicted structure must re-solve cold");
+          EngineOptions fresh_opts;
+          fresh_opts.cache = false;
+          fresh_opts.batch_window_us = 0;
+          PolicyEngine fresh(fresh_opts);
+          const bool identical =
+              demoted == fresh.handle_line(demoted_line);
+          ctx.check(identical,
+                    "demoted solve must be byte-identical to a cold solve");
+
+          // Eviction only drops warm-start state: the response cache
+          // still replays the evicted structure's original bytes.
+          ctx.check(engine.handle_line(device_request_line(1, 0.90, capacity,
+                                                           "b0")) == b0,
+                    "cache replay must survive session eviction");
+          ctx.check(engine.counters().exact_hits == 1,
+                    "the replayed line must be an exact hit");
+
+          ctx.record("serve eviction sessions", opts.max_sessions,
+                     static_cast<double>(counters.session_evictions));
+          ctx.record("serve eviction demotions", 1, identical ? 1.0 : 0.0);
+          ctx.record("serve eviction cold solves", counters.cold_solves,
+                     static_cast<double>(counters.near_hits));
+          ctx.linef("  3 structures / 2 sessions: %llu eviction, "
+                    "demoted cold solve byte-identical=%s",
+                    static_cast<unsigned long long>(
+                        counters.session_evictions),
+                    identical ? "yes" : "no");
+        }});
+
+    units.push_back(Unit{
         "protocol: evaluate agreement, typed rejections, stats",
         [](UnitContext& ctx) {
           PolicyEngine engine(EngineOptions{});

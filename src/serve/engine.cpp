@@ -38,6 +38,9 @@ struct TelemetryCells {
   std::atomic<std::uint64_t> repair_pivots{0};
   std::atomic<std::uint64_t> cold_pivots{0};
   std::atomic<std::uint64_t> batches{0};
+  std::atomic<std::uint64_t> sheds{0};
+  std::atomic<std::uint64_t> conn_sheds{0};
+  std::atomic<std::uint64_t> session_evictions{0};
 };
 TelemetryCells g_telemetry;
 
@@ -55,6 +58,30 @@ void add_telemetry(const EngineCounters& delta) noexcept {
   add(g_telemetry.repair_pivots, delta.repair_pivots);
   add(g_telemetry.cold_pivots, delta.cold_pivots);
   add(g_telemetry.batches, delta.batches);
+  add(g_telemetry.sheds, delta.sheds);
+  add(g_telemetry.conn_sheds, delta.conn_sheds);
+  add(g_telemetry.session_evictions, delta.session_evictions);
+}
+
+/// Best-effort request-id recovery for responses produced *without*
+/// parsing the line (admission sheds): a shed must stay cheap, so this
+/// only recognizes a top-level "id" whose value is a plain string with
+/// no escapes — anything else echoes an empty id.  Responses still
+/// arrive in request order per connection, so clients can always match
+/// by position.
+std::string peek_id(const std::string& line) {
+  const std::size_t at = line.find("\"id\"");
+  if (at == std::string::npos) return {};
+  std::size_t i = at + 4;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != ':') return {};
+  ++i;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i >= line.size() || line[i] != '"') return {};
+  const std::size_t start = ++i;
+  while (i < line.size() && line[i] != '"' && line[i] != '\\') ++i;
+  if (i >= line.size() || line[i] != '"') return {};
+  return line.substr(start, i - start);
 }
 
 double now_ms() {
@@ -126,6 +153,10 @@ EngineCounters serve_telemetry() noexcept {
   t.repair_pivots = g_telemetry.repair_pivots.load(std::memory_order_relaxed);
   t.cold_pivots = g_telemetry.cold_pivots.load(std::memory_order_relaxed);
   t.batches = g_telemetry.batches.load(std::memory_order_relaxed);
+  t.sheds = g_telemetry.sheds.load(std::memory_order_relaxed);
+  t.conn_sheds = g_telemetry.conn_sheds.load(std::memory_order_relaxed);
+  t.session_evictions =
+      g_telemetry.session_evictions.load(std::memory_order_relaxed);
   return t;
 }
 
@@ -145,6 +176,7 @@ struct PolicyEngine::Session {
   std::vector<std::size_t> crash_cols;  // empty below kCrashMinColumns
   lp::SimplexBasis basis;               // last optimal basis
   std::uint64_t structural = 0;
+  std::uint64_t lru = 0;  // engine session_clock_ at last use
 
   Session(SystemModel m, const Request& request, std::uint64_t key)
       : model(std::move(m)),
@@ -291,6 +323,39 @@ std::string PolicyEngine::submit(const std::string& line) {
   std::future<std::string> response = slot->promise.get_future();
 
   std::unique_lock<std::mutex> lock(adm_mutex_);
+  if (options_.max_inflight > 0 && adm_inflight_ >= options_.max_inflight) {
+    // Admission budget exhausted: shed instead of queuing.  The line is
+    // never parsed (shedding must stay cheap under a flood), so the id
+    // echo is best-effort and the detail names the budget that fired.
+    lock.unlock();
+    {
+      std::lock_guard<std::mutex> guard(mutex_);
+      counters_.sheds += 1;
+    }
+    EngineCounters delta;
+    delta.sheds = 1;
+    add_telemetry(delta);
+    return compose_response(
+        peek_id(line),
+        error_body("overloaded",
+                   "admission budget exhausted (max_inflight=" +
+                       std::to_string(options_.max_inflight) +
+                       "); retry later"));
+  }
+  ++adm_inflight_;
+  // Every exit from here on must release the admission slot, including
+  // a response.get() that rethrows the leader's set_exception and any
+  // throw while adm_mutex_ is still held (the guard reuses the caller's
+  // unique_lock so it never self-deadlocks).
+  struct InflightGuard {
+    PolicyEngine* engine;
+    std::unique_lock<std::mutex>* lock;
+    ~InflightGuard() {
+      if (!lock->owns_lock()) lock->lock();
+      --engine->adm_inflight_;
+      lock->unlock();
+    }
+  } inflight_guard{this, &lock};
   adm_pending_.push_back(slot);
   if (!adm_leader_) {
     // Become the admission leader: hold the window open so concurrent
@@ -392,6 +457,8 @@ std::string PolicyEngine::process(Parsed& parsed) {
     delta.failures = counters_.failures - before.failures;
     delta.repair_pivots = counters_.repair_pivots - before.repair_pivots;
     delta.cold_pivots = counters_.cold_pivots - before.cold_pivots;
+    delta.session_evictions =
+        counters_.session_evictions - before.session_evictions;
     add_telemetry(delta);
 
     const double elapsed = now_ms() - t0;
@@ -406,7 +473,10 @@ std::string PolicyEngine::process(Parsed& parsed) {
 
 PolicyEngine::Session& PolicyEngine::resolve_session(Parsed& parsed) {
   auto it = sessions_.find(parsed.structural);
-  if (it != sessions_.end()) return *it->second;
+  if (it != sessions_.end()) {
+    it->second->lru = ++session_clock_;
+    return *it->second;
+  }
   if (!parsed.model) {
     throw ProtocolError("unknown-model",
                         "model_ref " + key_to_hex(parsed.structural) +
@@ -415,6 +485,21 @@ PolicyEngine::Session& PolicyEngine::resolve_session(Parsed& parsed) {
   try {
     auto session = std::make_unique<Session>(std::move(*parsed.model),
                                              parsed.req, parsed.structural);
+    // LRU bound on the warm-start state: inserting past the cap drops
+    // the stalest structure.  Its next request re-registers and pays a
+    // cold solve — whose canonical finish makes the response bytes
+    // identical to the evicted session's original cold solve, so
+    // eviction is a pure economics (never correctness) event.
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      auto stalest = sessions_.begin();
+      for (auto probe = sessions_.begin(); probe != sessions_.end(); ++probe) {
+        if (probe->second->lru < stalest->second->lru) stalest = probe;
+      }
+      sessions_.erase(stalest);
+      counters_.session_evictions += 1;
+    }
+    session->lru = ++session_clock_;
     auto [slot, inserted] =
         sessions_.emplace(parsed.structural, std::move(session));
     return *slot->second;
@@ -666,6 +751,10 @@ std::string PolicyEngine::stats_body() const {
   c.set("repair_pivots", JsonValue::number(double(counters_.repair_pivots)));
   c.set("cold_pivots", JsonValue::number(double(counters_.cold_pivots)));
   c.set("batches", JsonValue::number(double(counters_.batches)));
+  c.set("sheds", JsonValue::number(double(counters_.sheds)));
+  c.set("conn_sheds", JsonValue::number(double(counters_.conn_sheds)));
+  c.set("session_evictions",
+        JsonValue::number(double(counters_.session_evictions)));
 
   JsonValue cache = JsonValue::object();
   if (cache_) {
@@ -695,6 +784,31 @@ std::string PolicyEngine::stats_body() const {
   o.set("cache", std::move(cache));
   o.set("latency", std::move(latency));
   return o.dump();
+}
+
+void PolicyEngine::note_shed_connection() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.conn_sheds += 1;
+  }
+  EngineCounters delta;
+  delta.conn_sheds = 1;
+  add_telemetry(delta);
+}
+
+void PolicyEngine::note_oversized_line() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.rejections += 1;
+  }
+  EngineCounters delta;
+  delta.rejections = 1;
+  add_telemetry(delta);
+}
+
+std::size_t PolicyEngine::inflight() const {
+  std::lock_guard<std::mutex> lock(adm_mutex_);
+  return adm_inflight_;
 }
 
 bool PolicyEngine::flush_cache() {

@@ -59,6 +59,19 @@ struct EngineOptions {
   /// Admission window: how long a submit() leader waits to coalesce
   /// concurrent requests into one batch.  0 disables coalescing.
   std::size_t batch_window_us = 200;
+  /// Admission budget: requests concurrently inside submit() (queued in
+  /// the batch window or executing).  A caller arriving at the cap is
+  /// shed with a typed "overloaded" error response instead of queuing —
+  /// the engine's memory and latency stay bounded under a request
+  /// flood.  0 disables shedding (unbounded).
+  std::size_t max_inflight = 64;
+  /// LRU bound on live sessions (the near-hit warm-start state: one
+  /// built LP + optimal basis per model structure).  Inserting past the
+  /// cap evicts the least-recently-used session; the next request for
+  /// an evicted structure pays a cold solve whose response bytes are
+  /// identical to the original cold solve (the canonical-finish
+  /// invariant).  0 disables eviction (unbounded).
+  std::size_t max_sessions = 256;
 };
 
 /// Per-engine request accounting.  Plain members guarded by the engine
@@ -76,6 +89,9 @@ struct EngineCounters {
   std::uint64_t repair_pivots = 0;  ///< simplex iterations on near hits
   std::uint64_t cold_pivots = 0;    ///< simplex iterations on cold solves
   std::uint64_t batches = 0;        ///< multi-request admission groups
+  std::uint64_t sheds = 0;          ///< requests shed by the admission budget
+  std::uint64_t conn_sheds = 0;     ///< connections refused at the accept cap
+  std::uint64_t session_evictions = 0;  ///< sessions evicted by the LRU bound
 };
 
 /// Process-wide serving telemetry (relaxed atomics, same contract as
@@ -116,6 +132,18 @@ class PolicyEngine {
   /// handle_batch.  Blocks until this caller's response is ready.
   std::string submit(const std::string& line);
 
+  /// Folds a server-side event into this engine's counters so `stats`
+  /// sees the whole overload picture: a connection refused at the
+  /// accept cap (the static overloaded line)…
+  void note_shed_connection();
+  /// …or a request line dropped for exceeding the framing bound (the
+  /// server answered a typed bad-request and closed the connection).
+  void note_oversized_line();
+
+  /// Requests currently inside submit() — queued in the admission
+  /// window or executing.  The quantity the max_inflight budget bounds.
+  std::size_t inflight() const;
+
   /// Persists the response cache (no-op for in-memory engines).
   bool flush_cache();
 
@@ -144,6 +172,7 @@ class PolicyEngine {
 
   mutable std::mutex mutex_;  // engine state: sessions, cache, counters
   std::unordered_map<std::uint64_t, std::unique_ptr<Session>> sessions_;
+  std::uint64_t session_clock_ = 0;  // LRU clock for session eviction
   std::unique_ptr<scenario::ResultCache> cache_;
   EngineCounters counters_;
   std::vector<double> latency_samples_;  // bounded reservoir, ms
@@ -151,10 +180,11 @@ class PolicyEngine {
 
   // Admission layer (submit only).
   struct Slot;
-  std::mutex adm_mutex_;
+  mutable std::mutex adm_mutex_;
   std::condition_variable adm_cv_;
   std::vector<std::shared_ptr<Slot>> adm_pending_;
   bool adm_leader_ = false;
+  std::size_t adm_inflight_ = 0;  // submit() callers admitted, not done
 };
 
 }  // namespace dpm::serve

@@ -20,7 +20,8 @@
 //   "ok"     — the request was served; payload depends on the op;
 //   "error"  — the request was rejected before any solve (typed code:
 //              bad-json, bad-request, unknown-op, bad-model,
-//              unknown-metric, unknown-model; plus "internal" when the
+//              unknown-metric, unknown-model, overloaded — shed by an
+//              admission or connection limit; plus "internal" when the
 //              daemon itself could not process the line, e.g. resource
 //              exhaustion mid-batch);
 //   "failed" — the solve ran but the supervisor could not determine the
@@ -60,7 +61,7 @@ inline constexpr std::uint64_t kProtocolVersion = 1;
 
 /// Typed request rejection: `code` is one of the stable strings listed
 /// in docs/serving.md ("bad-json", "bad-request", "unknown-op",
-/// "bad-model", "unknown-metric", "unknown-model").
+/// "bad-model", "unknown-metric", "unknown-model", "overloaded").
 class ProtocolError : public std::runtime_error {
  public:
   ProtocolError(std::string code, const std::string& detail)

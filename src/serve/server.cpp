@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -30,6 +31,17 @@ bool write_all(int fd, const char* data, std::size_t size) {
   return true;
 }
 
+/// Static shed line for connections refused at the max_connections cap:
+/// built once, written whole, no allocation on the overload path.
+constexpr char kOverloadedLine[] =
+    "{\"id\":\"\",\"status\":\"error\",\"error\":{\"code\":\"overloaded\","
+    "\"detail\":\"connection limit reached; retry later\"}}\n";
+
+/// Static rejection for a request line exceeding the framing bound.
+constexpr char kLineTooLongLine[] =
+    "{\"id\":\"\",\"status\":\"error\",\"error\":{\"code\":\"bad-request\","
+    "\"detail\":\"line too long (exceeds max_line_bytes)\"}}\n";
+
 }  // namespace
 
 PolicyServer::PolicyServer(PolicyEngine& engine, ServerOptions options)
@@ -37,9 +49,12 @@ PolicyServer::PolicyServer(PolicyEngine& engine, ServerOptions options)
 
 PolicyServer::~PolicyServer() { stop(); }
 
-bool PolicyServer::start(std::string* error) {
-  const auto fail = [&](const std::string& what) {
-    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+bool PolicyServer::start(std::string* error, StartFailure* failure) {
+  if (failure != nullptr) *failure = StartFailure::kSocket;
+  const auto fail = [&](const std::string& what, bool with_errno = true) {
+    if (error != nullptr) {
+      *error = with_errno ? what + ": " + std::strerror(errno) : what;
+    }
     if (listen_fd_ >= 0) {
       ::close(listen_fd_);
       listen_fd_ = -1;
@@ -47,31 +62,52 @@ bool PolicyServer::start(std::string* error) {
     return false;
   };
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return fail("socket");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  // Resolve like the client side: getaddrinfo accepts IPv4/IPv6 literals
+  // and hostnames alike, so --bind ::1 and --bind localhost both work.
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE | AI_NUMERICSERV;
+  addrinfo* results = nullptr;
+  const std::string service = std::to_string(options_.port);
+  const int rc = ::getaddrinfo(options_.bind_address.c_str(), service.c_str(),
+                               &hints, &results);
+  if (rc != 0) {
+    if (failure != nullptr) *failure = StartFailure::kResolve;
+    return fail("cannot resolve bind address '" + options_.bind_address +
+                    "': " + ::gai_strerror(rc),
+                /*with_errno=*/false);
+  }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    return fail("inet_pton(" + options_.bind_address + ")");
+  std::string bind_error = "bind";
+  for (const addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    listen_fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (listen_fd_ < 0) continue;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(listen_fd_, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    bind_error = "bind(" + options_.bind_address + ")";
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
-      0) {
-    return fail("bind");
-  }
+  ::freeaddrinfo(results);
+  if (listen_fd_ < 0) return fail(bind_error);
+
   if (::listen(listen_fd_, options_.backlog) < 0) return fail("listen");
 
-  socklen_t len = sizeof addr;
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+  sockaddr_storage bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) <
       0) {
     return fail("getsockname");
   }
-  port_ = ntohs(addr.sin_port);
+  if (bound.ss_family == AF_INET6) {
+    port_ = ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port);
+  } else {
+    port_ = ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
+  }
 
+  if (failure != nullptr) *failure = StartFailure::kNone;
   stopping_.store(false);
   running_.store(true);
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -135,6 +171,18 @@ void PolicyServer::accept_loop() {
       ::close(fd);
       break;
     }
+    // Connection cap: refuse with a static typed line before spawning
+    // anything — a flood costs one write+close per connection, never a
+    // thread or a tracked fd.  reaped_ counts too: those threads exist
+    // until joined, and the cap bounds threads, not just open sockets.
+    if (options_.max_connections > 0 &&
+        workers_.size() + reaped_.size() >= options_.max_connections) {
+      write_all(fd, kOverloadedLine, sizeof kOverloadedLine - 1);
+      ::close(fd);
+      shed_connections_.fetch_add(1);
+      engine_.note_shed_connection();
+      continue;
+    }
     worker_fds_.push_back(fd);
     // The new thread cannot reach its own cleanup (which needs
     // workers_mutex_, held here) before this emplace completes.
@@ -152,6 +200,16 @@ void PolicyServer::serve_connection(int fd) {
     if (n <= 0) break;  // peer closed, error, or shutdown() from stop()
     pending.append(buf, static_cast<std::size_t>(n));
     std::size_t start = 0;
+    // Framing bound: a peer streaming bytes with no newline must not
+    // grow `pending` without limit.  Checked before line extraction so
+    // a single oversized line is rejected even if later bytes contain
+    // the terminator.
+    if (options_.max_line_bytes > 0 &&
+        pending.size() > options_.max_line_bytes) {
+      write_all(fd, kLineTooLongLine, sizeof kLineTooLongLine - 1);
+      engine_.note_oversized_line();
+      break;
+    }
     for (std::size_t nl = pending.find('\n', start); nl != std::string::npos;
          nl = pending.find('\n', start)) {
       std::string line = pending.substr(start, nl - start);

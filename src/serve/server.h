@@ -27,9 +27,18 @@ struct ServerOptions {
   /// TCP port; 0 binds an ephemeral port (read it back via port()).
   std::uint16_t port = 0;
   /// Loopback by default: dpmd is a local accelerator daemon, not an
-  /// internet-facing service.
+  /// internet-facing service.  Resolved via getaddrinfo, so hostnames
+  /// ("localhost") and IPv6 literals ("::1") work like the client side.
   std::string bind_address = "127.0.0.1";
   int backlog = 64;
+  /// Connection cap: past this many live connections, accept() answers
+  /// a static typed "overloaded" line and closes immediately, so a
+  /// connection flood cannot exhaust threads or fds.  0 = unbounded.
+  std::size_t max_connections = 64;
+  /// Framing bound: a connection streaming more than this many bytes
+  /// without a newline gets a typed bad-request ("line too long") and
+  /// is dropped — per-connection buffer memory stays bounded.
+  std::size_t max_line_bytes = std::size_t{4} << 20;  // 4 MiB
 };
 
 class PolicyServer {
@@ -40,9 +49,14 @@ class PolicyServer {
   PolicyServer(const PolicyServer&) = delete;
   PolicyServer& operator=(const PolicyServer&) = delete;
 
+  /// Why start() failed: an unresolvable bind address is a usage error
+  /// (dpmd exits 2), everything else an environment error (exit 1).
+  enum class StartFailure : std::uint8_t { kNone, kResolve, kSocket };
+
   /// Binds, listens, and starts the acceptor thread.  Returns false and
-  /// fills `error` (when non-null) on bind/listen failure.
-  bool start(std::string* error = nullptr);
+  /// fills `error`/`failure` (when non-null) on resolve/bind/listen
+  /// failure.
+  bool start(std::string* error = nullptr, StartFailure* failure = nullptr);
 
   /// Stops accepting, closes every connection, joins all threads.
   /// Idempotent; also called by the destructor.
@@ -55,6 +69,12 @@ class PolicyServer {
   /// Connection workers not yet joined (live + awaiting reap).  Churn
   /// test surface: returns to 0 once closed connections are reaped.
   std::size_t live_connections() const;
+
+  /// Connections refused at the max_connections cap since start (also
+  /// folded into the engine's conn_sheds counter).
+  std::size_t shed_connections() const noexcept {
+    return shed_connections_.load();
+  }
 
  private:
   void accept_loop();
@@ -75,6 +95,7 @@ class PolicyServer {
   std::unordered_map<int, std::thread> workers_;
   std::vector<std::thread> reaped_;
   std::vector<int> worker_fds_;
+  std::atomic<std::size_t> shed_connections_{0};
 };
 
 }  // namespace dpm::serve

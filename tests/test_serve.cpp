@@ -428,6 +428,100 @@ TEST(ServeEngine, ModelRefMismatchedDiscountOrObjectiveIsRejected) {
   EXPECT_EQ(engine.counters().near_hits, 1u);
 }
 
+// --- session eviction -------------------------------------------------
+
+TEST(ServeEngine, EvictedSessionRecomputesByteIdenticalColdSolve) {
+  EngineOptions opts;
+  opts.max_sessions = 1;
+  PolicyEngine engine(opts);
+
+  Request a = rich_optimize();  // variant 0
+  a.constraints[0].bound = 0.45;
+  const std::string a_line = serve::format_request(a);
+  Request b = a;  // distinct structure: different design
+  b.model = serve::fleet_model_spec(1, 2);
+  const std::string b_line = serve::format_request(b);
+  // The would-be near hit: same structure as `a`, moved bound.
+  Request a_moved = a;
+  a_moved.constraints[0].bound = 0.55;
+  const std::string a_moved_line = serve::format_request(a_moved);
+
+  EXPECT_NE(engine.handle_line(a_line).find("\"status\":\"ok\""),
+            std::string::npos);
+  EXPECT_EQ(engine.num_sessions(), 1u);
+  EXPECT_NE(engine.handle_line(b_line).find("\"status\":\"ok\""),
+            std::string::npos);
+  // The LRU bound held: b's insert evicted a's session.
+  EXPECT_EQ(engine.num_sessions(), 1u);
+  EXPECT_EQ(engine.counters().session_evictions, 1u);
+
+  // The moved bound would have warm-started from a's basis; with the
+  // session evicted it must demote to a cold solve — and the canonical
+  // finish makes that cold solve byte-identical to one on a fresh
+  // engine that never had the warm state.
+  const std::string demoted = engine.handle_line(a_moved_line);
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.cold_solves, 3u);
+  EXPECT_EQ(counters.near_hits, 0u);
+  EngineOptions fresh_opts;
+  fresh_opts.cache = false;
+  PolicyEngine fresh(fresh_opts);
+  EXPECT_EQ(demoted, fresh.handle_line(a_moved_line));
+
+  // Eviction drops only the warm-start state: the response cache still
+  // replays a's original bytes as an exact hit.
+  const std::string replay = engine.handle_line(a_line);
+  EXPECT_EQ(engine.counters().exact_hits, 1u);
+  PolicyEngine fresh2(fresh_opts);
+  EXPECT_EQ(replay, fresh2.handle_line(a_line));
+}
+
+TEST(ServeEngine, SessionEvictionIsLeastRecentlyUsed) {
+  EngineOptions opts;
+  opts.max_sessions = 2;
+  PolicyEngine engine(opts);
+
+  const auto line = [](std::size_t variant, double bound) {
+    Request r;
+    r.op = Op::kOptimize;
+    r.model = serve::fleet_model_spec(variant, 2);
+    r.discount = 0.999;
+    r.objective = "power";
+    ConstraintSpec c;
+    c.metric = "queue_length";
+    c.bound = bound;
+    r.constraints.push_back(c);
+    return serve::format_request(r);
+  };
+
+  engine.handle_line(line(0, 0.45));  // session A
+  engine.handle_line(line(1, 0.45));  // session B
+  engine.handle_line(line(0, 0.50));  // near hit touches A: B is now LRU
+  engine.handle_line(line(2, 0.45));  // session C evicts B, not A
+  EXPECT_EQ(engine.counters().session_evictions, 1u);
+
+  engine.handle_line(line(0, 0.55));  // A survived: near hit
+  EXPECT_EQ(engine.counters().near_hits, 2u);
+  engine.handle_line(line(1, 0.55));  // B was evicted: cold again
+  EXPECT_EQ(engine.counters().cold_solves, 4u);
+}
+
+TEST(ServeEngine, ServerEventNotesLandInStats) {
+  PolicyEngine engine{EngineOptions{}};
+  engine.note_shed_connection();
+  engine.note_oversized_line();
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.conn_sheds, 1u);
+  EXPECT_EQ(counters.rejections, 1u);
+
+  const std::string stats = engine.handle_line(R"({"id":"s","op":"stats"})");
+  const JsonValue parsed = JsonValue::parse(stats);
+  ASSERT_NE(parsed.get("counters"), nullptr);
+  EXPECT_EQ(parsed.get("counters")->number_at("conn_sheds"), 1.0);
+  EXPECT_EQ(parsed.get("counters")->number_at("sheds"), 0.0);
+  EXPECT_EQ(parsed.get("counters")->number_at("session_evictions"), 0.0);
+}
+
 TEST(ServeEngine, StatsAndShutdownAreServed) {
   PolicyEngine engine{EngineOptions{}};
   const std::string stats = engine.handle_line(R"({"id":"s","op":"stats"})");

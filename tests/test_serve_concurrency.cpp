@@ -16,6 +16,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <string>
 #include <thread>
@@ -163,6 +164,79 @@ TEST(ServeConcurrency, BatchedAndSequentialCountersReconcileWithOdometer) {
   }
 }
 
+// --- admission shedding ----------------------------------------------
+
+TEST(ServeConcurrency, SubmitShedsAtInflightCapWithTypedResponse) {
+  EngineOptions opts;
+  opts.max_inflight = 1;
+  opts.batch_window_us = 300000;  // hold the leader long enough to observe
+  PolicyEngine engine(opts);
+
+  const std::string solve = fleet_lines().front();
+  std::string admitted;
+  std::thread leader([&] { admitted = engine.submit(solve); });
+  // Wait until the leader holds the only admission slot (it sits in the
+  // batch window), then submit over the budget: a deterministic shed.
+  for (int tries = 0; engine.inflight() == 0 && tries < 1000; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(engine.inflight(), 1u);
+
+  const std::string shed = engine.submit(R"({"id":"shed-me","op":"stats"})");
+  EXPECT_NE(shed.find("\"code\":\"overloaded\""), std::string::npos) << shed;
+  EXPECT_NE(shed.find("\"id\":\"shed-me\""), std::string::npos) << shed;
+  EXPECT_NE(shed.find("max_inflight=1"), std::string::npos) << shed;
+
+  leader.join();
+  EXPECT_NE(admitted.find("\"status\":\"ok\""), std::string::npos) << admitted;
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.sheds, 1u);
+  // A shed line is never parsed or processed: only the admitted request
+  // is in the request count.
+  EXPECT_EQ(counters.requests, 1u);
+  EXPECT_EQ(engine.inflight(), 0u);
+}
+
+TEST(ServeConcurrency, SubmitFloodShedsStayAccountableAndWellFormed) {
+  EngineOptions opts;
+  opts.max_inflight = 2;
+  opts.batch_window_us = 100000;
+  PolicyEngine engine(opts);
+
+  const std::vector<std::string> lines = fleet_lines();
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::string> responses(kThreads);
+  std::atomic<std::size_t> ready{0};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      ++ready;
+      while (ready.load() < kThreads) std::this_thread::yield();
+      responses[t] = engine.submit(lines[t]);
+    });
+  }
+  for (std::thread& th : pool) th.join();
+
+  std::size_t overloaded = 0;
+  for (const std::string& response : responses) {
+    EXPECT_NE(response.find("\"status\":"), std::string::npos) << response;
+    if (response.find("\"code\":\"overloaded\"") != std::string::npos) {
+      ++overloaded;
+    } else {
+      EXPECT_NE(response.find("\"status\":\"ok\""), std::string::npos)
+          << response;
+    }
+  }
+  // Four simultaneous submitters against a budget of two, with a batch
+  // window holding the leader open: someone must have been shed, and
+  // the counters must account for every line exactly once.
+  EXPECT_GE(overloaded, 1u);
+  const EngineCounters counters = engine.counters();
+  EXPECT_EQ(counters.sheds, overloaded);
+  EXPECT_EQ(counters.requests, kThreads - overloaded);
+  EXPECT_EQ(engine.inflight(), 0u);
+}
+
 // --- sockets: N clients, one server ----------------------------------
 
 int connect_to(std::uint16_t port) {
@@ -287,6 +361,140 @@ TEST(ServeConcurrency, ClientDisconnectMidResponseDoesNotKillTheServer) {
   EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
   ::close(fd);
   server.stop();
+}
+
+// Reads one response line without sending anything (the server-pushed
+// shed line), then optionally confirms the server closed the socket.
+std::string read_pushed_line(int fd) {
+  std::string response;
+  char buf[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    EXPECT_GT(n, 0) << "connection closed before a line arrived";
+    if (n <= 0) return response;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  return response.substr(0, response.find('\n'));
+}
+
+bool reads_eof(int fd) {
+  char buf[64];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    return n == 0;
+  }
+}
+
+// --- overload bugfixes: bounded buffers, accept cap, bind resolve -----
+
+TEST(ServeConcurrency, OversizedLineIsRejectedAndConnectionDropped) {
+  PolicyEngine engine{EngineOptions{}};
+  ServerOptions options;
+  options.max_line_bytes = 4096;
+  PolicyServer server(engine, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // A newline-free flood: before the fix this grew the per-connection
+  // buffer without bound; now it must answer a typed bad-request and
+  // drop the connection once the cap is crossed.
+  const int fd = connect_to(server.port());
+  const std::string flood(8192, 'x');
+  for (std::size_t sent = 0; sent < flood.size();) {
+    const ssize_t n = ::send(fd, flood.data() + sent, flood.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // server may already have dropped us
+    sent += static_cast<std::size_t>(n);
+  }
+  const std::string rejection = read_pushed_line(fd);
+  EXPECT_NE(rejection.find("\"code\":\"bad-request\""), std::string::npos)
+      << rejection;
+  EXPECT_NE(rejection.find("line too long"), std::string::npos) << rejection;
+  EXPECT_TRUE(reads_eof(fd));
+  ::close(fd);
+  EXPECT_EQ(engine.counters().rejections, 1u);
+
+  // The daemon survives and keeps serving bounded lines.
+  const int fresh = connect_to(server.port());
+  const std::string stats = roundtrip(fresh, R"({"id":"s","op":"stats"})");
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+  ::close(fresh);
+  server.stop();
+}
+
+TEST(ServeConcurrency, AcceptCapShedsWithTypedOverloadedLine) {
+  PolicyEngine engine{EngineOptions{}};
+  ServerOptions options;
+  options.max_connections = 2;
+  PolicyServer server(engine, options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Fill the cap with two live connections (the round trips guarantee
+  // both workers are registered before the flood starts).
+  const int held1 = connect_to(server.port());
+  const int held2 = connect_to(server.port());
+  EXPECT_NE(roundtrip(held1, R"({"id":"a","op":"stats"})").find("\"ok\""),
+            std::string::npos);
+  EXPECT_NE(roundtrip(held2, R"({"id":"b","op":"stats"})").find("\"ok\""),
+            std::string::npos);
+
+  // Connection churn past the cap: every extra connection gets the
+  // static typed overloaded line and an immediate close, and the live
+  // worker count never exceeds the cap.
+  constexpr std::size_t kFlood = 10;
+  for (std::size_t i = 0; i < kFlood; ++i) {
+    const int fd = connect_to(server.port());
+    const std::string shed = read_pushed_line(fd);
+    EXPECT_NE(shed.find("\"code\":\"overloaded\""), std::string::npos) << shed;
+    EXPECT_TRUE(reads_eof(fd));
+    ::close(fd);
+    EXPECT_LE(server.live_connections(), 2u);
+  }
+  EXPECT_EQ(server.shed_connections(), kFlood);
+  EXPECT_EQ(engine.counters().conn_sheds, kFlood);
+
+  // Freeing a slot re-admits: close one held connection, wait for the
+  // acceptor to reap its worker, and the next connect is served.
+  ::close(held1);
+  for (int tries = 0; server.live_connections() > 1 && tries < 500; ++tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_LE(server.live_connections(), 1u);
+  const int readmitted = connect_to(server.port());
+  const std::string stats =
+      roundtrip(readmitted, R"({"id":"c","op":"stats"})");
+  EXPECT_NE(stats.find("\"status\":\"ok\""), std::string::npos) << stats;
+  ::close(readmitted);
+  ::close(held2);
+  server.stop();
+}
+
+TEST(ServeConcurrency, BindResolvesHostnamesAndRejectsUnresolvable) {
+  // "localhost" must resolve like the client side does (getaddrinfo),
+  // not fail inet_pton.
+  PolicyEngine engine{EngineOptions{}};
+  ServerOptions options;
+  options.bind_address = "localhost";
+  PolicyServer server(engine, options);
+  std::string error;
+  PolicyServer::StartFailure failure;
+  ASSERT_TRUE(server.start(&error, &failure)) << error;
+  EXPECT_EQ(failure, PolicyServer::StartFailure::kNone);
+  EXPECT_GT(server.port(), 0);
+  server.stop();
+
+  // An unresolvable name is a typed start failure with a clear message
+  // (dpmd maps kResolve to exit 2).
+  ServerOptions bad;
+  bad.bind_address = "no-such-host.invalid";
+  PolicyServer broken(engine, bad);
+  EXPECT_FALSE(broken.start(&error, &failure));
+  EXPECT_EQ(failure, PolicyServer::StartFailure::kResolve);
+  EXPECT_NE(error.find("no-such-host.invalid"), std::string::npos) << error;
 }
 
 TEST(ServeConcurrency, StopWithLiveConnectionsShutsDownCleanly) {
